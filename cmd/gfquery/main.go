@@ -1,0 +1,103 @@
+// Command gfquery runs a subgraph query end to end: load or generate a
+// graph, build the catalogue, optimize, execute, and report the plan and
+// statistics.
+//
+// Usage:
+//
+//	gfquery -dataset Epinions -query "a->b, b->c, a->c"
+//	gfquery -data graph.txt -query "a->b, b->c" -workers 8 -explain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphflow"
+)
+
+func main() {
+	var (
+		dataFile = flag.String("data", "", "edge-list file to load (see internal/graph format)")
+		dsName   = flag.String("dataset", "", "built-in dataset name (Amazon, Epinions, LiveJournal, Twitter, BerkStan, Google, Human)")
+		scale    = flag.Int("scale", 1, "dataset scale factor")
+		pattern  = flag.String("query", "", "query pattern, e.g. \"a->b, b->c, a->c\"")
+		workers  = flag.Int("workers", 1, "parallel workers")
+		adaptive = flag.Bool("adaptive", false, "adaptive query-vertex-ordering selection")
+		wcoOnly  = flag.Bool("wco", false, "restrict the optimizer to WCO plans")
+		noCache  = flag.Bool("nocache", false, "disable the intersection cache")
+		limit    = flag.Int64("limit", 0, "stop after this many matches (0 = all)")
+		explain  = flag.Bool("explain", false, "print the plan without executing")
+		analyze  = flag.Bool("analyze", false, "run and print per-operator statistics")
+		catZ     = flag.Int("catz", 1000, "catalogue sample size z")
+		catH     = flag.Int("cath", 3, "catalogue max subquery size h")
+	)
+	flag.Parse()
+	if *pattern == "" {
+		fmt.Fprintln(os.Stderr, "gfquery: -query is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := &graphflow.Options{CatalogueH: *catH, CatalogueZ: *catZ}
+	var db *graphflow.DB
+	var err error
+	switch {
+	case *dataFile != "":
+		f, ferr := os.Open(*dataFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		db, err = graphflow.NewFromEdgeList(f, opts)
+		f.Close()
+	case *dsName != "":
+		db, err = graphflow.NewFromDataset(*dsName, *scale, opts)
+	default:
+		fmt.Fprintln(os.Stderr, "gfquery: one of -data or -dataset is required")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", db.NumVertices(), db.NumEdges())
+
+	if *explain {
+		st, err := db.Explain(*pattern)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("plan kind: %s\n%s", st.PlanKind, st.Plan)
+		if est, err := db.EstimateCardinality(*pattern); err == nil {
+			fmt.Printf("estimated matches: %.1f\n", est)
+		}
+		return
+	}
+	if *analyze {
+		st, err := db.Analyze(*pattern)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("matches: %d\nplan kind: %s\n%s", st.Matches, st.PlanKind, st.Plan)
+		return
+	}
+
+	qo := &graphflow.QueryOptions{
+		Workers:      *workers,
+		Adaptive:     *adaptive,
+		WCOOnly:      *wcoOnly,
+		DisableCache: *noCache,
+		Limit:        *limit,
+	}
+	n, st, err := db.CountStats(*pattern, qo)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("matches: %d\n", n)
+	fmt.Printf("plan kind: %s\nintermediate: %d  i-cost: %d  cache hits: %d\n%s",
+		st.PlanKind, st.Intermediate, st.ICost, st.CacheHits, st.Plan)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gfquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Fraud detection: cyclic patterns in a transaction network indicate
+// money cycling through accounts and back (the paper's fraud-detection
+// motivation). This example synthesises a payment graph with a few
+// planted rings, then hunts directed 4-cycles and reports the accounts
+// involved.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"graphflow"
+)
+
+func main() {
+	const accounts = 3000
+	rng := rand.New(rand.NewSource(99))
+	b := graphflow.NewBuilder(accounts)
+
+	// Background traffic: random payments, mostly acyclic (higher to lower
+	// IDs pay forward).
+	for i := 0; i < accounts*6; i++ {
+		src := uint32(rng.Intn(accounts))
+		dst := uint32(rng.Intn(accounts))
+		if src != dst {
+			b.AddEdge(src, dst, 0)
+		}
+	}
+	// Planted fraud rings: money hops around 4 accounts and returns.
+	rings := [][]uint32{
+		{11, 57, 301, 78},
+		{1200, 1201, 1340, 1288},
+		{2000, 2750, 2222, 2100},
+	}
+	for _, ring := range rings {
+		for i := range ring {
+			b.AddEdge(ring[i], ring[(i+1)%len(ring)], 0)
+		}
+	}
+
+	db, err := b.Open(&graphflow.Options{CatalogueZ: 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transaction graph: %d accounts, %d payments\n", db.NumVertices(), db.NumEdges())
+
+	// Directed 4-cycle: a pays b pays c pays d pays a.
+	pattern := "a->b, b->c, c->d, d->a"
+	n, stats, err := db.CountStats(pattern, &graphflow.QueryOptions{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Each 4-cycle is found once per rotation; 4 rotations per ring.
+	fmt.Printf("4-cycle matches: %d (plan kind %s)\n", n, stats.PlanKind)
+
+	// Show a handful of distinct rings.
+	seen := map[[4]uint32]bool{}
+	err = db.Match(pattern, func(m map[string]uint32) bool {
+		ring := [4]uint32{m["a"], m["b"], m["c"], m["d"]}
+		// Canonical rotation so each ring prints once.
+		min := 0
+		for i := 1; i < 4; i++ {
+			if ring[i] < ring[min] {
+				min = i
+			}
+		}
+		var canon [4]uint32
+		for i := 0; i < 4; i++ {
+			canon[i] = ring[(min+i)%4]
+		}
+		if !seen[canon] {
+			seen[canon] = true
+			fmt.Printf("  suspicious ring: %v\n", canon)
+		}
+		return len(seen) < 10
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distinct rings reported: %d (3 planted)\n", len(seen))
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a small graph by hand, ask the optimizer for a plan,
+// and count and enumerate triangle matches.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphflow"
+)
+
+func main() {
+	// A 6-vertex graph: a triangle (0,1,2), a diamond over (1,2,3,4), and
+	// a pendant vertex 5.
+	b := graphflow.NewBuilder(6)
+	edges := [][2]uint32{
+		{0, 1}, {1, 2}, {0, 2}, // triangle
+		{1, 3}, {2, 3}, {1, 4}, {3, 4}, // diamond-ish
+		{4, 5},
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1], 0)
+	}
+	db, err := b.Open(&graphflow.Options{CatalogueZ: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Count asymmetric triangles.
+	n, stats, err := db.CountStats("a->b, b->c, a->c", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("triangles: %d (plan kind %s, i-cost %d)\n", n, stats.PlanKind, stats.ICost)
+	fmt.Println(stats.Plan)
+
+	// Enumerate them with vertex bindings.
+	err = db.Match("a->b, b->c, a->c", func(m map[string]uint32) bool {
+		fmt.Printf("  match: a=%d b=%d c=%d\n", m["a"], m["b"], m["c"])
+		return true
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// EXPLAIN a larger pattern without running it.
+	st, err := db.Explain("a->b, b->c, c->d, a->d")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("4-cycle plan (%s):\n%s", st.PlanKind, st.Plan)
+}

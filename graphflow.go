@@ -1,0 +1,345 @@
+// Package graphflow is a Go reimplementation of the subgraph-query
+// optimizer of Mhedhbi & Salihoglu, "Optimizing Subgraph Queries by
+// Combining Binary and Worst-Case Optimal Joins" (PVLDB 12(11), 2019),
+// together with the Graphflow-style evaluation engine it plans for.
+//
+// A DB wraps an immutable directed, labelled graph plus a subgraph
+// catalogue (the optimizer's statistics). Queries are textual patterns:
+//
+//	db, _ := graphflow.NewFromDataset("Epinions", 1, nil)
+//	n, _ := db.Count("a->b, b->c, a->c", nil) // asymmetric triangles
+//
+// The optimizer chooses among worst-case-optimal (multiway-intersection)
+// plans, binary-join plans and hybrids, using the intersection-cost model
+// of the paper; execution supports parallel workers, an intersection
+// cache, and adaptive per-tuple re-selection of query vertex orderings.
+package graphflow
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"graphflow/internal/adaptive"
+	"graphflow/internal/catalogue"
+	"graphflow/internal/datagen"
+	"graphflow/internal/exec"
+	"graphflow/internal/graph"
+	"graphflow/internal/optimizer"
+	"graphflow/internal/plan"
+	"graphflow/internal/query"
+)
+
+// Options configures DB construction.
+type Options struct {
+	// CatalogueH is the largest subquery size sampled into the catalogue
+	// (paper Section 5.1); default 3.
+	CatalogueH int
+	// CatalogueZ is the number of edges sampled per catalogue entry chain;
+	// default 1000.
+	CatalogueZ int
+	// Seed drives catalogue sampling; default 1.
+	Seed int64
+	// CalibrateJoinWeights runs the empirical w1/w2 calibration of Section
+	// 4.2 on this machine instead of using the defaults.
+	CalibrateJoinWeights bool
+}
+
+func (o *Options) withDefaults() Options {
+	var out Options
+	if o != nil {
+		out = *o
+	}
+	if out.CatalogueH == 0 {
+		out.CatalogueH = 3
+	}
+	if out.CatalogueZ == 0 {
+		out.CatalogueZ = 1000
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+// DB is an immutable graph database instance: graph, catalogue, and
+// calibrated cost-model weights.
+type DB struct {
+	g      *graph.Graph
+	cat    *catalogue.Catalogue
+	w1, w2 float64
+}
+
+// QueryOptions tunes one query evaluation.
+type QueryOptions struct {
+	// Workers parallelises execution (paper Section 7); default 1.
+	Workers int
+	// Adaptive re-picks query vertex orderings per tuple (Section 6).
+	Adaptive bool
+	// WCOOnly restricts planning to worst-case-optimal plans.
+	WCOOnly bool
+	// DisableCache turns off the intersection cache.
+	DisableCache bool
+	// Limit stops after this many matches (0 = all; forces Workers=1).
+	Limit int64
+	// Distinct switches from the paper's join (homomorphism) semantics to
+	// subgraph-isomorphism semantics: every query vertex must bind a
+	// distinct data vertex. Implemented as a post-filter.
+	Distinct bool
+}
+
+// Stats reports what one evaluation did.
+type Stats struct {
+	Matches      int64
+	Intermediate int64
+	ICost        int64
+	CacheHits    int64
+	PlanKind     string // "wco", "bj" or "hybrid"
+	Plan         string // operator tree, one operator per line
+}
+
+// newDB builds the catalogue and weights for a finished graph.
+func newDB(g *graph.Graph, opts Options) *DB {
+	db := &DB{
+		g:  g,
+		w1: optimizer.DefaultW1,
+		w2: optimizer.DefaultW2,
+	}
+	db.cat = catalogue.Build(g, catalogue.Config{H: opts.CatalogueH, Z: opts.CatalogueZ, Seed: opts.Seed})
+	if opts.CalibrateJoinWeights {
+		db.w1, db.w2 = optimizer.Calibrate(g)
+	}
+	return db
+}
+
+// NewFromEdgeList builds a DB from the textual edge-list format of
+// internal/graph (a superset of SNAP's: optional "v id label" lines and an
+// optional third edge-label column).
+func NewFromEdgeList(r io.Reader, opts *Options) (*DB, error) {
+	g, err := graph.LoadEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	return newDB(g, opts.withDefaults()), nil
+}
+
+// NewFromDataset builds a DB over one of the built-in synthetic datasets
+// mirroring the paper's Table 8: "Amazon", "Epinions", "LiveJournal",
+// "Twitter", "BerkStan", "Google" or "Human". scale multiplies the default
+// size.
+func NewFromDataset(name string, scale int, opts *Options) (*DB, error) {
+	g := datagen.ByName(name, scale)
+	if g == nil {
+		return nil, fmt.Errorf("graphflow: unknown dataset %q (have %v)", name, datagen.Names())
+	}
+	return newDB(g, opts.withDefaults()), nil
+}
+
+// Builder accumulates a graph edge by edge before opening a DB.
+type Builder struct {
+	b *graph.Builder
+}
+
+// NewBuilder starts a graph with numVertices vertices (labelled 0).
+func NewBuilder(numVertices int) *Builder {
+	return &Builder{b: graph.NewBuilder(numVertices)}
+}
+
+// AddVertex appends a labelled vertex and returns its ID.
+func (b *Builder) AddVertex(label uint16) uint32 {
+	return uint32(b.b.AddVertex(graph.Label(label)))
+}
+
+// SetVertexLabel labels an existing vertex.
+func (b *Builder) SetVertexLabel(v uint32, label uint16) {
+	b.b.SetVertexLabel(graph.VertexID(v), graph.Label(label))
+}
+
+// AddEdge records a directed labelled edge.
+func (b *Builder) AddEdge(src, dst uint32, label uint16) {
+	b.b.AddEdge(graph.VertexID(src), graph.VertexID(dst), graph.Label(label))
+}
+
+// Open freezes the graph and builds the DB.
+func (b *Builder) Open(opts *Options) (*DB, error) {
+	g, err := b.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return newDB(g, opts.withDefaults()), nil
+}
+
+// NumVertices returns the graph's vertex count.
+func (db *DB) NumVertices() int { return db.g.NumVertices() }
+
+// NumEdges returns the graph's edge count.
+func (db *DB) NumEdges() int { return db.g.NumEdges() }
+
+// plan compiles the pattern into an optimized physical plan.
+func (db *DB) plan(pattern string, qo QueryOptions) (*query.Graph, *planWrap, error) {
+	q, err := query.ParseAny(pattern)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := optimizer.Optimize(q, optimizer.Options{
+		Catalogue: db.cat,
+		W1:        db.w1,
+		W2:        db.w2,
+		WCOOnly:   qo.WCOOnly,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, &planWrap{p}, nil
+}
+
+// Count evaluates the pattern and returns the number of matches. opts may
+// be nil.
+func (db *DB) Count(pattern string, opts *QueryOptions) (int64, error) {
+	n, _, err := db.CountStats(pattern, opts)
+	return n, err
+}
+
+// CountStats is Count plus the execution statistics and plan description.
+func (db *DB) CountStats(pattern string, opts *QueryOptions) (int64, Stats, error) {
+	var qo QueryOptions
+	if opts != nil {
+		qo = *opts
+	}
+	_, pw, err := db.plan(pattern, qo)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	var prof exec.Profile
+	var n int64
+	switch {
+	case qo.Distinct:
+		r := &exec.Runner{Graph: db.g, Workers: qo.Workers, DisableCache: qo.DisableCache}
+		var count int64
+		prof, err = r.Run(pw.p, func(t []graph.VertexID) {
+			if allDistinct(t) {
+				count++
+			}
+		})
+		n = count
+	case qo.Adaptive:
+		ev := &adaptive.Evaluator{Graph: db.g, Catalogue: db.cat, Config: adaptive.Config{Workers: qo.Workers}}
+		n, prof, err = ev.Count(pw.p)
+	case qo.Limit > 0:
+		r := &exec.Runner{Graph: db.g, DisableCache: qo.DisableCache}
+		n, prof, err = r.CountUpTo(pw.p, qo.Limit)
+	default:
+		// Pure counting can skip enumerating the last extension's Cartesian
+		// product (factorized counting); the count is exact.
+		r := &exec.Runner{Graph: db.g, Workers: qo.Workers, DisableCache: qo.DisableCache, FastCount: true}
+		n, prof, err = r.Count(pw.p)
+	}
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	return n, statsFrom(pw, prof, n), nil
+}
+
+// allDistinct reports whether the tuple binds pairwise-distinct data
+// vertices (tuples are short: quadratic scan beats allocation).
+func allDistinct(t []graph.VertexID) bool {
+	for i := 1; i < len(t); i++ {
+		for j := 0; j < i; j++ {
+			if t[i] == t[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Match evaluates the pattern, invoking fn with each match as a map from
+// vertex name to data vertex ID; fn returning false stops enumeration.
+// Single-threaded.
+func (db *DB) Match(pattern string, fn func(map[string]uint32) bool, opts *QueryOptions) error {
+	var qo QueryOptions
+	if opts != nil {
+		qo = *opts
+	}
+	q, pw, err := db.plan(pattern, qo)
+	if err != nil {
+		return err
+	}
+	layout := pw.p.Root.Out()
+	names := make([]string, len(layout))
+	for slot, v := range layout {
+		names[slot] = q.Vertices[v].Name
+	}
+	r := &exec.Runner{Graph: db.g, DisableCache: qo.DisableCache}
+	stopped := false
+	_, err = r.Run(pw.p, func(t []graph.VertexID) {
+		if stopped {
+			return
+		}
+		m := make(map[string]uint32, len(t))
+		for slot, v := range t {
+			m[names[slot]] = uint32(v)
+		}
+		if !fn(m) {
+			stopped = true
+		}
+	})
+	return err
+}
+
+// Explain returns the optimizer's plan for the pattern without running it.
+func (db *DB) Explain(pattern string) (Stats, error) {
+	_, pw, err := db.plan(pattern, QueryOptions{})
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{PlanKind: pw.p.Kind(), Plan: pw.p.Describe()}, nil
+}
+
+// Analyze runs the pattern and returns Stats whose Plan field carries the
+// per-operator breakdown (tuples out, i-cost, cache hits, probe and build
+// counts) — EXPLAIN ANALYZE for subgraph plans. Single-threaded.
+func (db *DB) Analyze(pattern string) (Stats, error) {
+	_, pw, err := db.plan(pattern, QueryOptions{})
+	if err != nil {
+		return Stats{}, err
+	}
+	r := &exec.Runner{Graph: db.g}
+	ops, prof, err := r.Analyze(pw.p)
+	if err != nil {
+		return Stats{}, err
+	}
+	st := statsFrom(pw, prof, prof.Matches)
+	st.Plan = ops.Describe()
+	return st, nil
+}
+
+// EstimateCardinality returns the catalogue's estimate of the pattern's
+// match count (Section 5.2).
+func (db *DB) EstimateCardinality(pattern string) (float64, error) {
+	q, err := query.ParseAny(pattern)
+	if err != nil {
+		return 0, err
+	}
+	return db.cat.EstimateCardinality(q), nil
+}
+
+// GraphStats summarises the stored graph (degree skew and clustering — the
+// structural knobs that drive plan choice in the paper).
+func (db *DB) GraphStats() graph.Stats {
+	return db.g.ComputeStats(2000, rand.New(rand.NewSource(7)))
+}
+
+// planWrap keeps internal plan types out of exported signatures.
+type planWrap struct{ p *plan.Plan }
+
+func statsFrom(pw *planWrap, prof exec.Profile, n int64) Stats {
+	return Stats{
+		Matches:      n,
+		Intermediate: prof.Intermediate,
+		ICost:        prof.ICost,
+		CacheHits:    prof.CacheHits,
+		PlanKind:     pw.p.Kind(),
+		Plan:         pw.p.Describe(),
+	}
+}

@@ -1,0 +1,334 @@
+// Package adaptive implements the adaptive WCO plan evaluation of Section
+// 6: when a plan contains a chain of two or more EXTEND/INTERSECT
+// operators, the chain's query-vertex ordering is re-chosen for every
+// input tuple using the tuple's actual adjacency-list sizes instead of the
+// catalogue's averages.
+//
+// The non-adapted part of the plan (the SCAN of a WCO plan, or everything
+// below the topmost E/I chain of a hybrid plan) runs on the regular
+// executor; each of its output tuples is routed to the candidate ordering
+// whose re-estimated i-cost is lowest (Example 6.2's re-estimation rule),
+// and flows through that ordering's own operator chain with its own
+// intersection cache.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+
+	"graphflow/internal/catalogue"
+	"graphflow/internal/exec"
+	"graphflow/internal/graph"
+	"graphflow/internal/plan"
+	"graphflow/internal/query"
+)
+
+// Config controls adaptive evaluation.
+type Config struct {
+	// MaxOrderings caps the number of candidate orderings per adaptive
+	// chain (default 48): cliques have factorially many near-identical
+	// orderings with little adaptation benefit (Section 8.3's Q6 note).
+	MaxOrderings int
+	// Workers parallelises the non-adapted source pipeline.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxOrderings <= 0 {
+		c.MaxOrderings = 48
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// Evaluator adapts and runs plans against one graph + catalogue pair.
+type Evaluator struct {
+	Graph     *graph.Graph
+	Catalogue *catalogue.Catalogue
+	Config    Config
+}
+
+// Adaptable reports whether p has an adaptive part: a chain of at least two
+// E/I operators at the top of its driver pipeline.
+func Adaptable(p *plan.Plan) bool {
+	chain, _ := splitChain(p.Root)
+	return len(chain) >= 2
+}
+
+// splitChain peels consecutive Extend operators off the root, returning
+// them bottom-up together with the source subplan below them.
+func splitChain(root plan.Node) ([]*plan.Extend, plan.Node) {
+	var chain []*plan.Extend
+	cur := root
+	for {
+		ext, ok := cur.(*plan.Extend)
+		if !ok {
+			break
+		}
+		chain = append(chain, ext)
+		cur = ext.Child
+	}
+	// chain is top-down; reverse to bottom-up.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, cur
+}
+
+// Count evaluates p adaptively and returns the match count and profile.
+// Plans without an adaptable chain fall back to fixed execution.
+func (e *Evaluator) Count(p *plan.Plan) (int64, exec.Profile, error) {
+	var n int64
+	prof, err := e.Run(p, func([]graph.VertexID) { n++ })
+	return n, prof, err
+}
+
+// Run evaluates p adaptively, calling emit for every match. Tuple layout
+// is the source layout followed by the chain's target vertices in the
+// order the chosen QVO matched them (orderings differ per tuple, so
+// callers needing vertex identities should index via the final layout
+// passed to Layout).
+func (e *Evaluator) Run(p *plan.Plan, emit func([]graph.VertexID)) (exec.Profile, error) {
+	cfg := e.Config.withDefaults()
+	if err := p.Validate(); err != nil {
+		return exec.Profile{}, err
+	}
+	chain, source := splitChain(p.Root)
+	runner := &exec.Runner{Graph: e.Graph, Workers: cfg.Workers}
+	if len(chain) < 2 {
+		return runner.Run(p, emit)
+	}
+	ad, err := newAdaptiveChain(e.Graph, e.Catalogue, p.Query, source, chain, cfg)
+	if err != nil {
+		return exec.Profile{}, err
+	}
+	// Drive the source; adaptation is stateful per ordering, so the source
+	// must feed tuples sequentially.
+	srcRunner := &exec.Runner{Graph: e.Graph, Workers: cfg.Workers}
+	prof, err := srcRunner.RunSubplan(source, func(t []graph.VertexID) {
+		ad.process(t, emit)
+	})
+	if err != nil {
+		return exec.Profile{}, err
+	}
+	// Source outputs were counted as Matches by RunSubplan; they are
+	// intermediate here.
+	prof.Intermediate += prof.Matches
+	prof.Matches = 0
+	prof.Add(ad.profile)
+	return prof, nil
+}
+
+// ordering is one candidate QVO for the adaptive chain, with its compiled
+// steps and static estimates.
+type ordering struct {
+	vertices []int  // remaining query vertices in match order
+	steps    []step // one per vertex
+}
+
+// step is one E/I level of an ordering.
+type step struct {
+	target      int
+	targetLabel graph.Label
+	descs       []desc
+	estSizes    []float64 // catalogue average list sizes per desc
+	estMu       float64
+	// Per-step intersection cache.
+	cacheKey   []graph.VertexID
+	cacheValid bool
+	cacheBuf   []graph.VertexID
+	scratch    []graph.VertexID
+}
+
+type desc struct {
+	slot  int // slot in the evolving tuple
+	dir   graph.Direction
+	label graph.Label
+}
+
+type adaptiveChain struct {
+	g       *graph.Graph
+	q       *query.Graph
+	orders  []*ordering
+	width   int // source tuple width
+	tuple   []graph.VertexID
+	lists   [][]graph.VertexID
+	profile exec.Profile
+}
+
+func newAdaptiveChain(g *graph.Graph, cat *catalogue.Catalogue, q *query.Graph, source plan.Node, chain []*plan.Extend, cfg Config) (*adaptiveChain, error) {
+	baseMask := plan.CoverMask(source)
+	baseOut := source.Out()
+	var remaining []int
+	for _, ext := range chain {
+		remaining = append(remaining, ext.TargetVertex)
+	}
+	ad := &adaptiveChain{g: g, q: q, width: len(baseOut)}
+
+	// Enumerate connected orderings of the remaining vertices.
+	var orderings [][]int
+	var rec func(cur []int, mask query.Mask)
+	rec = func(cur []int, mask query.Mask) {
+		if len(orderings) >= cfg.MaxOrderings {
+			return
+		}
+		if len(cur) == len(remaining) {
+			orderings = append(orderings, append([]int(nil), cur...))
+			return
+		}
+		for _, v := range remaining {
+			if mask&query.Bit(v) != 0 {
+				continue
+			}
+			if len(q.EdgesBetween(mask, v)) == 0 {
+				continue
+			}
+			rec(append(cur, v), mask|query.Bit(v))
+		}
+	}
+	rec(nil, baseMask)
+	if len(orderings) == 0 {
+		return nil, fmt.Errorf("adaptive: no connected orderings")
+	}
+
+	for _, ov := range orderings {
+		o := &ordering{vertices: ov}
+		slotOf := map[int]int{}
+		for s, v := range baseOut {
+			slotOf[v] = s
+		}
+		mask := baseMask
+		width := len(baseOut)
+		for _, v := range ov {
+			st := step{target: v, targetLabel: q.Vertices[v].Label}
+			// Build descriptors and fetch catalogue estimates.
+			base, orig := q.Project(mask)
+			newIdx := map[int]int{}
+			for ni, ovx := range orig {
+				newIdx[ovx] = ni
+			}
+			targetIdx := base.NumVertices()
+			var extEdges []query.Edge
+			for _, e := range q.EdgesBetween(mask, v) {
+				if e.From == v {
+					st.descs = append(st.descs, desc{slot: slotOf[e.To], dir: graph.Backward, label: e.Label})
+					extEdges = append(extEdges, query.Edge{From: targetIdx, To: newIdx[e.To], Label: e.Label})
+				} else {
+					st.descs = append(st.descs, desc{slot: slotOf[e.From], dir: graph.Forward, label: e.Label})
+					extEdges = append(extEdges, query.Edge{From: newIdx[e.From], To: targetIdx, Label: e.Label})
+				}
+			}
+			sizes, mu, _ := cat.ExtensionStats(base, extEdges, st.targetLabel)
+			st.estSizes = sizes
+			st.estMu = mu
+			o.steps = append(o.steps, st)
+			slotOf[v] = width
+			width++
+			mask |= query.Bit(v)
+		}
+		ad.orders = append(ad.orders, o)
+	}
+	return ad, nil
+}
+
+// process routes one source tuple to the ordering with the lowest
+// re-estimated cost and runs it through that ordering's chain.
+func (ad *adaptiveChain) process(t []graph.VertexID, emit func([]graph.VertexID)) {
+	best, bestCost := 0, math.Inf(1)
+	for i, o := range ad.orders {
+		c := ad.reestimate(o, t)
+		if c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	ad.tuple = append(ad.tuple[:0], t...)
+	ad.runStep(ad.orders[best], 0, emit)
+}
+
+// reestimate recomputes the ordering's i-cost for this tuple: the first
+// step's list sizes are replaced by the tuple's actual adjacency-list
+// sizes, and its µ is rescaled by the actual/estimated size ratios
+// (Example 6.2); later steps keep catalogue estimates.
+func (ad *adaptiveChain) reestimate(o *ordering, t []graph.VertexID) float64 {
+	first := &o.steps[0]
+	actualSum, muScale := 0.0, 1.0
+	for i, d := range first.descs {
+		actual := float64(ad.g.Degree(t[d.slot], d.dir, d.label, first.targetLabel))
+		actualSum += actual
+		if est := first.estSizes[i]; est > 0 {
+			muScale *= actual / est
+		} else if actual == 0 {
+			muScale = 0
+		}
+	}
+	cost := actualSum
+	card := first.estMu * muScale
+	for s := 1; s < len(o.steps); s++ {
+		st := &o.steps[s]
+		sum := 0.0
+		for _, es := range st.estSizes {
+			sum += es
+		}
+		cost += card * sum
+		card *= st.estMu
+	}
+	return cost
+}
+
+// runStep pushes the current tuple through step s of ordering o.
+func (ad *adaptiveChain) runStep(o *ordering, s int, emit func([]graph.VertexID)) {
+	if s == len(o.steps) {
+		ad.profile.Matches++
+		if emit != nil {
+			emit(ad.tuple)
+		}
+		return
+	}
+	st := &o.steps[s]
+	// Intersection cache per step (consecutive tuples routed to the same
+	// ordering still benefit).
+	hit := false
+	if st.cacheValid && len(st.cacheKey) == len(st.descs) {
+		hit = true
+		for i, d := range st.descs {
+			if st.cacheKey[i] != ad.tuple[d.slot] {
+				hit = false
+				break
+			}
+		}
+	}
+	var ext []graph.VertexID
+	if hit {
+		ad.profile.CacheHits++
+		ext = st.cacheBuf
+	} else {
+		st.cacheKey = st.cacheKey[:0]
+		ad.lists = ad.lists[:0]
+		for _, d := range st.descs {
+			st.cacheKey = append(st.cacheKey, ad.tuple[d.slot])
+			list := ad.g.Neighbors(ad.tuple[d.slot], d.dir, d.label, st.targetLabel, nil)
+			ad.profile.ICost += int64(len(list))
+			ad.lists = append(ad.lists, list)
+		}
+		if len(ad.lists) == 1 {
+			st.cacheBuf = append(st.cacheBuf[:0], ad.lists[0]...)
+		} else {
+			st.cacheBuf, st.scratch = graph.IntersectK(ad.lists, st.cacheBuf[:0], st.scratch)
+		}
+		st.cacheValid = true
+		ext = st.cacheBuf
+	}
+	base := len(ad.tuple)
+	for i := 0; i < len(ext); i++ {
+		ad.tuple = append(ad.tuple[:base], ext[i])
+		if s < len(o.steps)-1 {
+			ad.profile.Intermediate++
+		}
+		ad.runStep(o, s+1, emit)
+		// Deeper steps may have clobbered cacheBuf? No: each step owns its
+		// buffer, and recursion only touches deeper steps' buffers.
+	}
+	ad.tuple = ad.tuple[:base]
+}

@@ -1,0 +1,110 @@
+package adaptive
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"graphflow/internal/catalogue"
+	"graphflow/internal/exec"
+	"graphflow/internal/graph"
+	"graphflow/internal/optimizer"
+	"graphflow/internal/query"
+)
+
+var (
+	quickG = func() *graph.Graph {
+		rng := rand.New(rand.NewSource(31))
+		b := graph.NewBuilder(100)
+		for i := 0; i < 600; i++ {
+			b.AddEdge(graph.VertexID(rng.Intn(100)), graph.VertexID(rng.Intn(100)), 0)
+		}
+		return b.MustBuild()
+	}()
+	quickCat = catalogue.Build(quickG, catalogue.Config{H: 2, Z: 100, MaxInstances: 80, Seed: 3})
+)
+
+// adaptableQuery generates random 4-5 vertex connected queries (so WCO
+// plans have chains of >=2 E/I operators).
+type adaptableQuery struct{ Q *query.Graph }
+
+// Generate implements quick.Generator.
+func (adaptableQuery) Generate(rng *rand.Rand, _ int) reflect.Value {
+	n := 4 + rng.Intn(2)
+	q := &query.Graph{}
+	for i := 0; i < n; i++ {
+		q.Vertices = append(q.Vertices, query.Vertex{})
+	}
+	seen := map[[2]int]bool{}
+	add := func(a, b int) {
+		if a == b {
+			return
+		}
+		k := [2]int{a, b}
+		if a > b {
+			k = [2]int{b, a}
+		}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		if rng.Intn(2) == 0 {
+			a, b = b, a
+		}
+		q.Edges = append(q.Edges, query.Edge{From: a, To: b})
+	}
+	for i := 1; i < n; i++ {
+		add(i, rng.Intn(i))
+	}
+	for k := 0; k < 1+rng.Intn(n); k++ {
+		add(rng.Intn(n), rng.Intn(n))
+	}
+	return reflect.ValueOf(adaptableQuery{q})
+}
+
+// TestQuickAdaptiveAlwaysMatchesFixed: per-tuple ordering changes never
+// change results, for arbitrary queries and every enumerated WCO plan.
+func TestQuickAdaptiveAlwaysMatchesFixed(t *testing.T) {
+	ev := &Evaluator{Graph: quickG, Catalogue: quickCat}
+	f := func(aq adaptableQuery) bool {
+		plans, err := optimizer.EnumerateWCOPlans(aq.Q, optimizer.Options{Catalogue: quickCat})
+		if err != nil || len(plans) == 0 {
+			return false
+		}
+		want, _, err := (&exec.Runner{Graph: quickG}).Count(plans[0].Plan)
+		if err != nil {
+			return false
+		}
+		// Check up to three plans across the cost range.
+		idxs := []int{0, len(plans) / 2, len(plans) - 1}
+		for _, i := range idxs {
+			got, _, err := ev.Count(plans[i].Plan)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAdaptiveCapOne: with a single candidate ordering the adaptive
+// evaluator degenerates to fixed execution and must still be correct.
+func TestQuickAdaptiveCapOne(t *testing.T) {
+	ev := &Evaluator{Graph: quickG, Catalogue: quickCat, Config: Config{MaxOrderings: 1}}
+	f := func(aq adaptableQuery) bool {
+		plans, err := optimizer.EnumerateWCOPlans(aq.Q, optimizer.Options{Catalogue: quickCat})
+		if err != nil || len(plans) == 0 {
+			return false
+		}
+		want := query.RefCount(quickG, aq.Q)
+		got, _, err := ev.Count(plans[0].Plan)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

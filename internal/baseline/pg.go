@@ -1,0 +1,63 @@
+package baseline
+
+import (
+	"math"
+
+	"graphflow/internal/graph"
+	"graphflow/internal/query"
+)
+
+// PGEstimate returns the textbook System-R/PostgreSQL-style cardinality
+// estimate for q on g, the q-error baseline of Appendix B: the product of
+// the per-edge-relation sizes, multiplied by an independence selectivity
+// of 1/|V| for every join predicate. A query with nq vertices and mq edges
+// has 2*mq variable occurrences collapsing into nq variables, hence
+// 2*mq - nq equality predicates:
+//
+//	|Q| ≈ Π_e |E_e| / |V|^(2m - n)
+//
+// Per-edge sizes honour the edge and endpoint labels exactly, mirroring
+// PostgreSQL statistics on an indexed Edge(from,to) relation.
+func PGEstimate(g *graph.Graph, q *query.Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 || len(q.Edges) == 0 {
+		return 0
+	}
+	counts := edgeCountsByLabels(g)
+	est := 1.0
+	for _, e := range q.Edges {
+		key := labelTriple{e.Label, q.Vertices[e.From].Label, q.Vertices[e.To].Label}
+		est *= float64(counts[key])
+	}
+	predicates := 2*len(q.Edges) - q.NumVertices()
+	if predicates > 0 {
+		est /= math.Pow(float64(n), float64(predicates))
+	}
+	return est
+}
+
+type labelTriple struct {
+	el, sl, dl graph.Label
+}
+
+func edgeCountsByLabels(g *graph.Graph) map[labelTriple]int64 {
+	counts := map[labelTriple]int64{}
+	g.Edges(func(src, dst graph.VertexID, el graph.Label) bool {
+		counts[labelTriple{el, g.VertexLabel(src), g.VertexLabel(dst)}]++
+		return true
+	})
+	return counts
+}
+
+// QError returns the q-error of an estimate against the true cardinality:
+// max(est/true, true/est), at least 1; estimates or truths of zero give
+// +Inf unless both are zero (error 1).
+func QError(est, truth float64) float64 {
+	if est <= 0 && truth <= 0 {
+		return 1
+	}
+	if est <= 0 || truth <= 0 {
+		return math.Inf(1)
+	}
+	return math.Max(est/truth, truth/est)
+}

@@ -1,0 +1,247 @@
+package catalogue
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"graphflow/internal/datagen"
+	"graphflow/internal/graph"
+	"graphflow/internal/query"
+)
+
+func buildSmall(t testing.TB, g *graph.Graph, h, z int) *Catalogue {
+	t.Helper()
+	return Build(g, Config{H: h, Z: z, MaxInstances: 500, Seed: 42})
+}
+
+func TestScanCountsExact(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.SetVertexLabel(3, 1)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 0)
+	b.AddEdge(2, 3, 1)
+	g := b.MustBuild()
+	c := buildSmall(t, g, 2, 100)
+	if got := c.ScanCount(0, 0, 0); got != 2 {
+		t.Errorf("ScanCount(0,0,0) = %v, want 2", got)
+	}
+	if got := c.ScanCount(1, 0, 1); got != 1 {
+		t.Errorf("ScanCount(1,0,1) = %v, want 1", got)
+	}
+	if got := c.ScanCount(1, 1, 1); got != 0 {
+		t.Errorf("ScanCount(1,1,1) = %v, want 0", got)
+	}
+}
+
+func TestDefaultListSize(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(0, 2, 0)
+	b.AddEdge(0, 3, 0)
+	b.AddEdge(1, 2, 0)
+	g := b.MustBuild()
+	c := buildSmall(t, g, 2, 100)
+	if got := c.DefaultListSize(graph.Forward, 0, 0); got != 1.0 {
+		t.Errorf("avg fwd = %v, want 1.0 (4 edges / 4 vertices)", got)
+	}
+	if got := c.DefaultListSize(graph.Backward, 0, 0); got != 1.0 {
+		t.Errorf("avg bwd = %v, want 1.0", got)
+	}
+}
+
+// triangleGraph builds a graph with a known number of asymmetric-triangle
+// extensions: every edge u->v extends to exactly the common forward
+// neighbours.
+func triangleGraph() *graph.Graph {
+	b := graph.NewBuilder(5)
+	// Edges 0->1, 0->2, 1->2, 1->3, 0->3: edge 0->1 has fwd∩fwd = {2,3}.
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(0, 2, 0)
+	b.AddEdge(1, 2, 0)
+	b.AddEdge(1, 3, 0)
+	b.AddEdge(0, 3, 0)
+	return b.MustBuild()
+}
+
+func TestExtensionStatsTriangleClose(t *testing.T) {
+	g := triangleGraph()
+	c := buildSmall(t, g, 3, 100)
+	// Extension: single edge a1->a2 extended by a3 with a1->a3, a2->a3.
+	base := query.MustParse("a1->a2")
+	edges := []query.Edge{{From: 0, To: 2}, {From: 1, To: 2}}
+	sizes, mu, found := c.ExtensionStats(base, edges, 0)
+	if !found {
+		t.Fatal("triangle-close entry missing")
+	}
+	if len(sizes) != 2 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	// Exact check: all 5 edges sampled (z=100 > m). Per-edge triangle
+	// counts: 0->1:{2,3}=2, 0->2:{}=0 (2 has no fwd), 1->2:0, 1->3:0,
+	// 0->3:0. µ = 2/5.
+	if math.Abs(mu-0.4) > 1e-9 {
+		t.Errorf("µ = %v, want 0.4", mu)
+	}
+}
+
+func TestEntryKeyAlignment(t *testing.T) {
+	// The same extension expressed with the two descriptor orders must hit
+	// the same entry with consistently permuted sizes.
+	base := query.MustParse("a1->a2")
+	e1 := []query.Edge{{From: 0, To: 2}, {From: 1, To: 2}}
+	e2 := []query.Edge{{From: 1, To: 2}, {From: 0, To: 2}}
+	k1, r1 := (Extension{Base: base, Edges: e1, TargetLabel: 0}).Key()
+	k2, r2 := (Extension{Base: base, Edges: e2, TargetLabel: 0}).Key()
+	if k1 != k2 {
+		t.Fatalf("keys differ:\n%s\n%s", k1, k2)
+	}
+	if r1[0] != r2[1] || r1[1] != r2[0] {
+		t.Errorf("ranks not consistently permuted: %v vs %v", r1, r2)
+	}
+}
+
+func TestKeyDistinguishesDirections(t *testing.T) {
+	base := query.MustParse("a1->a2")
+	fwd := []query.Edge{{From: 0, To: 2}, {From: 1, To: 2}} // asymmetric close
+	cyc := []query.Edge{{From: 2, To: 0}, {From: 1, To: 2}} // cyclic close
+	k1, _ := (Extension{Base: base, Edges: fwd, TargetLabel: 0}).Key()
+	k2, _ := (Extension{Base: base, Edges: cyc, TargetLabel: 0}).Key()
+	if k1 == k2 {
+		t.Error("different directions produced the same key")
+	}
+}
+
+func TestKeyDistinguishesTarget(t *testing.T) {
+	// Extending a path by the middle vs the end must differ even when the
+	// resulting shapes are isomorphic as unmarked graphs.
+	pathBase := query.MustParse("a1->a2, a2->a3")
+	endExt := []query.Edge{{From: 2, To: 3}}
+	k1, _ := (Extension{Base: pathBase, Edges: endExt, TargetLabel: 0}).Key()
+
+	edgeBase := query.MustParse("a1->a2")
+	midExt := []query.Edge{{From: 1, To: 2}}
+	k2, _ := (Extension{Base: edgeBase, Edges: midExt, TargetLabel: 0}).Key()
+	if k1 == k2 {
+		t.Error("keys must encode the base subquery, not just the result")
+	}
+}
+
+func TestEstimateCardinalityExactOnEdges(t *testing.T) {
+	g := datagen.Amazon(1)
+	c := buildSmall(t, g, 3, 2000)
+	// Single-edge query: estimate must be the exact edge count.
+	q := query.MustParse("a->b")
+	got := c.EstimateCardinality(q)
+	if got != float64(g.NumEdges()) {
+		t.Errorf("edge cardinality = %v, want %d", got, g.NumEdges())
+	}
+}
+
+func TestEstimateCardinalityTriangleReasonable(t *testing.T) {
+	g := datagen.Epinions(1)
+	c := buildSmall(t, g, 3, 2000)
+	q := query.Q1()
+	truth := float64(query.RefCount(g, q))
+	est := c.EstimateCardinality(q)
+	if truth == 0 {
+		t.Skip("no triangles in dataset")
+	}
+	qerr := math.Max(est/truth, truth/est)
+	if est <= 0 || qerr > 50 {
+		t.Errorf("triangle estimate %v vs truth %v (q-error %.1f) unreasonable", est, truth, qerr)
+	}
+}
+
+func TestMissingEntryFallbackLargerThanH(t *testing.T) {
+	g := datagen.Amazon(1)
+	c := buildSmall(t, g, 2, 500) // H=2: 3-vertex bases are beyond H
+	base := query.Q1()            // triangle base (3 vertices > H)
+	edges := []query.Edge{{From: 0, To: 3}, {From: 1, To: 3}, {From: 2, To: 3}}
+	sizes, mu, _ := c.ExtensionStats(base, edges, 0)
+	if len(sizes) != 3 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if mu < 0 || math.IsNaN(mu) || math.IsInf(mu, 0) {
+		t.Errorf("reduced µ = %v", mu)
+	}
+	for _, s := range sizes {
+		if s < 0 || math.IsNaN(s) {
+			t.Errorf("bad size %v", s)
+		}
+	}
+}
+
+func TestDefaultStatsWhenUnsampled(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 0)
+	g := b.MustBuild()
+	c := buildSmall(t, g, 2, 10)
+	// Ask for an extension pattern absent from the tiny graph: cyclic close.
+	base := query.MustParse("a1->a2")
+	edges := []query.Edge{{From: 2, To: 0}, {From: 1, To: 2}}
+	sizes, mu, found := c.ExtensionStats(base, edges, 0)
+	if found {
+		// It may legitimately be found with µ=0 if lists were non-empty.
+		if mu != 0 {
+			t.Errorf("cyclic close on a path should have µ=0, got %v", mu)
+		}
+		return
+	}
+	if len(sizes) != 2 || mu < 0 {
+		t.Errorf("default stats broken: %v %v", sizes, mu)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := datagen.Amazon(1)
+	c := buildSmall(t, g, 3, 500)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	c2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if c2.Len() != c.Len() {
+		t.Fatalf("entries lost: %d vs %d", c2.Len(), c.Len())
+	}
+	if c2.NumVertices != c.NumVertices {
+		t.Errorf("base stats lost")
+	}
+	// Same estimate after round trip.
+	q := query.Q1()
+	if a, b := c.EstimateCardinality(q), c2.EstimateCardinality(q); a != b {
+		t.Errorf("estimates differ after round trip: %v vs %v", a, b)
+	}
+}
+
+func TestMoreSamplesDontExplodeEntries(t *testing.T) {
+	g := datagen.Google(1)
+	small := Build(g, Config{H: 2, Z: 100, MaxInstances: 200, Seed: 1})
+	big := Build(g, Config{H: 3, Z: 100, MaxInstances: 200, Seed: 1})
+	if small.Len() == 0 || big.Len() == 0 {
+		t.Fatal("empty catalogues")
+	}
+	if big.Len() < small.Len() {
+		t.Errorf("larger H should produce at least as many entries: h2=%d h3=%d", small.Len(), big.Len())
+	}
+}
+
+func TestLabeledCatalogue(t *testing.T) {
+	g := datagen.Relabel(datagen.Amazon(1), 1, 3, 7)
+	c := Build(g, Config{H: 2, Z: 500, MaxInstances: 300, Seed: 3})
+	if c.Len() == 0 {
+		t.Fatal("no entries for labeled graph")
+	}
+	// Scan counts must partition the edges across labels.
+	var total float64
+	for el := graph.Label(0); el < 3; el++ {
+		total += c.ScanCount(el, 0, 0)
+	}
+	if int(total) != g.NumEdges() {
+		t.Errorf("label scan counts sum to %v, want %d", total, g.NumEdges())
+	}
+}

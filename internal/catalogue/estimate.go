@@ -1,0 +1,253 @@
+package catalogue
+
+import (
+	"math"
+
+	"graphflow/internal/graph"
+	"graphflow/internal/query"
+)
+
+// ExtensionStats estimates the statistics for extending base by a new
+// vertex labelled tl through the given edges (which reference base's
+// vertices plus base.NumVertices() as the target): the average size of each
+// descriptor's adjacency list (aligned with the edges order) and the
+// average number of extensions µ.
+//
+// Resolution order (Section 5.2):
+//  1. exact catalogue entry;
+//  2. if base is larger than H, the minimum-µ estimate over all reduced
+//     entries obtained by removing (|base|-H)-vertex subsets and their
+//     descriptors;
+//  3. graph-wide average list sizes with an independence assumption for µ.
+//
+// The boolean reports whether a catalogue entry (direct or reduced) was
+// found.
+func (c *Catalogue) ExtensionStats(base *query.Graph, edges []query.Edge, tl graph.Label) ([]float64, float64, bool) {
+	k := base.NumVertices()
+	if k <= c.Cfg.H {
+		// Only bases of at most H vertices can have entries, and skipping
+		// the direct lookup for larger bases also avoids canonicalizing
+		// large graphs (factorial cost).
+		if entry, ranks := c.lookup(base, edges, tl); entry != nil {
+			sizes := make([]float64, len(edges))
+			for i := range edges {
+				sizes[i] = entry.ListSizes[ranks[i]]
+			}
+			return sizes, entry.Mu, true
+		}
+	}
+	// Missing entry: reduce the base by removing vertex subsets until a
+	// recorded entry matches (Section 5.2's rule, generalised: bases at or
+	// below H can also miss when construction was budget-bounded, so keep
+	// shrinking toward well-sampled small patterns before giving up).
+	maxTarget := k - 1
+	if c.Cfg.H < maxTarget {
+		maxTarget = c.Cfg.H
+	}
+	for target := maxTarget; target >= 1; target-- {
+		if sizes, mu, ok := c.reducedStats(base, edges, tl, k-target); ok {
+			return sizes, mu, true
+		}
+	}
+	return c.defaultStats(base, edges, tl)
+}
+
+// minEntrySamples is the smallest sample count an entry needs before the
+// estimator trusts it: budget-bounded construction can leave entries
+// averaged over a handful of instances, whose µ (often 0) would otherwise
+// poison cardinality chains. Thinner entries fall through to the
+// reduction rule.
+const minEntrySamples = 5
+
+func (c *Catalogue) lookup(base *query.Graph, edges []query.Edge, tl graph.Label) (*Entry, []int) {
+	key, ranks := Extension{Base: base, Edges: edges, TargetLabel: tl}.Key()
+	if e, ok := c.Entries[key]; ok && len(e.ListSizes) == len(edges) && e.Samples >= minEntrySamples {
+		return e, ranks
+	}
+	return nil, nil
+}
+
+// reducedStats implements the missing-entry rule: remove every
+// removeCount-subset of base vertices (dropping descriptors anchored on
+// removed vertices), look the reduced entries up, and keep the minimum µ.
+// Removed descriptors contribute default list sizes.
+func (c *Catalogue) reducedStats(base *query.Graph, edges []query.Edge, tl graph.Label, removeCount int) ([]float64, float64, bool) {
+	k := base.NumVertices()
+	if removeCount <= 0 || removeCount >= k {
+		return nil, 0, false
+	}
+	target := k
+
+	bestMu := math.Inf(1)
+	var bestSizes []float64
+	found := false
+
+	full := query.AllMask(k)
+	// Enumerate subsets of size removeCount to remove.
+	var subsets []query.Mask
+	var gen func(start int, left int, cur query.Mask)
+	gen = func(start, left int, cur query.Mask) {
+		if left == 0 {
+			subsets = append(subsets, cur)
+			return
+		}
+		for v := start; v < k; v++ {
+			gen(v+1, left-1, cur|query.Bit(v))
+		}
+	}
+	gen(0, removeCount, 0)
+
+	for _, rm := range subsets {
+		keep := full &^ rm
+		if !base.IsConnected(keep) {
+			continue
+		}
+		// Keep descriptors anchored on surviving vertices.
+		var keptIdx []int
+		for i, e := range edges {
+			anchor := e.From
+			if anchor == target {
+				anchor = e.To
+			}
+			if keep&query.Bit(anchor) != 0 {
+				keptIdx = append(keptIdx, i)
+			}
+		}
+		if len(keptIdx) == 0 {
+			continue
+		}
+		reduced, orig := base.Project(keep)
+		newIdx := make(map[int]int, len(orig))
+		for ni, ov := range orig {
+			newIdx[ov] = ni
+		}
+		redTarget := reduced.NumVertices()
+		redEdges := make([]query.Edge, 0, len(keptIdx))
+		for _, i := range keptIdx {
+			e := edges[i]
+			if e.From == target {
+				redEdges = append(redEdges, query.Edge{From: redTarget, To: newIdx[e.To], Label: e.Label})
+			} else {
+				redEdges = append(redEdges, query.Edge{From: newIdx[e.From], To: redTarget, Label: e.Label})
+			}
+		}
+		entry, ranks := c.lookup(reduced, redEdges, tl)
+		if entry == nil {
+			continue
+		}
+		if entry.Mu < bestMu {
+			bestMu = entry.Mu
+			bestSizes = make([]float64, len(edges))
+			for i := range edges {
+				bestSizes[i] = -1 // filled below or defaulted
+			}
+			for j, i := range keptIdx {
+				bestSizes[i] = entry.ListSizes[ranks[j]]
+			}
+			found = true
+		}
+	}
+	if !found {
+		return nil, 0, false
+	}
+	// Default the dropped descriptors' list sizes.
+	for i, s := range bestSizes {
+		if s < 0 {
+			dir, el := descriptorOf(edges[i], base.NumVertices())
+			bestSizes[i] = c.DefaultListSize(dir, el, tl)
+		}
+	}
+	return bestSizes, bestMu, true
+}
+
+// defaultStats is the last-resort estimate: graph-wide average partition
+// sizes and an independence-assumption µ (the first list filtered by each
+// further list's hit probability |Li|/n).
+func (c *Catalogue) defaultStats(base *query.Graph, edges []query.Edge, tl graph.Label) ([]float64, float64, bool) {
+	sizes := make([]float64, len(edges))
+	for i, e := range edges {
+		dir, el := descriptorOf(e, base.NumVertices())
+		sizes[i] = c.DefaultListSize(dir, el, tl)
+	}
+	mu := 0.0
+	if len(sizes) > 0 && c.NumVertices > 0 {
+		mu = sizes[0]
+		for _, s := range sizes[1:] {
+			mu *= s / float64(c.NumVertices)
+		}
+	}
+	return sizes, mu, false
+}
+
+// descriptorOf maps an extension edge to its (direction, edge label) as
+// seen from the anchor vertex.
+func descriptorOf(e query.Edge, target int) (graph.Direction, graph.Label) {
+	if e.From == target {
+		return graph.Backward, e.Label
+	}
+	return graph.Forward, e.Label
+}
+
+// EstimateCardinality estimates |Q| as the paper does: pick a WCO-style
+// extension chain for q and multiply the scan selectivity by the µ of each
+// extension step (Section 5.2, estimate 1).
+func (c *Catalogue) EstimateCardinality(q *query.Graph) float64 {
+	n := q.NumVertices()
+	if n < 2 || len(q.Edges) == 0 {
+		return 0
+	}
+	// Start from the most selective scan edge.
+	bestEdge, bestCount := 0, math.Inf(1)
+	for i, e := range q.Edges {
+		cnt := c.ScanCount(e.Label, q.Vertices[e.From].Label, q.Vertices[e.To].Label)
+		if cnt < bestCount {
+			bestEdge, bestCount = i, cnt
+		}
+	}
+	e0 := q.Edges[bestEdge]
+	card := bestCount
+	mask := query.Bit(e0.From) | query.Bit(e0.To)
+	for card > 0 && mask != query.AllMask(n) {
+		// Greedily extend by the vertex with the most connections to the
+		// current mask (maximally constrained first, as a sampling plan
+		// would).
+		next, nextDeg := -1, -1
+		for v := 0; v < n; v++ {
+			if mask&query.Bit(v) != 0 {
+				continue
+			}
+			d := len(q.EdgesBetween(mask, v))
+			if d > nextDeg {
+				next, nextDeg = v, d
+			}
+		}
+		if next < 0 || nextDeg == 0 {
+			return 0 // disconnected query
+		}
+		_, mu := c.extensionForMask(q, mask, next)
+		card *= mu
+		mask |= query.Bit(next)
+	}
+	return card
+}
+
+// extensionForMask prepares the Extension for growing the mask-projection
+// of q by vertex v and returns its stats.
+func (c *Catalogue) extensionForMask(q *query.Graph, mask query.Mask, v int) ([]float64, float64) {
+	base, orig := q.Project(mask)
+	newIdx := make(map[int]int, len(orig))
+	for ni, ov := range orig {
+		newIdx[ov] = ni
+	}
+	target := base.NumVertices()
+	var edges []query.Edge
+	for _, e := range q.EdgesBetween(mask, v) {
+		if e.From == v {
+			edges = append(edges, query.Edge{From: target, To: newIdx[e.To], Label: e.Label})
+		} else {
+			edges = append(edges, query.Edge{From: newIdx[e.From], To: target, Label: e.Label})
+		}
+	}
+	sizes, mu, _ := c.ExtensionStats(base, edges, q.Vertices[v].Label)
+	return sizes, mu
+}

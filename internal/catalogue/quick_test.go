@@ -1,0 +1,144 @@
+package catalogue
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"graphflow/internal/graph"
+	"graphflow/internal/query"
+)
+
+// randomExtension generates small labelled extensions for key-invariance
+// properties.
+type randomExtension struct {
+	Base  *query.Graph
+	Edges []query.Edge
+	TL    graph.Label
+}
+
+// Generate implements quick.Generator: a connected base with 1-3 vertices
+// plus 1-3 extension edges to a new target.
+func (randomExtension) Generate(rng *rand.Rand, _ int) reflect.Value {
+	nb := 1 + rng.Intn(3)
+	base := &query.Graph{}
+	for i := 0; i < nb; i++ {
+		base.Vertices = append(base.Vertices, query.Vertex{Label: graph.Label(rng.Intn(2))})
+	}
+	for i := 1; i < nb; i++ {
+		from, to := i, rng.Intn(i)
+		if rng.Intn(2) == 0 {
+			from, to = to, from
+		}
+		base.Edges = append(base.Edges, query.Edge{From: from, To: to, Label: graph.Label(rng.Intn(2))})
+	}
+	target := nb
+	used := map[[2]int]bool{} // (src, dir)
+	var edges []query.Edge
+	for len(edges) == 0 || (len(edges) < 3 && rng.Intn(2) == 0) {
+		src := rng.Intn(nb)
+		dir := rng.Intn(2)
+		if used[[2]int{src, dir}] {
+			break
+		}
+		used[[2]int{src, dir}] = true
+		if dir == 0 {
+			edges = append(edges, query.Edge{From: src, To: target, Label: graph.Label(rng.Intn(2))})
+		} else {
+			edges = append(edges, query.Edge{From: target, To: src, Label: graph.Label(rng.Intn(2))})
+		}
+	}
+	return reflect.ValueOf(randomExtension{base, edges, graph.Label(rng.Intn(2))})
+}
+
+// TestQuickKeyInvariantUnderEdgeOrder: permuting the descriptor order
+// never changes the key, and ranks are a consistent permutation.
+func TestQuickKeyInvariantUnderEdgeOrder(t *testing.T) {
+	f := func(re randomExtension, seed int64) bool {
+		ext1 := Extension{Base: re.Base, Edges: re.Edges, TargetLabel: re.TL}
+		k1, r1 := ext1.Key()
+		perm := rand.New(rand.NewSource(seed)).Perm(len(re.Edges))
+		shuffled := make([]query.Edge, len(re.Edges))
+		for i, p := range perm {
+			shuffled[p] = re.Edges[i]
+		}
+		k2, r2 := (Extension{Base: re.Base, Edges: shuffled, TargetLabel: re.TL}).Key()
+		if k1 != k2 {
+			return false
+		}
+		// The rank of edge i under ordering 1 must equal the rank of its
+		// image under ordering 2.
+		for i := range re.Edges {
+			if r1[i] != r2[perm[i]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKeyInvariantUnderBaseRelabelling: renaming the base's vertices
+// with a permutation never changes the key.
+func TestQuickKeyInvariantUnderBaseRelabelling(t *testing.T) {
+	f := func(re randomExtension, seed int64) bool {
+		k1, _ := (Extension{Base: re.Base, Edges: re.Edges, TargetLabel: re.TL}).Key()
+		nb := re.Base.NumVertices()
+		perm := rand.New(rand.NewSource(seed)).Perm(nb)
+		base2 := &query.Graph{Vertices: make([]query.Vertex, nb)}
+		for i, v := range re.Base.Vertices {
+			base2.Vertices[perm[i]] = v
+		}
+		for _, e := range re.Base.Edges {
+			base2.Edges = append(base2.Edges, query.Edge{From: perm[e.From], To: perm[e.To], Label: e.Label})
+		}
+		target := nb
+		edges2 := make([]query.Edge, len(re.Edges))
+		for i, e := range re.Edges {
+			if e.From == target {
+				edges2[i] = query.Edge{From: target, To: perm[e.To], Label: e.Label}
+			} else {
+				edges2[i] = query.Edge{From: perm[e.From], To: target, Label: e.Label}
+			}
+		}
+		k2, _ := (Extension{Base: base2, Edges: edges2, TargetLabel: re.TL}).Key()
+		return k1 == k2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEstimatesWellFormed: stats are non-negative and finite for
+// arbitrary extensions, found or not.
+func TestQuickEstimatesWellFormed(t *testing.T) {
+	b := graph.NewBuilder(60)
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 280; i++ {
+		b.AddEdge(graph.VertexID(rng.Intn(60)), graph.VertexID(rng.Intn(60)), graph.Label(rng.Intn(2)))
+	}
+	g := b.MustBuild()
+	c := Build(g, Config{H: 2, Z: 100, MaxInstances: 80, Seed: 2})
+	f := func(re randomExtension) bool {
+		sizes, mu, _ := c.ExtensionStats(re.Base, re.Edges, re.TL)
+		if len(sizes) != len(re.Edges) {
+			return false
+		}
+		if mu < 0 || math.IsNaN(mu) || math.IsInf(mu, 0) {
+			return false
+		}
+		for _, s := range sizes {
+			if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"graphflow/internal/plan"
+)
+
+// OpStats is the per-operator breakdown of one execution: the EXPLAIN
+// ANALYZE view of a plan.
+type OpStats struct {
+	// Operator is the plan node's description.
+	Operator string
+	// OutTuples counts tuples the operator produced.
+	OutTuples int64
+	// ICost is the operator's accessed-adjacency-list total (E/I only).
+	ICost int64
+	// CacheHits counts intersection-cache hits (E/I only).
+	CacheHits int64
+	// Probes counts probe lookups (HASH-JOIN only).
+	Probes int64
+	// BuildRows is the materialised build-side size (HASH-JOIN only).
+	BuildRows int64
+	// Children mirror the plan tree.
+	Children []*OpStats
+}
+
+// Describe renders the analyzed tree, one operator per line.
+func (s *OpStats) Describe() string {
+	var sb strings.Builder
+	var rec func(n *OpStats, depth int)
+	rec = func(n *OpStats, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(n.Operator)
+		fmt.Fprintf(&sb, "  [out=%d", n.OutTuples)
+		if n.ICost > 0 || n.CacheHits > 0 {
+			fmt.Fprintf(&sb, " icost=%d hits=%d", n.ICost, n.CacheHits)
+		}
+		if n.Probes > 0 || n.BuildRows > 0 {
+			fmt.Fprintf(&sb, " probes=%d build=%d", n.Probes, n.BuildRows)
+		}
+		sb.WriteString("]\n")
+		for _, c := range n.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(s, 0)
+	return sb.String()
+}
+
+// nodeCounters accumulates per-plan-node counters across workers.
+type nodeCounters struct {
+	mu sync.Mutex
+	m  map[plan.Node]*OpStats
+}
+
+func (nc *nodeCounters) add(n plan.Node, out, icost, hits, probes, build int64) {
+	nc.mu.Lock()
+	st := nc.m[n]
+	if st == nil {
+		st = &OpStats{}
+		nc.m[n] = st
+	}
+	st.OutTuples += out
+	st.ICost += icost
+	st.CacheHits += hits
+	st.Probes += probes
+	st.BuildRows += build
+	nc.mu.Unlock()
+}
+
+// Analyze evaluates the plan and returns the per-operator statistics tree
+// along with the aggregate profile. It runs sequentially so counters need
+// no sharding; use Run for performance measurements.
+func (r *Runner) Analyze(p *plan.Plan) (*OpStats, Profile, error) {
+	seq := &Runner{Graph: r.Graph, Workers: 1, DisableCache: r.DisableCache, MaxBuildRows: r.MaxBuildRows}
+	nc := &nodeCounters{m: map[plan.Node]*OpStats{}}
+	seq.analyze = nc
+	prof, err := seq.Run(p, nil)
+	if err != nil {
+		return nil, Profile{}, err
+	}
+	var build func(n plan.Node) *OpStats
+	build = func(n plan.Node) *OpStats {
+		st := nc.m[n]
+		if st == nil {
+			st = &OpStats{}
+		}
+		st.Operator = n.String()
+		for _, c := range n.Children() {
+			st.Children = append(st.Children, build(c))
+		}
+		return st
+	}
+	return build(p.Root), prof, nil
+}
+
+// analyzeScan/analyzeExtend/analyzeProbe are invoked by the worker when
+// analysis is enabled; they collect after each pipeline run using the
+// stage-local counters.
+func collectStageStats(w *worker) {
+	nc := w.analyze
+	if nc == nil {
+		return
+	}
+	nc.add(w.scanNode(), w.scanOut, 0, 0, 0, 0)
+	w.scanOut = 0
+	for _, s := range w.stages {
+		switch st := s.(type) {
+		case *extendStage:
+			nc.add(st.op, st.outTuples, st.icost, st.hits, 0, 0)
+			st.outTuples, st.icost, st.hits = 0, 0, 0
+		case *probeStage:
+			nc.add(st.op, st.outTuples, 0, 0, st.probes, int64(st.table.len()))
+			st.outTuples, st.probes = 0, 0
+		}
+	}
+}
+
+// scanNode returns the scan's plan node for attribution.
+func (w *worker) scanNode() plan.Node { return w.scan }

@@ -1,0 +1,309 @@
+// Package exec evaluates query plans against a graph (paper Section 7).
+//
+// Execution is push-based: each pipeline drives tuples from a SCAN through
+// a chain of EXTEND/INTERSECT and hash-join probes. Hash-join build sides
+// are materialised bottom-up before their probe pipelines run. The E/I
+// operator implements the intersection cache of Section 3.1, and every
+// operator maintains the profiling counters (i-cost, intermediate matches,
+// cache hits) that the paper's demonstrative experiments report.
+//
+// The parallel runtime follows Section 7: each worker gets its own copy of
+// the pipeline state and consumes ranges of the SCAN's vertices from a
+// shared work queue (work stealing over scan ranges).
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"graphflow/internal/graph"
+	"graphflow/internal/plan"
+)
+
+// Profile aggregates the runtime counters of one plan execution.
+type Profile struct {
+	// ICost is the actual intersection cost: the summed sizes of adjacency
+	// lists accessed by E/I operators (Equation 1). Cached intersections
+	// access no lists and contribute nothing.
+	ICost int64
+	// Intermediate is the number of partial matches produced by non-root
+	// operators (the "part. m." column of Tables 4-6).
+	Intermediate int64
+	// Matches is the number of results produced by the root.
+	Matches int64
+	// CacheHits counts E/I extensions served from the intersection cache.
+	CacheHits int64
+	// HashedTuples and ProbedTuples count hash-join build and probe work
+	// (the n1/n2 of the paper's hash-join cost model).
+	HashedTuples, ProbedTuples int64
+}
+
+// Add accumulates other into p.
+func (p *Profile) Add(other Profile) {
+	p.ICost += other.ICost
+	p.Intermediate += other.Intermediate
+	p.Matches += other.Matches
+	p.CacheHits += other.CacheHits
+	p.HashedTuples += other.HashedTuples
+	p.ProbedTuples += other.ProbedTuples
+}
+
+// Runner executes plans against a graph.
+type Runner struct {
+	Graph *graph.Graph
+	// Workers is the number of parallel workers; <=1 means sequential.
+	Workers int
+	// DisableCache turns off the E/I intersection cache (Table 3's
+	// "Cache Off" configuration).
+	DisableCache bool
+	// MaxBuildRows aborts execution when a hash-join build side
+	// materialises more than this many tuples (0 = unlimited) — the
+	// equivalent of the paper's Mm (out of memory) outcomes.
+	MaxBuildRows int64
+	// FastCount enables factorized counting when no tuples are emitted:
+	// the final E/I operator contributes the size of each extension set
+	// instead of enumerating it (the factorization direction of the
+	// paper's Section 10). Counts are identical; Matches in the profile is
+	// still exact.
+	FastCount bool
+
+	// analyze, when set by Analyze, collects per-operator statistics.
+	analyze *nodeCounters
+}
+
+// ErrBuildTooLarge is returned when MaxBuildRows is exceeded.
+var ErrBuildTooLarge = fmt.Errorf("exec: hash-join build side exceeds MaxBuildRows")
+
+// Count evaluates the plan and returns the number of matches and the
+// execution profile.
+func (r *Runner) Count(p *plan.Plan) (int64, Profile, error) {
+	if r.FastCount {
+		prof, err := r.Run(p, nil)
+		return prof.Matches, prof, err
+	}
+	var n int64
+	prof, err := r.Run(p, func(tuple []graph.VertexID) { n++ })
+	return n, prof, err
+}
+
+// limitReached aborts execution from inside an emit callback; CountUpTo
+// recovers it.
+type limitReached struct{}
+
+// CountUpTo evaluates the plan, stopping once limit matches have been
+// produced (the output caps of the Appendix C experiments). Sequential
+// only: a Workers value above 1 is ignored.
+func (r *Runner) CountUpTo(p *plan.Plan, limit int64) (n int64, prof Profile, err error) {
+	seq := &Runner{Graph: r.Graph, Workers: 1, DisableCache: r.DisableCache, MaxBuildRows: r.MaxBuildRows}
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(limitReached); !ok {
+				panic(rec)
+			}
+		}
+	}()
+	prof, err = seq.Run(p, func(tuple []graph.VertexID) {
+		n++
+		if n >= limit {
+			panic(limitReached{})
+		}
+	})
+	return n, prof, err
+}
+
+// Run evaluates the plan, invoking emit for every match. The tuple slice
+// passed to emit is only valid during the call and is laid out according to
+// p.Root.Out(). When Workers > 1, emit may be called concurrently from
+// multiple goroutines unless it is nil.
+func (r *Runner) Run(p *plan.Plan, emit func([]graph.VertexID)) (Profile, error) {
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 1 && emit != nil {
+		// Results must not interleave within a single emit call; guard it.
+		var mu sync.Mutex
+		inner := emit
+		emit = func(t []graph.VertexID) {
+			mu.Lock()
+			inner(t)
+			mu.Unlock()
+		}
+	}
+	env := &environment{runner: r, tables: map[plan.Node]*hashTable{}}
+	if err := env.buildTables(p.Root, workers); err != nil {
+		return Profile{}, err
+	}
+	prof := env.profile
+	driverProf, err := r.runPipeline(p.Root, env, workers, true, emit)
+	if err != nil {
+		return Profile{}, err
+	}
+	prof.Add(driverProf)
+	return prof, nil
+}
+
+// RunSubplan evaluates an arbitrary subplan node (which need not cover the
+// whole query), emitting its tuples in node.Out() layout. The adaptive
+// evaluator uses this to drive the non-adapted part of a plan.
+func (r *Runner) RunSubplan(node plan.Node, emit func([]graph.VertexID)) (Profile, error) {
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > 1 && emit != nil {
+		var mu sync.Mutex
+		inner := emit
+		emit = func(t []graph.VertexID) {
+			mu.Lock()
+			inner(t)
+			mu.Unlock()
+		}
+	}
+	env := &environment{runner: r, tables: map[plan.Node]*hashTable{}}
+	if err := env.buildTables(node, workers); err != nil {
+		return Profile{}, err
+	}
+	prof := env.profile
+	driverProf, err := r.runPipeline(node, env, workers, true, emit)
+	if err != nil {
+		return Profile{}, err
+	}
+	prof.Add(driverProf)
+	return prof, nil
+}
+
+// environment holds materialised hash tables shared by all workers, plus
+// the profile accumulated while building them.
+type environment struct {
+	runner  *Runner
+	tables  map[plan.Node]*hashTable
+	profile Profile
+}
+
+// buildTables materialises the build side of every hash join reachable
+// through probe/child edges from n, bottom-up.
+func (e *environment) buildTables(n plan.Node, workers int) error {
+	switch op := n.(type) {
+	case *plan.Scan:
+		return nil
+	case *plan.Extend:
+		return e.buildTables(op.Child, workers)
+	case *plan.HashJoin:
+		// The build side may itself contain joins.
+		if err := e.buildTables(op.Build, workers); err != nil {
+			return err
+		}
+		ht := newHashTable(op)
+		var mu sync.Mutex
+		overflow := false
+		prof, err := e.runner.runPipeline(op.Build, e, workers, false, func(t []graph.VertexID) {
+			mu.Lock()
+			if e.runner.MaxBuildRows > 0 && int64(ht.len()) >= e.runner.MaxBuildRows {
+				overflow = true
+			} else {
+				ht.insert(t)
+			}
+			mu.Unlock()
+		})
+		if err != nil {
+			return err
+		}
+		if overflow {
+			return ErrBuildTooLarge
+		}
+		prof.HashedTuples += int64(ht.len())
+		// Build-side outputs are intermediate results.
+		prof.Intermediate += int64(ht.len())
+		e.profile.Add(prof)
+		e.tables[op] = ht
+		return e.buildTables(op.Probe, workers)
+	default:
+		return fmt.Errorf("exec: unknown node %T", n)
+	}
+}
+
+// runPipeline runs the probe-side pipeline rooted at n: the chain of
+// operators reached by following Extend.Child and HashJoin.Probe down to a
+// SCAN. isRoot marks whether n is the plan root (its outputs are final
+// matches rather than intermediate results).
+func (r *Runner) runPipeline(n plan.Node, env *environment, workers int, isRoot bool, emit func([]graph.VertexID)) (Profile, error) {
+	scan, chain, err := flattenPipeline(n)
+	if err != nil {
+		return Profile{}, err
+	}
+	if workers <= 1 {
+		w := newWorker(r, env, scan, chain, isRoot, emit)
+		w.runRange(0, r.Graph.NumVertices())
+		collectStageStats(w)
+		return w.profile, nil
+	}
+	return r.runParallel(env, scan, chain, isRoot, emit, workers)
+}
+
+func (r *Runner) runParallel(env *environment, scan *plan.Scan, chain []plan.Node, isRoot bool, emit func([]graph.VertexID), workers int) (Profile, error) {
+	n := r.Graph.NumVertices()
+	chunk := n/(workers*8) + 1
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	profs := make([]Profile, workers)
+	if workers > runtime.NumCPU()*4 {
+		workers = runtime.NumCPU() * 4
+	}
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := newWorker(r, env, scan, chain, isRoot, emit)
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					break
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				w.runRange(start, end)
+			}
+			collectStageStats(w)
+			profs[wi] = w.profile
+		}(wi)
+	}
+	wg.Wait()
+	var total Profile
+	for _, p := range profs {
+		total.Add(p)
+	}
+	return total, nil
+}
+
+// flattenPipeline decomposes the probe path of n into its driving SCAN and
+// the chain of operators applied above it (bottom-up order).
+func flattenPipeline(n plan.Node) (*plan.Scan, []plan.Node, error) {
+	var chain []plan.Node
+	cur := n
+	for {
+		switch op := cur.(type) {
+		case *plan.Scan:
+			// chain currently holds top..bottom; reverse to bottom-up.
+			for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+				chain[i], chain[j] = chain[j], chain[i]
+			}
+			return op, chain, nil
+		case *plan.Extend:
+			chain = append(chain, op)
+			cur = op.Child
+		case *plan.HashJoin:
+			chain = append(chain, op)
+			cur = op.Probe
+		default:
+			return nil, nil, fmt.Errorf("exec: unknown node %T", cur)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package exec
+
+import (
+	"encoding/binary"
+
+	"graphflow/internal/graph"
+	"graphflow/internal/plan"
+)
+
+// hashTable stores the materialised build side of a HASH-JOIN, keyed by the
+// join vertices. Keys of up to two vertices are packed into a uint64 (the
+// common case: the paper's joins share one or two query vertices); wider
+// keys fall back to byte-string keys.
+type hashTable struct {
+	keySlots []int // slots in the build tuple layout carrying join vertices
+	rowWidth int
+	count    int
+
+	packed map[uint64][][]graph.VertexID
+	wide   map[string][][]graph.VertexID
+}
+
+func newHashTable(op *plan.HashJoin) *hashTable {
+	buildOut := op.Build.Out()
+	slotOf := map[int]int{}
+	for slot, v := range buildOut {
+		slotOf[v] = slot
+	}
+	ht := &hashTable{rowWidth: len(buildOut)}
+	for _, v := range op.JoinVertices {
+		ht.keySlots = append(ht.keySlots, slotOf[v])
+	}
+	if len(ht.keySlots) <= 2 {
+		ht.packed = make(map[uint64][][]graph.VertexID)
+	} else {
+		ht.wide = make(map[string][][]graph.VertexID)
+	}
+	return ht
+}
+
+func (h *hashTable) len() int { return h.count }
+
+func (h *hashTable) packKey(tuple []graph.VertexID, slots []int) uint64 {
+	k := uint64(tuple[slots[0]])
+	if len(slots) == 2 {
+		k = k<<32 | uint64(tuple[slots[1]])
+	}
+	return k
+}
+
+func (h *hashTable) wideKey(tuple []graph.VertexID, slots []int) string {
+	buf := make([]byte, 4*len(slots))
+	for i, s := range slots {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(tuple[s]))
+	}
+	return string(buf)
+}
+
+// insert copies the build tuple into the table.
+func (h *hashTable) insert(tuple []graph.VertexID) {
+	row := append([]graph.VertexID(nil), tuple...)
+	h.count++
+	if h.packed != nil {
+		k := h.packKey(tuple, h.keySlots)
+		h.packed[k] = append(h.packed[k], row)
+		return
+	}
+	k := h.wideKey(tuple, h.keySlots)
+	h.wide[k] = append(h.wide[k], row)
+}
+
+// lookup returns the build rows whose join vertices equal the probe
+// tuple's values at probeSlots. The returned rows alias table storage.
+func (h *hashTable) lookup(probe []graph.VertexID, probeSlots []int) [][]graph.VertexID {
+	if h.packed != nil {
+		return h.packed[h.packKey(probe, probeSlots)]
+	}
+	return h.wide[h.wideKey(probe, probeSlots)]
+}

@@ -1,0 +1,82 @@
+package exec
+
+import (
+	"testing"
+
+	"graphflow/internal/datagen"
+	"graphflow/internal/plan"
+	"graphflow/internal/query"
+)
+
+func TestCountUpToStopsEarly(t *testing.T) {
+	g := datagen.Amazon(1)
+	q := query.Q1()
+	p := buildWCO(t, q, []int{0, 1, 2})
+	full, _, err := (&Runner{Graph: g}).Count(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full < 100 {
+		t.Skipf("too few triangles (%d)", full)
+	}
+	n, _, err := (&Runner{Graph: g}).CountUpTo(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("capped count = %d, want 10", n)
+	}
+	// A limit above the total returns the exact count.
+	n, _, err = (&Runner{Graph: g}).CountUpTo(p, full+1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != full {
+		t.Errorf("uncapped CountUpTo = %d, want %d", n, full)
+	}
+}
+
+func TestMaxBuildRows(t *testing.T) {
+	g := datagen.Amazon(1)
+	q := query.Q8()
+	left := buildWCO(t, q, []int{0, 1, 2}).Root
+	right := buildWCO(t, q, []int{2, 3, 4}).Root
+	hj, err := plan.NewHashJoin(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &plan.Plan{Query: q, Root: hj}
+	// A tiny budget must trip the guard.
+	_, _, err = (&Runner{Graph: g, MaxBuildRows: 5}).Count(p)
+	if err != ErrBuildTooLarge {
+		t.Errorf("expected ErrBuildTooLarge, got %v", err)
+	}
+	// A generous budget must not change the result.
+	want, _, err := (&Runner{Graph: g}).Count(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := (&Runner{Graph: g, MaxBuildRows: 1 << 40}).Count(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("budgeted count = %d, want %d", got, want)
+	}
+}
+
+func TestCountUpToPropagatesBuildLimit(t *testing.T) {
+	g := datagen.Amazon(1)
+	q := query.Q8()
+	left := buildWCO(t, q, []int{0, 1, 2}).Root
+	right := buildWCO(t, q, []int{2, 3, 4}).Root
+	hj, err := plan.NewHashJoin(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &plan.Plan{Query: q, Root: hj}
+	_, _, err = (&Runner{Graph: g, MaxBuildRows: 5}).CountUpTo(p, 1000)
+	if err != ErrBuildTooLarge {
+		t.Errorf("CountUpTo dropped MaxBuildRows: %v", err)
+	}
+}

@@ -1,0 +1,253 @@
+package exec
+
+import (
+	"graphflow/internal/graph"
+	"graphflow/internal/plan"
+)
+
+// worker owns the per-thread state of one pipeline: the operator chain
+// compiled into stages with local intersection caches and buffers. Workers
+// share only the read-only graph and hash tables.
+type worker struct {
+	g       *graph.Graph
+	env     *environment
+	scan    *plan.Scan
+	stages  []stage
+	isRoot  bool
+	emit    func([]graph.VertexID)
+	tuple   []graph.VertexID
+	profile Profile
+	// countFast enables factorized counting: when the final stage is an
+	// E/I operator and no tuples need to be emitted, the extension set's
+	// size is added to the match count without enumerating the Cartesian
+	// product (the factorization optimization of the paper's Section 10).
+	countFast bool
+	// analyze, when non-nil, receives per-operator counters on completion.
+	analyze *nodeCounters
+	scanOut int64
+}
+
+// stage is one compiled operator above the scan.
+type stage interface {
+	// push processes the current w.tuple prefix of length inWidth and calls
+	// next() for each output (with w.tuple grown accordingly).
+	push(w *worker, next func())
+	inWidth() int
+}
+
+func newWorker(r *Runner, env *environment, scan *plan.Scan, chain []plan.Node, isRoot bool, emit func([]graph.VertexID)) *worker {
+	w := &worker{g: r.Graph, env: env, scan: scan, isRoot: isRoot, emit: emit,
+		countFast: r.FastCount && emit == nil, analyze: r.analyze}
+	width := 2
+	for _, n := range chain {
+		switch op := n.(type) {
+		case *plan.Extend:
+			w.stages = append(w.stages, &extendStage{
+				op:       op,
+				width:    width,
+				useCache: !r.DisableCache,
+			})
+			width++
+		case *plan.HashJoin:
+			ht := env.tables[op]
+			w.stages = append(w.stages, &probeStage{op: op, table: ht, width: width})
+			width += len(op.Build.Out()) - len(op.JoinVertices)
+		}
+	}
+	w.tuple = make([]graph.VertexID, 0, width)
+	return w
+}
+
+// runRange scans the forward adjacency of vertices [start, end) matching
+// the scan's labels and drives each edge tuple through the stages.
+func (w *worker) runRange(start, end int) {
+	srcLabel := w.scan.SrcLabel
+	for v := start; v < end; v++ {
+		src := graph.VertexID(v)
+		if w.g.VertexLabel(src) != srcLabel {
+			continue
+		}
+		nbrs := w.g.Neighbors(src, graph.Forward, w.scan.EdgeLabel, w.scan.DstLabel, nil)
+		for _, dst := range nbrs {
+			w.tuple = append(w.tuple[:0], src, dst)
+			w.scanOut++
+			w.countOutput(0)
+			w.runStage(0)
+		}
+	}
+}
+
+func (w *worker) runStage(i int) {
+	if i == len(w.stages) {
+		if w.emit != nil {
+			w.emit(w.tuple)
+		}
+		return
+	}
+	if w.countFast && w.isRoot && i == len(w.stages)-1 {
+		if es, ok := w.stages[i].(*extendStage); ok {
+			w.profile.Matches += int64(len(es.extensionSet(w)))
+			return
+		}
+	}
+	w.stages[i].push(w, func() {
+		w.countOutput(i + 1)
+		w.runStage(i + 1)
+	})
+}
+
+// countOutput attributes a produced tuple to either intermediate results or
+// final matches. Stage index len(stages) output is the root's output when
+// this pipeline is the plan root.
+func (w *worker) countOutput(stageIdx int) {
+	if w.isRoot && stageIdx == len(w.stages) {
+		w.profile.Matches++
+	} else {
+		w.profile.Intermediate++
+	}
+}
+
+// extendStage implements EXTEND/INTERSECT with the intersection cache.
+type extendStage struct {
+	op       *plan.Extend
+	width    int
+	useCache bool
+
+	// Intersection cache (Section 3.1): if consecutive tuples present the
+	// same source vertices to the descriptors, the extension set is reused.
+	cacheKey   []graph.VertexID
+	cacheValid bool
+	cacheBuf   []graph.VertexID // owns the cached extension set (flat array)
+	scratch    []graph.VertexID
+	lists      [][]graph.VertexID
+
+	// Per-operator analysis counters (collected by collectStageStats).
+	outTuples, icost, hits int64
+}
+
+func (s *extendStage) inWidth() int { return s.width }
+
+func (s *extendStage) push(w *worker, next func()) {
+	s.extendWith(w, s.extensionSet(w), next)
+}
+
+// extensionSet computes (or serves from the intersection cache) the
+// extension set of the current tuple.
+func (s *extendStage) extensionSet(w *worker) []graph.VertexID {
+	descs := s.op.Descriptors
+	// Cache lookup.
+	if s.useCache {
+		if s.cacheValid && len(s.cacheKey) == len(descs) {
+			hit := true
+			for i, d := range descs {
+				if s.cacheKey[i] != w.tuple[d.TupleIdx] {
+					hit = false
+					break
+				}
+			}
+			if hit {
+				w.profile.CacheHits++
+				s.hits++
+				return s.cacheBuf
+			}
+		}
+		s.cacheKey = s.cacheKey[:0]
+		for _, d := range descs {
+			s.cacheKey = append(s.cacheKey, w.tuple[d.TupleIdx])
+		}
+	}
+	// Gather descriptor lists; i-cost counts every accessed list's size
+	// (Equation 1).
+	s.lists = s.lists[:0]
+	for _, d := range descs {
+		list := w.g.Neighbors(w.tuple[d.TupleIdx], d.Dir, d.EdgeLabel, s.op.TargetLabel, nil)
+		w.profile.ICost += int64(len(list))
+		s.icost += int64(len(list))
+		s.lists = append(s.lists, list)
+	}
+	var ext []graph.VertexID
+	if len(s.lists) == 1 {
+		ext = s.lists[0]
+	} else {
+		ext, s.scratch = graph.IntersectK(s.lists, s.cacheBuf[:0], s.scratch)
+	}
+	if s.useCache {
+		if len(s.lists) == 1 {
+			// Copy: the list aliases (immutable) graph storage; the cache
+			// buffer must survive later multiway intersections that reuse it.
+			s.cacheBuf = append(s.cacheBuf[:0], ext...)
+		} else {
+			s.cacheBuf = ext
+		}
+		s.cacheValid = true
+		return s.cacheBuf
+	}
+	return ext
+}
+
+func (s *extendStage) extendWith(w *worker, ext []graph.VertexID, next func()) {
+	base := len(w.tuple)
+	s.outTuples += int64(len(ext))
+	for _, x := range ext {
+		w.tuple = append(w.tuple[:base], x)
+		next()
+	}
+	w.tuple = w.tuple[:base]
+}
+
+// probeStage implements the probe side of HASH-JOIN.
+type probeStage struct {
+	op    *plan.HashJoin
+	table *hashTable
+	width int
+
+	probeSlots []int // slots in the probe tuple carrying the join vertices
+	appendIdx  []int // slots in the build tuple to append to the output
+	init       bool
+
+	// Per-operator analysis counters.
+	outTuples, probes int64
+}
+
+func (s *probeStage) inWidth() int { return s.width }
+
+func (s *probeStage) ensureInit() {
+	if s.init {
+		return
+	}
+	s.init = true
+	probeOut := s.op.Probe.Out()
+	slotOf := map[int]int{}
+	for slot, v := range probeOut {
+		slotOf[v] = slot
+	}
+	for _, v := range s.op.JoinVertices {
+		s.probeSlots = append(s.probeSlots, slotOf[v])
+	}
+	joinSet := map[int]bool{}
+	for _, v := range s.op.JoinVertices {
+		joinSet[v] = true
+	}
+	for slot, v := range s.op.Build.Out() {
+		if !joinSet[v] {
+			s.appendIdx = append(s.appendIdx, slot)
+		}
+	}
+}
+
+func (s *probeStage) push(w *worker, next func()) {
+	s.ensureInit()
+	w.profile.ProbedTuples++
+	s.probes++
+	base := len(w.tuple)
+	rows := s.table.lookup(w.tuple, s.probeSlots)
+	s.outTuples += int64(len(rows))
+	for _, row := range rows {
+		w.tuple = w.tuple[:base]
+		for _, bi := range s.appendIdx {
+			w.tuple = append(w.tuple, row[bi])
+		}
+		next()
+	}
+	w.tuple = w.tuple[:base]
+}

@@ -1,0 +1,395 @@
+// Package ghd reimplements EmptyHeaded's planning strategy (the paper's
+// closest baseline, Section 8.4): queries are decomposed into generalized
+// hypertree decompositions (GHDs); each bag is evaluated with a WCO plan
+// whose query-vertex ordering EmptyHeaded does not optimise (it uses the
+// lexicographic order of the user's variables); bags are materialised and
+// hash-joined up the tree. The decomposition picked is one of minimum
+// width, where a bag's width is its AGM exponent — the optimal value of
+// its fractional-edge-cover LP, solved exactly by the simplex solver in
+// this package.
+//
+// Bags here are induced subqueries (the projection constraint); Appendix A
+// of the paper verifies that the GHDs EmptyHeaded picks for all Figure 6
+// queries satisfy this constraint, so the emulation is faithful on the
+// entire benchmark suite.
+package ghd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"graphflow/internal/plan"
+	"graphflow/internal/query"
+)
+
+// Decomposition is a GHD: a tree of bags (connected vertex subsets of the
+// query). Parent[i] is the tree parent of bag i (-1 for the root).
+type Decomposition struct {
+	Bags   []query.Mask
+	Parent []int
+	// Width is max over bags of the bag's fractional edge cover number.
+	Width float64
+}
+
+// String summarises the decomposition.
+func (d Decomposition) String() string {
+	return fmt.Sprintf("ghd{bags=%d width=%.2f}", len(d.Bags), d.Width)
+}
+
+// FractionalEdgeCover returns the minimum fractional edge cover of the
+// projection of q onto mask: the bag's AGM-bound exponent. Infeasible bags
+// (an isolated vertex) return +Inf.
+func FractionalEdgeCover(q *query.Graph, mask query.Mask) float64 {
+	sub, _ := q.Project(mask)
+	nEdges := len(sub.Edges)
+	nVerts := len(sub.Vertices)
+	if nVerts == 0 {
+		return 0
+	}
+	if nEdges == 0 {
+		return math.Inf(1)
+	}
+	c := make([]float64, nEdges)
+	for j := range c {
+		c[j] = 1
+	}
+	a := make([][]float64, nVerts)
+	b := make([]float64, nVerts)
+	for i := 0; i < nVerts; i++ {
+		a[i] = make([]float64, nEdges)
+		b[i] = 1
+	}
+	for j, e := range sub.Edges {
+		a[e.From][j] = 1
+		a[e.To][j] = 1
+	}
+	opt, _, err := solveLP(c, a, b)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return opt
+}
+
+// Enumerate lists candidate GHDs for q with up to maxBags bags (1, 2, or
+// 3-bag chains), each bag connected, every query edge inside at least one
+// bag, and adjacent bags sharing vertices; 3-bag chains additionally
+// satisfy the running-intersection property. Widths are filled in.
+func Enumerate(q *query.Graph, maxBags int) []Decomposition {
+	n := q.NumVertices()
+	full := query.AllMask(n)
+	fec := map[query.Mask]float64{}
+	cover := func(mask query.Mask) float64 {
+		if w, ok := fec[mask]; ok {
+			return w
+		}
+		w := FractionalEdgeCover(q, mask)
+		fec[mask] = w
+		return w
+	}
+
+	var out []Decomposition
+	out = append(out, Decomposition{Bags: []query.Mask{full}, Parent: []int{-1}, Width: cover(full)})
+	if maxBags < 2 {
+		return out
+	}
+	conn := q.ConnectedSubsets(2)
+	covered := func(bags []query.Mask) bool {
+		for _, e := range q.Edges {
+			eb := query.Bit(e.From) | query.Bit(e.To)
+			inside := false
+			for _, bag := range bags {
+				if eb&^bag == 0 {
+					inside = true
+					break
+				}
+			}
+			if !inside {
+				return false
+			}
+		}
+		return true
+	}
+
+	seen := map[string]bool{}
+	addPair := func(m1, m2 query.Mask) {
+		if m1 > m2 {
+			m1, m2 = m2, m1
+		}
+		key := fmt.Sprintf("2:%d:%d", m1, m2)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		w := math.Max(cover(m1), cover(m2))
+		out = append(out, Decomposition{Bags: []query.Mask{m1, m2}, Parent: []int{-1, 0}, Width: w})
+	}
+	for _, m1 := range conn {
+		if m1 == full {
+			continue
+		}
+		for _, m2 := range conn {
+			if m2 == full || m1 >= m2 {
+				continue
+			}
+			if m1|m2 != full || m1&m2 == 0 {
+				continue
+			}
+			if m1&^m2 == 0 || m2&^m1 == 0 {
+				continue // one bag subsumes the other
+			}
+			if covered([]query.Mask{m1, m2}) {
+				addPair(m1, m2)
+			}
+		}
+	}
+	if maxBags < 3 {
+		sortDecompositions(out)
+		return out
+	}
+	for _, m1 := range conn {
+		for _, m2 := range conn {
+			if m1 == m2 || m1&m2 == 0 {
+				continue
+			}
+			for _, m3 := range conn {
+				if m3 == m1 || m3 == m2 || m2&m3 == 0 {
+					continue
+				}
+				if m1|m2|m3 != full {
+					continue
+				}
+				// Running intersection for the chain m1-m2-m3.
+				if (m1&m3)&^m2 != 0 {
+					continue
+				}
+				if m1&^(m2|m3) == 0 || m3&^(m1|m2) == 0 || m2&^m1 == 0 || m2&^m3 == 0 {
+					continue // degenerate chains
+				}
+				if !covered([]query.Mask{m1, m2, m3}) {
+					continue
+				}
+				key := fmt.Sprintf("3:%d:%d:%d", m1, m2, m3)
+				rev := fmt.Sprintf("3:%d:%d:%d", m3, m2, m1)
+				if seen[key] || seen[rev] {
+					continue
+				}
+				seen[key] = true
+				w := math.Max(cover(m1), math.Max(cover(m2), cover(m3)))
+				out = append(out, Decomposition{
+					Bags:   []query.Mask{m2, m1, m3}, // root the chain at the middle
+					Parent: []int{-1, 0, 0},
+					Width:  w,
+				})
+			}
+		}
+	}
+	sortDecompositions(out)
+	return out
+}
+
+func sortDecompositions(ds []Decomposition) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].Width != ds[j].Width {
+			return ds[i].Width < ds[j].Width
+		}
+		return len(ds[i].Bags) < len(ds[j].Bags)
+	})
+}
+
+// MinWidth returns the minimum-width decompositions among ds (EmptyHeaded
+// picks one of these, breaking ties arbitrarily; we keep them all so the
+// Figure 9 spectrum can evaluate each).
+func MinWidth(ds []Decomposition) []Decomposition {
+	if len(ds) == 0 {
+		return nil
+	}
+	best := math.Inf(1)
+	for _, d := range ds {
+		if d.Width < best {
+			best = d.Width
+		}
+	}
+	var out []Decomposition
+	for _, d := range ds {
+		if d.Width <= best+1e-9 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// BuildPlan assembles the physical plan for decomposition d: each bag is a
+// WCO chain following orders[bagIdx] (query vertex indices; every prefix
+// must be connected within the bag), and each child bag's materialised
+// matches are hash-joined into its parent, bottom-up.
+func BuildPlan(q *query.Graph, d Decomposition, orders map[int][]int) (*plan.Plan, error) {
+	if len(d.Bags) == 0 {
+		return nil, fmt.Errorf("ghd: empty decomposition")
+	}
+	children := make([][]int, len(d.Bags))
+	root := -1
+	for i, p := range d.Parent {
+		if p < 0 {
+			root = i
+		} else {
+			children[p] = append(children[p], i)
+		}
+	}
+	if root < 0 {
+		return nil, fmt.Errorf("ghd: no root bag")
+	}
+	var build func(bag int) (plan.Node, error)
+	build = func(bag int) (plan.Node, error) {
+		node, err := bagWCOChain(q, d.Bags[bag], orders[bag])
+		if err != nil {
+			return nil, fmt.Errorf("bag %d: %w", bag, err)
+		}
+		for _, ch := range children[bag] {
+			chNode, err := build(ch)
+			if err != nil {
+				return nil, err
+			}
+			// EmptyHeaded materialises the child bag and joins it in.
+			hj, err := plan.NewHashJoin(chNode, node)
+			if err != nil {
+				return nil, fmt.Errorf("ghd: joining bag %d into %d: %w", ch, bag, err)
+			}
+			node = hj
+		}
+		return node, nil
+	}
+	rootNode, err := build(root)
+	if err != nil {
+		return nil, err
+	}
+	p := &plan.Plan{Query: q, Root: rootNode}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("ghd: invalid plan: %w", err)
+	}
+	return p, nil
+}
+
+// bagWCOChain builds the SCAN + E/I chain matching the bag's projection in
+// the given vertex order.
+func bagWCOChain(q *query.Graph, bag query.Mask, order []int) (plan.Node, error) {
+	if len(order) < 2 {
+		return nil, fmt.Errorf("ghd: order too short")
+	}
+	var first *query.Edge
+	for _, e := range q.EdgesWithin(bag) {
+		if (e.From == order[0] && e.To == order[1]) || (e.From == order[1] && e.To == order[0]) {
+			ec := e
+			first = &ec
+			break
+		}
+	}
+	if first == nil {
+		return nil, fmt.Errorf("ghd: order %v does not start with a bag edge", order)
+	}
+	var node plan.Node = plan.NewScan(q, *first)
+	covered := query.Bit(order[0]) | query.Bit(order[1])
+	for _, v := range order[2:] {
+		if bag&query.Bit(v) == 0 {
+			return nil, fmt.Errorf("ghd: order vertex a%d outside bag", v+1)
+		}
+		// Descriptors must stay inside the bag: NewExtend derives them from
+		// the full query, which equals the bag projection when the bag is
+		// induced — enforced by construction (bags are vertex subsets).
+		ext, err := newBagExtend(q, bag, node, v)
+		if err != nil {
+			return nil, err
+		}
+		node = ext
+		covered |= query.Bit(v)
+	}
+	if covered != bag {
+		return nil, fmt.Errorf("ghd: order %v does not cover bag", order)
+	}
+	return node, nil
+}
+
+// newBagExtend builds an E/I whose descriptors are the bag-internal edges
+// between v and the already-matched vertices.
+func newBagExtend(q *query.Graph, bag query.Mask, child plan.Node, v int) (*plan.Extend, error) {
+	// plan.NewExtend uses all query edges between the child cover and v;
+	// since the child cover is a subset of the bag and bags are induced
+	// subqueries, those edges are exactly the bag-internal ones.
+	return plan.NewExtend(q, child, v)
+}
+
+// LexicographicOrders returns EmptyHeaded's default ("bad") bag orderings:
+// the lexicographic order of vertex names, adjusted minimally so every
+// prefix is connected, with the heuristic that non-root bags start from
+// the vertices shared with their parent (Section 8.4).
+func LexicographicOrders(q *query.Graph, d Decomposition) map[int][]int {
+	orders := map[int][]int{}
+	for i, bag := range d.Bags {
+		var shared query.Mask
+		if d.Parent[i] >= 0 {
+			shared = bag & d.Bags[d.Parent[i]]
+		}
+		orders[i] = lexOrder(q, bag, shared)
+	}
+	return orders
+}
+
+// lexOrder produces a connected-prefix ordering of the bag vertices,
+// preferring preferred-mask vertices first and lexicographically smaller
+// names within each class.
+func lexOrder(q *query.Graph, bag query.Mask, preferred query.Mask) []int {
+	var verts []int
+	for v := 0; v < q.NumVertices(); v++ {
+		if bag&query.Bit(v) != 0 {
+			verts = append(verts, v)
+		}
+	}
+	sort.Slice(verts, func(i, j int) bool {
+		a, b := verts[i], verts[j]
+		pa, pb := preferred&query.Bit(a) != 0, preferred&query.Bit(b) != 0
+		if pa != pb {
+			return pa
+		}
+		return q.Vertices[a].Name < q.Vertices[b].Name
+	})
+	var order []int
+	mask := query.Mask(0)
+	remaining := append([]int(nil), verts...)
+	for len(remaining) > 0 {
+		picked := -1
+		for idx, v := range remaining {
+			if len(order) == 0 {
+				picked = idx
+				_ = v
+				break
+			}
+			if len(order) == 1 {
+				// Second vertex must form a scannable edge with the first.
+				ok := false
+				for _, e := range q.EdgesWithin(bag) {
+					if (e.From == order[0] && e.To == v) || (e.To == order[0] && e.From == v) {
+						ok = true
+						break
+					}
+				}
+				if ok {
+					picked = idx
+					break
+				}
+				continue
+			}
+			if len(q.EdgesBetween(mask, v)) > 0 {
+				picked = idx
+				break
+			}
+		}
+		if picked < 0 {
+			picked = 0 // should not happen on connected bags
+		}
+		v := remaining[picked]
+		order = append(order, v)
+		mask |= query.Bit(v)
+		remaining = append(remaining[:picked], remaining[picked+1:]...)
+	}
+	return order
+}

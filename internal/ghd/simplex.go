@@ -1,0 +1,169 @@
+package ghd
+
+import (
+	"fmt"
+	"math"
+)
+
+// solveLP minimises c·x subject to A·x >= b, x >= 0, with all b >= 0,
+// using the two-phase primal simplex method with Bland's rule (which
+// guarantees termination). The problem sizes here are tiny — fractional
+// edge covers have one variable per query edge and one constraint per
+// query vertex — so a dense tableau is ideal.
+func solveLP(c []float64, a [][]float64, b []float64) (float64, []float64, error) {
+	m, n := len(a), len(c)
+	if m == 0 || n == 0 {
+		return 0, nil, fmt.Errorf("ghd: empty LP")
+	}
+	for i := range b {
+		if b[i] < 0 {
+			return 0, nil, fmt.Errorf("ghd: negative rhs unsupported")
+		}
+	}
+	// Columns: n original, m surplus, m artificial, then RHS.
+	cols := n + 2*m
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, cols+1)
+		copy(t[i], a[i])
+		t[i][n+i] = -1       // surplus
+		t[i][n+m+i] = 1      // artificial
+		t[i][cols] = b[i]    // rhs
+		basis[i] = n + m + i // artificials start basic
+	}
+
+	// Phase 1: minimise the sum of artificials.
+	phase1 := make([]float64, cols)
+	for j := n + m; j < cols; j++ {
+		phase1[j] = 1
+	}
+	if opt := simplexIterate(t, basis, phase1, cols); opt > 1e-7 {
+		return 0, nil, fmt.Errorf("ghd: infeasible LP")
+	}
+	// Drive any remaining artificial out of the basis if possible; if an
+	// artificial row is identically zero the constraint was redundant.
+	for i := 0; i < m; i++ {
+		if basis[i] >= n+m {
+			pivoted := false
+			for j := 0; j < n+m && !pivoted; j++ {
+				if math.Abs(t[i][j]) > 1e-9 {
+					pivot(t, basis, i, j, cols)
+					pivoted = true
+				}
+			}
+		}
+	}
+
+	// Phase 2: artificial columns are frozen by giving them a prohibitive
+	// cost through exclusion in the entering rule (simplexIterate never
+	// enters columns >= limit when limit is passed via cost length).
+	phase2 := make([]float64, cols)
+	copy(phase2, c)
+	for j := n + m; j < cols; j++ {
+		phase2[j] = math.Inf(1) // never profitable to enter
+	}
+	opt := simplexIterate(t, basis, phase2, cols)
+
+	x := make([]float64, n)
+	for i, bj := range basis {
+		if bj < n {
+			x[bj] = t[i][cols]
+		}
+	}
+	return opt, x, nil
+}
+
+// simplexIterate runs primal simplex on tableau t with the given cost
+// vector, returning the optimal objective value.
+func simplexIterate(t [][]float64, basis []int, cost []float64, cols int) float64 {
+	m := len(t)
+	// Build the reduced-cost row: cost - sum over basic rows.
+	obj := make([]float64, cols+1)
+	copy(obj, cost)
+	for j := range obj[:cols] {
+		if math.IsInf(obj[j], 1) {
+			obj[j] = 0 // frozen columns handled by skip below
+		}
+	}
+	frozen := make([]bool, cols)
+	for j := 0; j < cols; j++ {
+		if math.IsInf(cost[j], 1) {
+			frozen[j] = true
+		}
+	}
+	for i := 0; i < m; i++ {
+		cb := 0.0
+		if !frozen[basis[i]] {
+			cb = cost[basis[i]]
+		}
+		if cb != 0 {
+			for j := 0; j <= cols; j++ {
+				obj[j] -= cb * t[i][j]
+			}
+		}
+	}
+	for iter := 0; iter < 10000; iter++ {
+		// Bland's rule: smallest-index column with negative reduced cost.
+		enter := -1
+		for j := 0; j < cols; j++ {
+			if frozen[j] {
+				continue
+			}
+			if obj[j] < -1e-9 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			break
+		}
+		// Ratio test, Bland tie-break on basis index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > 1e-9 {
+				r := t[i][cols] / t[i][enter]
+				if r < bestRatio-1e-12 || (math.Abs(r-bestRatio) <= 1e-12 && (leave < 0 || basis[i] < basis[leave])) {
+					bestRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return math.Inf(-1) // unbounded; cannot happen for edge covers
+		}
+		pivotWithObj(t, basis, obj, leave, enter, cols)
+	}
+	return -obj[cols]
+}
+
+func pivot(t [][]float64, basis []int, row, col, cols int) {
+	p := t[row][col]
+	for j := 0; j <= cols; j++ {
+		t[row][j] /= p
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= cols; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+	}
+	basis[row] = col
+}
+
+func pivotWithObj(t [][]float64, basis []int, obj []float64, row, col, cols int) {
+	pivot(t, basis, row, col, cols)
+	f := obj[col]
+	if f != 0 {
+		for j := 0; j <= cols; j++ {
+			obj[j] -= f * t[row][j]
+		}
+	}
+}

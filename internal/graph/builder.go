@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates vertices and edges and produces an immutable Graph.
+// The zero value is not usable; call NewBuilder.
+type Builder struct {
+	vLabels []Label
+	edges   []edgeRec
+}
+
+type edgeRec struct {
+	src, dst VertexID
+	label    Label
+}
+
+// NewBuilder returns a Builder for a graph with numVertices vertices, all
+// initially carrying label 0.
+func NewBuilder(numVertices int) *Builder {
+	return &Builder{vLabels: make([]Label, numVertices)}
+}
+
+// NumVertices returns the current vertex count.
+func (b *Builder) NumVertices() int { return len(b.vLabels) }
+
+// NumEdgesAdded returns the number of AddEdge calls so far (before
+// deduplication).
+func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
+
+// AddVertex appends a vertex with the given label and returns its ID.
+func (b *Builder) AddVertex(label Label) VertexID {
+	b.vLabels = append(b.vLabels, label)
+	return VertexID(len(b.vLabels) - 1)
+}
+
+// SetVertexLabel assigns a label to an existing vertex.
+func (b *Builder) SetVertexLabel(v VertexID, label Label) {
+	b.vLabels[v] = label
+}
+
+// AddEdge records the directed edge src->dst with the given edge label.
+// Self-loops and duplicate edges are permitted here; Build drops self-loops
+// and deduplicates.
+func (b *Builder) AddEdge(src, dst VertexID, label Label) {
+	b.edges = append(b.edges, edgeRec{src, dst, label})
+}
+
+// Build constructs the immutable Graph. The Builder may be reused afterwards
+// (its accumulated state is unchanged).
+func (b *Builder) Build() (*Graph, error) {
+	n := len(b.vLabels)
+	for _, e := range b.edges {
+		if int(e.src) >= n || int(e.dst) >= n {
+			return nil, fmt.Errorf("graph: edge (%d->%d) references vertex beyond %d", e.src, e.dst, n-1)
+		}
+		if e.label == WildcardLabel {
+			return nil, fmt.Errorf("graph: edge (%d->%d) uses reserved wildcard label", e.src, e.dst)
+		}
+	}
+	maxV, maxE := Label(0), Label(0)
+	for _, l := range b.vLabels {
+		if l == WildcardLabel {
+			return nil, fmt.Errorf("graph: vertex uses reserved wildcard label")
+		}
+		if l > maxV {
+			maxV = l
+		}
+	}
+	edges := make([]edgeRec, 0, len(b.edges))
+	for _, e := range b.edges {
+		if e.src == e.dst {
+			continue // drop self-loops; subgraph queries bind distinct vertices
+		}
+		if e.label > maxE {
+			maxE = e.label
+		}
+		edges = append(edges, e)
+	}
+
+	g := &Graph{
+		n:               n,
+		vLabels:         append([]Label(nil), b.vLabels...),
+		numVertexLabels: int(maxV) + 1,
+		numEdgeLabels:   int(maxE) + 1,
+	}
+	g.fwd, g.m = buildAdjacency(edges, g.vLabels, n, false)
+	g.bwd, _ = buildAdjacency(edges, g.vLabels, n, true)
+	return g, nil
+}
+
+// MustBuild is Build but panics on error; convenient in tests and examples.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// buildAdjacency sorts the edges into the CSR layout described on the
+// adjacency type. When reversed is true the incoming index is built (the
+// "neighbour" is the edge source).
+func buildAdjacency(edges []edgeRec, vLabels []Label, n int, reversed bool) (adjacency, int) {
+	type entry struct {
+		owner  VertexID
+		eLabel Label
+		nLabel Label
+		nbr    VertexID
+	}
+	ents := make([]entry, 0, len(edges))
+	for _, e := range edges {
+		owner, nbr := e.src, e.dst
+		if reversed {
+			owner, nbr = e.dst, e.src
+		}
+		ents = append(ents, entry{owner, e.label, vLabels[nbr], nbr})
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		a, b := ents[i], ents[j]
+		if a.owner != b.owner {
+			return a.owner < b.owner
+		}
+		if a.eLabel != b.eLabel {
+			return a.eLabel < b.eLabel
+		}
+		if a.nLabel != b.nLabel {
+			return a.nLabel < b.nLabel
+		}
+		return a.nbr < b.nbr
+	})
+	// Deduplicate identical (owner, eLabel, nbr) entries.
+	dedup := ents[:0]
+	for i, e := range ents {
+		if i > 0 {
+			p := dedup[len(dedup)-1]
+			if p.owner == e.owner && p.eLabel == e.eLabel && p.nbr == e.nbr {
+				continue
+			}
+		}
+		dedup = append(dedup, e)
+	}
+	ents = dedup
+
+	var a adjacency
+	a.offsets = make([]int, n+1)
+	a.nbrs = make([]VertexID, len(ents))
+	a.pOff = make([]int32, n+1)
+
+	// First pass: counts per owner and per (owner, eLabel, nLabel) partition.
+	for _, e := range ents {
+		a.offsets[e.owner+1]++
+	}
+	for v := 0; v < n; v++ {
+		a.offsets[v+1] += a.offsets[v]
+	}
+	// Emit neighbours and partition directory in one sweep (ents are fully
+	// sorted, so partitions are contiguous).
+	for i := 0; i < len(ents); {
+		v := ents[i].owner
+		j := i
+		for j < len(ents) && ents[j].owner == v {
+			j++
+		}
+		for k := i; k < j; k++ {
+			a.nbrs[a.offsets[v]+(k-i)] = ents[k].nbr
+			if k == i || ents[k].eLabel != ents[k-1].eLabel || ents[k].nLabel != ents[k-1].nLabel {
+				a.pELabel = append(a.pELabel, ents[k].eLabel)
+				a.pNLabel = append(a.pNLabel, ents[k].nLabel)
+				a.pStart = append(a.pStart, a.offsets[v]+(k-i))
+			}
+		}
+		a.pOff[v+1] = int32(len(a.pStart))
+		i = j
+	}
+	// Owners without entries never had pOff[v+1] assigned; make the array
+	// monotone so their directories are empty ranges.
+	last := int32(0)
+	for v := 1; v <= n; v++ {
+		if a.pOff[v] < last {
+			a.pOff[v] = last
+		}
+		last = a.pOff[v]
+	}
+	return a, len(ents)
+}

@@ -1,0 +1,95 @@
+package graph
+
+import "sort"
+
+// gallopThreshold is the size ratio beyond which Intersect switches from
+// in-tandem merging to galloping (exponential) search into the longer list.
+const gallopThreshold = 32
+
+// Intersect writes the sorted intersection of the ID-sorted lists a and b
+// into out (which is truncated first and may be nil) and returns it.
+//
+// The kernel is the paper's iterative 2-way in-tandem intersection; when one
+// list is much longer than the other it gallops into the longer list, which
+// matters on skewed adjacency lists.
+func Intersect(a, b, out []VertexID) []VertexID {
+	out = out[:0]
+	if len(a) == 0 || len(b) == 0 {
+		return out
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(b) >= gallopThreshold*len(a) {
+		return gallopIntersect(a, b, out)
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		switch {
+		case x == y:
+			out = append(out, x)
+			i++
+			j++
+		case x < y:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// gallopIntersect intersects a short list into a much longer one.
+func gallopIntersect(short, long, out []VertexID) []VertexID {
+	lo := 0
+	for _, x := range short {
+		// Exponential probe from lo.
+		step := 1
+		hi := lo
+		for hi < len(long) && long[hi] < x {
+			lo = hi + 1
+			hi += step
+			step <<= 1
+		}
+		if hi > len(long) {
+			hi = len(long)
+		}
+		k := lo + sort.Search(hi-lo, func(i int) bool { return long[lo+i] >= x })
+		if k < len(long) && long[k] == x {
+			out = append(out, x)
+			lo = k + 1
+		} else {
+			lo = k
+		}
+		if lo >= len(long) {
+			break
+		}
+	}
+	return out
+}
+
+// IntersectK intersects any number of ID-sorted lists using iterative 2-way
+// intersections, shortest-first, as the paper's E/I operator does. It writes
+// the result into out and returns it; scratch is reused between calls (pass
+// nil on first use and keep the returned scratch).
+func IntersectK(lists [][]VertexID, out, scratch []VertexID) (result, newScratch []VertexID) {
+	switch len(lists) {
+	case 0:
+		return out[:0], scratch
+	case 1:
+		out = append(out[:0], lists[0]...)
+		return out, scratch
+	}
+	// Order shortest first to bound intermediate sizes.
+	ordered := make([][]VertexID, len(lists))
+	copy(ordered, lists)
+	sort.Slice(ordered, func(i, j int) bool { return len(ordered[i]) < len(ordered[j]) })
+
+	out = Intersect(ordered[0], ordered[1], out)
+	for i := 2; i < len(ordered) && len(out) > 0; i++ {
+		scratch = Intersect(out, ordered[i], scratch)
+		out, scratch = scratch, out
+	}
+	return out, scratch
+}

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadEdgeList(t *testing.T) {
+	in := `# comment
+v 1 2
+0 1
+1 2 1
+2 0
+`
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("LoadEdgeList: %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("loaded %v", g)
+	}
+	if g.VertexLabel(1) != 2 {
+		t.Errorf("vertex 1 label = %d, want 2", g.VertexLabel(1))
+	}
+	if !g.HasEdge(1, 2, 1) {
+		t.Error("edge 1->2 label 1 missing")
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"v 1\n",              // short vertex line
+		"0\n",                // short edge line
+		"0 1 2 3\n",          // long edge line
+		"x 1\n",              // non-numeric
+		"0 99999999999999\n", // overflow
+	}
+	for _, in := range cases {
+		if _, err := LoadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadEdgeList(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	b := NewBuilder(5)
+	b.SetVertexLabel(2, 3)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(3, 4, 0)
+	g := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	g2, err := LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("LoadEdgeList: %v", err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip mismatch: %v vs %v", g2, g)
+	}
+	if g2.VertexLabel(2) != 3 {
+		t.Errorf("label lost in round trip")
+	}
+	if !g2.HasEdge(1, 2, 2) {
+		t.Errorf("edge lost in round trip")
+	}
+}
+
+func TestLoadEmpty(t *testing.T) {
+	g, err := LoadEdgeList(strings.NewReader("# nothing\n"))
+	if err != nil {
+		t.Fatalf("LoadEdgeList: %v", err)
+	}
+	if g.NumVertices() != 0 {
+		t.Errorf("want empty graph, got %v", g)
+	}
+}

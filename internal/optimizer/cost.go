@@ -1,0 +1,187 @@
+package optimizer
+
+import (
+	"math/bits"
+
+	"graphflow/internal/catalogue"
+	"graphflow/internal/plan"
+	"graphflow/internal/query"
+)
+
+// context carries the per-query state of one optimization: the catalogue,
+// the options, and memoized cardinality and extension-statistics caches.
+type context struct {
+	q    *query.Graph
+	cat  *catalogue.Catalogue
+	opts Options
+
+	card     map[query.Mask]float64
+	extStats map[extKey]extStat
+	sigMemo  map[extKey]string
+}
+
+type extKey struct {
+	mask query.Mask
+	v    int
+}
+
+// extStat holds the catalogue estimates for extending mask by v: per-edge
+// average list sizes aligned with edges.
+type extStat struct {
+	edges []query.Edge // edges of q between mask and v
+	sizes []float64
+	mu    float64
+}
+
+func newContext(q *query.Graph, opts Options) *context {
+	return &context{
+		q:        q,
+		cat:      opts.Catalogue,
+		opts:     opts,
+		card:     map[query.Mask]float64{},
+		extStats: map[extKey]extStat{},
+		sigMemo:  map[extKey]string{},
+	}
+}
+
+// extension returns the memoized catalogue statistics for extending the
+// subquery on mask by query vertex v.
+func (c *context) extension(mask query.Mask, v int) extStat {
+	key := extKey{mask, v}
+	if st, ok := c.extStats[key]; ok {
+		return st
+	}
+	base, orig := c.q.Project(mask)
+	newIdx := make(map[int]int, len(orig))
+	for ni, ov := range orig {
+		newIdx[ov] = ni
+	}
+	target := base.NumVertices()
+	qEdges := c.q.EdgesBetween(mask, v)
+	extEdges := make([]query.Edge, len(qEdges))
+	for i, e := range qEdges {
+		if e.From == v {
+			extEdges[i] = query.Edge{From: target, To: newIdx[e.To], Label: e.Label}
+		} else {
+			extEdges[i] = query.Edge{From: newIdx[e.From], To: target, Label: e.Label}
+		}
+	}
+	sizes, mu, _ := c.cat.ExtensionStats(base, extEdges, c.q.Vertices[v].Label)
+	st := extStat{edges: qEdges, sizes: sizes, mu: mu}
+	c.extStats[key] = st
+	return st
+}
+
+// cardinality estimates the number of matches of the projection of q onto
+// mask (Section 5.2, estimate 1): a deterministic extension chain whose µ
+// values multiply out. Memoized per mask.
+func (c *context) cardinality(mask query.Mask) float64 {
+	if v, ok := c.card[mask]; ok {
+		return v
+	}
+	var out float64
+	switch bits.OnesCount32(mask) {
+	case 0:
+		out = 0
+	case 1:
+		v := bits.TrailingZeros32(mask)
+		out = c.cat.VertexCountByLabel(c.q.Vertices[v].Label)
+	case 2:
+		es := c.q.EdgesWithin(mask)
+		if len(es) == 0 {
+			out = 0
+		} else {
+			e := es[0]
+			out = c.cat.ScanCount(e.Label, c.q.Vertices[e.From].Label, c.q.Vertices[e.To].Label)
+		}
+	default:
+		// Remove the most-connected removable vertex: its µ is estimated
+		// from the largest base, so the chain stays maximally informed.
+		bestV, bestDeg := -1, -1
+		for v := 0; v < c.q.NumVertices(); v++ {
+			if mask&query.Bit(v) == 0 {
+				continue
+			}
+			rest := mask &^ query.Bit(v)
+			if !c.q.IsConnected(rest) {
+				continue
+			}
+			d := len(c.q.EdgesBetween(rest, v))
+			if d > bestDeg || (d == bestDeg && v < bestV) {
+				bestV, bestDeg = v, d
+			}
+		}
+		if bestV < 0 {
+			out = 0
+		} else {
+			rest := mask &^ query.Bit(bestV)
+			st := c.extension(rest, bestV)
+			out = c.cardinality(rest) * st.mu
+		}
+	}
+	c.card[mask] = out
+	return out
+}
+
+// extendCost returns the estimated i-cost of an E/I operator that extends
+// the subquery on childMask (already computed by childPlan) with vertex v
+// (Equations 1-2 with the cache-conscious refinement of Section 5.2).
+//
+// The executor's intersection cache reuses the previous extension set when
+// consecutive tuples agree on every descriptor anchor. Tuples stream in
+// chain order, so consecutive tuples share all slots except the child's
+// most recently added vertex: if no descriptor reads that vertex, the
+// number of distinct intersections collapses from card(childMask) to
+// card(childMask minus the last-added vertex). A SCAN groups its tuples by
+// source vertex, so its "last added" is the destination.
+func (c *context) extendCost(childMask query.Mask, v int, childPlan plan.Node) float64 {
+	st := c.extension(childMask, v)
+	mult := c.cardinality(childMask)
+	if !c.opts.CacheOblivious {
+		if last, ok := lastAddedVertex(childPlan); ok {
+			if !anchorsTouch(st.edges, v, last) {
+				mult = c.cardinality(childMask &^ query.Bit(last))
+			}
+		}
+	}
+	total := 0.0
+	for _, s := range st.sizes {
+		total += s
+	}
+	return mult * total
+}
+
+// joinCost returns the cost of hash-joining build and probe subqueries
+// (Section 4.2): w1*n1 + w2*n2 in i-cost units.
+func (c *context) joinCost(buildMask, probeMask query.Mask) float64 {
+	return c.opts.W1*c.cardinality(buildMask) + c.opts.W2*c.cardinality(probeMask)
+}
+
+// lastAddedVertex reports the query vertex whose value varies fastest in
+// the output stream of node: the target of an E/I, or the destination of a
+// SCAN. Hash-join outputs interleave build rows, so no reuse is assumed.
+func lastAddedVertex(n plan.Node) (int, bool) {
+	switch op := n.(type) {
+	case *plan.Extend:
+		return op.TargetVertex, true
+	case *plan.Scan:
+		return op.DstVertex, true
+	default:
+		return 0, false
+	}
+}
+
+// anchorsTouch reports whether any extension edge (anchoring an adjacency
+// list) reads the given vertex.
+func anchorsTouch(edges []query.Edge, target, vertex int) bool {
+	for _, e := range edges {
+		anchor := e.From
+		if anchor == target {
+			anchor = e.To
+		}
+		if anchor == vertex {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,123 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalCode returns a string that is identical for isomorphic queries
+// (respecting vertex labels, edge labels and edge directions) and distinct
+// for non-isomorphic ones. It is computed exactly by minimising an encoding
+// over all vertex permutations; intended for the small subgraphs stored in
+// the catalogue (h+1 <= 5 vertices) and for plan deduplication on queries
+// up to ~8 vertices.
+func (q *Graph) CanonicalCode() string {
+	code, _ := q.CanonicalCodeWithPerm()
+	return code
+}
+
+// CanonicalCodeWithPerm returns the canonical code together with the
+// canonical renumbering: perm[oldIdx] = canonical index of vertex oldIdx
+// under the minimising permutation. The catalogue uses the renumbering to
+// align adjacency-list descriptors across isomorphic instances of a key.
+func (q *Graph) CanonicalCodeWithPerm() (string, []int) {
+	n := len(q.Vertices)
+	if n == 0 {
+		return "", nil
+	}
+	best := ""
+	var bestInv []int
+	perm := make([]int, n) // perm[newIdx] = oldIdx
+	inv := make([]int, n)  // inv[oldIdx] = newIdx
+	used := make([]bool, n)
+
+	var rec func(pos int)
+	encode := func() string {
+		lines := make([]string, 0, n+len(q.Edges))
+		for newIdx := 0; newIdx < n; newIdx++ {
+			lines = append(lines, fmt.Sprintf("v%d:%d", newIdx, q.Vertices[perm[newIdx]].Label))
+		}
+		es := make([]string, 0, len(q.Edges))
+		for _, e := range q.Edges {
+			es = append(es, fmt.Sprintf("e%d>%d:%d", inv[e.From], inv[e.To], e.Label))
+		}
+		sort.Strings(es)
+		lines = append(lines, es...)
+		return strings.Join(lines, ";")
+	}
+	rec = func(pos int) {
+		if pos == n {
+			code := encode()
+			if best == "" || code < best {
+				best = code
+				bestInv = append(bestInv[:0], inv...)
+			}
+			return
+		}
+		for old := 0; old < n; old++ {
+			if used[old] {
+				continue
+			}
+			used[old] = true
+			perm[pos] = old
+			inv[old] = pos
+			rec(pos + 1)
+			used[old] = false
+		}
+	}
+	rec(0)
+	return best, append([]int(nil), bestInv...)
+}
+
+// IsIsomorphic reports whether q and other are isomorphic as labelled
+// directed graphs.
+func (q *Graph) IsIsomorphic(other *Graph) bool {
+	if len(q.Vertices) != len(other.Vertices) || len(q.Edges) != len(other.Edges) {
+		return false
+	}
+	return q.CanonicalCode() == other.CanonicalCode()
+}
+
+// Automorphisms returns all vertex permutations p (p[i] = image of i) that
+// map q onto itself respecting labels and directions. Used to deduplicate
+// query-vertex orderings that perform identical work (paper Section 3.2.3
+// notes equivalent plans arising from query symmetries).
+func (q *Graph) Automorphisms() [][]int {
+	n := len(q.Vertices)
+	edgeSet := make(map[Edge]struct{}, len(q.Edges))
+	for _, e := range q.Edges {
+		edgeSet[e] = struct{}{}
+	}
+	var out [][]int
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(pos int)
+	check := func() bool {
+		for _, e := range q.Edges {
+			if _, ok := edgeSet[Edge{From: perm[e.From], To: perm[e.To], Label: e.Label}]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec = func(pos int) {
+		if pos == n {
+			if check() {
+				out = append(out, append([]int(nil), perm...))
+			}
+			return
+		}
+		for img := 0; img < n; img++ {
+			if used[img] || q.Vertices[img].Label != q.Vertices[pos].Label {
+				continue
+			}
+			used[img] = true
+			perm[pos] = img
+			rec(pos + 1)
+			used[img] = false
+		}
+	}
+	rec(0)
+	return out
+}

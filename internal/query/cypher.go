@@ -1,0 +1,268 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"graphflow/internal/graph"
+)
+
+// ParseCypher parses the MATCH-pattern subset of Cypher that Graphflow
+// supports (the system implements "a subset of the Cypher language",
+// paper Section 7) into a query Graph. Supported grammar:
+//
+//	MATCH <path> (, <path>)* [RETURN ...]
+//	path    := node (rel node)*
+//	node    := '(' name [':' label] ')'
+//	rel     := '-[' [':' label] ']->' | '<-[' [':' label] ']-' | '-->' | '<--'
+//
+// Labels are numeric (the engine's label space). The RETURN clause, if
+// present, is ignored — evaluation is by Count/Match on the DB. Example:
+//
+//	MATCH (a)-[:1]->(b), (b)-->(c), (a)-->(c) RETURN count(*)
+func ParseCypher(s string) (*Graph, error) {
+	text := strings.TrimSpace(s)
+	upper := strings.ToUpper(text)
+	if !strings.HasPrefix(upper, "MATCH") {
+		return nil, fmt.Errorf("cypher: query must start with MATCH")
+	}
+	text = strings.TrimSpace(text[len("MATCH"):])
+	if i := strings.Index(strings.ToUpper(text), "RETURN"); i >= 0 {
+		text = strings.TrimSpace(text[:i])
+	}
+	if text == "" {
+		return nil, fmt.Errorf("cypher: empty pattern")
+	}
+
+	q := &Graph{}
+	labelSet := map[string]bool{}
+	getVertex := func(name string, label graph.Label, hasLabel bool) (int, error) {
+		idx := q.VertexIndex(name)
+		if idx < 0 {
+			q.Vertices = append(q.Vertices, Vertex{Name: name, Label: label})
+			labelSet[name] = hasLabel
+			return len(q.Vertices) - 1, nil
+		}
+		if hasLabel {
+			if labelSet[name] && q.Vertices[idx].Label != label {
+				return -1, fmt.Errorf("cypher: conflicting labels for %q", name)
+			}
+			q.Vertices[idx].Label = label
+			labelSet[name] = true
+		}
+		return idx, nil
+	}
+
+	for _, path := range splitTopLevel(text, ',') {
+		p := newCypherLexer(path)
+		prev, err := p.node()
+		if err != nil {
+			return nil, err
+		}
+		prevIdx, err := getVertex(prev.name, prev.label, prev.hasLabel)
+		if err != nil {
+			return nil, err
+		}
+		for !p.done() {
+			rel, err := p.rel()
+			if err != nil {
+				return nil, err
+			}
+			nxt, err := p.node()
+			if err != nil {
+				return nil, err
+			}
+			nxtIdx, err := getVertex(nxt.name, nxt.label, nxt.hasLabel)
+			if err != nil {
+				return nil, err
+			}
+			e := Edge{From: prevIdx, To: nxtIdx, Label: rel.label}
+			if rel.reversed {
+				e.From, e.To = e.To, e.From
+			}
+			q.Edges = append(q.Edges, e)
+			prevIdx = nxtIdx
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// splitTopLevel splits on sep outside parentheses and brackets.
+func splitTopLevel(s string, sep rune) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+type cypherNode struct {
+	name     string
+	label    graph.Label
+	hasLabel bool
+}
+
+type cypherRel struct {
+	label    graph.Label
+	reversed bool
+}
+
+type cypherLexer struct {
+	s   string
+	pos int
+}
+
+func newCypherLexer(s string) *cypherLexer {
+	return &cypherLexer{s: strings.TrimSpace(s)}
+}
+
+func (l *cypherLexer) done() bool {
+	l.skipSpace()
+	return l.pos >= len(l.s)
+}
+
+func (l *cypherLexer) skipSpace() {
+	for l.pos < len(l.s) && (l.s[l.pos] == ' ' || l.s[l.pos] == '\t' || l.s[l.pos] == '\n') {
+		l.pos++
+	}
+}
+
+func (l *cypherLexer) expect(tok string) error {
+	l.skipSpace()
+	if !strings.HasPrefix(l.s[l.pos:], tok) {
+		return fmt.Errorf("cypher: expected %q at %q", tok, l.s[l.pos:])
+	}
+	l.pos += len(tok)
+	return nil
+}
+
+// node parses '(' name [':' label] ')'.
+func (l *cypherLexer) node() (cypherNode, error) {
+	var n cypherNode
+	if err := l.expect("("); err != nil {
+		return n, err
+	}
+	l.skipSpace()
+	start := l.pos
+	for l.pos < len(l.s) && isIdent(l.s[l.pos]) {
+		l.pos++
+	}
+	n.name = l.s[start:l.pos]
+	if n.name == "" {
+		return n, fmt.Errorf("cypher: anonymous nodes are not supported (at %q)", l.s[start:])
+	}
+	l.skipSpace()
+	if l.pos < len(l.s) && l.s[l.pos] == ':' {
+		l.pos++
+		lab, err := l.number()
+		if err != nil {
+			return n, err
+		}
+		n.label = lab
+		n.hasLabel = true
+	}
+	if err := l.expect(")"); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// rel parses the relationship arrows.
+func (l *cypherLexer) rel() (cypherRel, error) {
+	var r cypherRel
+	l.skipSpace()
+	rest := l.s[l.pos:]
+	switch {
+	case strings.HasPrefix(rest, "-->"):
+		l.pos += 3
+		return r, nil
+	case strings.HasPrefix(rest, "<--"):
+		l.pos += 3
+		r.reversed = true
+		return r, nil
+	case strings.HasPrefix(rest, "-["):
+		l.pos += 2
+		if err := l.relBody(&r); err != nil {
+			return r, err
+		}
+		if err := l.expect("]->"); err != nil {
+			return r, err
+		}
+		return r, nil
+	case strings.HasPrefix(rest, "<-["):
+		l.pos += 3
+		r.reversed = true
+		if err := l.relBody(&r); err != nil {
+			return r, err
+		}
+		if err := l.expect("]-"); err != nil {
+			return r, err
+		}
+		return r, nil
+	}
+	return r, fmt.Errorf("cypher: expected relationship at %q", rest)
+}
+
+func (l *cypherLexer) relBody(r *cypherRel) error {
+	l.skipSpace()
+	// Optional variable name (ignored), optional ':' label.
+	for l.pos < len(l.s) && isIdent(l.s[l.pos]) {
+		l.pos++
+	}
+	l.skipSpace()
+	if l.pos < len(l.s) && l.s[l.pos] == ':' {
+		l.pos++
+		lab, err := l.number()
+		if err != nil {
+			return err
+		}
+		r.label = lab
+	}
+	return nil
+}
+
+func (l *cypherLexer) number() (graph.Label, error) {
+	l.skipSpace()
+	start := l.pos
+	for l.pos < len(l.s) && l.s[l.pos] >= '0' && l.s[l.pos] <= '9' {
+		l.pos++
+	}
+	if start == l.pos {
+		return 0, fmt.Errorf("cypher: expected numeric label at %q", l.s[start:])
+	}
+	v, err := strconv.ParseUint(l.s[start:l.pos], 10, 16)
+	if err != nil {
+		return 0, err
+	}
+	return graph.Label(v), nil
+}
+
+func isIdent(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// ParseAny accepts either the native pattern syntax or a Cypher MATCH
+// query, dispatching on the MATCH keyword.
+func ParseAny(s string) (*Graph, error) {
+	if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(s)), "MATCH") {
+		return ParseCypher(s)
+	}
+	return Parse(s)
+}

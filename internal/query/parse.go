@@ -1,0 +1,120 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"graphflow/internal/graph"
+)
+
+// Parse builds a query Graph from a textual pattern. The syntax is a
+// comma- or semicolon-separated list of directed edges:
+//
+//	a1 -> a2, a2 -> a3, a1 -> a3          unlabeled triangle
+//	a:1 -[2]-> b:0                        vertex labels after ':', edge label in -[l]->
+//	a <- b                                reversed arrow, equivalent to b -> a
+//
+// Vertex names are arbitrary identifiers; a vertex's label may be given on
+// any of its occurrences but must not conflict across occurrences.
+func Parse(pattern string) (*Graph, error) {
+	q := &Graph{}
+	labelSeen := map[string]bool{} // name -> label was explicitly set
+
+	getVertex := func(tok string) (int, error) {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return -1, fmt.Errorf("query: empty vertex token")
+		}
+		name := tok
+		var label graph.Label
+		hasLabel := false
+		if i := strings.IndexByte(tok, ':'); i >= 0 {
+			name = strings.TrimSpace(tok[:i])
+			ls := strings.TrimSpace(tok[i+1:])
+			l, err := strconv.ParseUint(ls, 10, 16)
+			if err != nil {
+				return -1, fmt.Errorf("query: bad vertex label %q: %v", ls, err)
+			}
+			label = graph.Label(l)
+			hasLabel = true
+		}
+		if name == "" {
+			return -1, fmt.Errorf("query: empty vertex name in %q", tok)
+		}
+		idx := q.VertexIndex(name)
+		if idx < 0 {
+			q.Vertices = append(q.Vertices, Vertex{Name: name, Label: label})
+			labelSeen[name] = hasLabel
+			return len(q.Vertices) - 1, nil
+		}
+		if hasLabel {
+			if labelSeen[name] && q.Vertices[idx].Label != label {
+				return -1, fmt.Errorf("query: conflicting labels for vertex %q", name)
+			}
+			q.Vertices[idx].Label = label
+			labelSeen[name] = true
+		}
+		return idx, nil
+	}
+
+	splitEdges := func(r rune) bool { return r == ',' || r == ';' || r == '\n' }
+	for _, part := range strings.FieldsFunc(pattern, splitEdges) {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		src, dst, label, err := parseEdge(part)
+		if err != nil {
+			return nil, err
+		}
+		fi, err := getVertex(src)
+		if err != nil {
+			return nil, err
+		}
+		ti, err := getVertex(dst)
+		if err != nil {
+			return nil, err
+		}
+		q.Edges = append(q.Edges, Edge{From: fi, To: ti, Label: label})
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// parseEdge splits one edge clause into source token, destination token and
+// edge label, normalising '<-' arrows.
+func parseEdge(clause string) (src, dst string, label graph.Label, err error) {
+	// Try forward arrows first: "-[l]->" then "->".
+	if i := strings.Index(clause, "-["); i >= 0 {
+		j := strings.Index(clause[i:], "]->")
+		if j < 0 {
+			return "", "", 0, fmt.Errorf("query: malformed labeled arrow in %q", clause)
+		}
+		ls := strings.TrimSpace(clause[i+2 : i+j])
+		l, perr := strconv.ParseUint(ls, 10, 16)
+		if perr != nil {
+			return "", "", 0, fmt.Errorf("query: bad edge label %q: %v", ls, perr)
+		}
+		return clause[:i], clause[i+j+3:], graph.Label(l), nil
+	}
+	if i := strings.Index(clause, "->"); i >= 0 {
+		return clause[:i], clause[i+2:], 0, nil
+	}
+	if i := strings.Index(clause, "<-"); i >= 0 {
+		return clause[i+2:], clause[:i], 0, nil
+	}
+	return "", "", 0, fmt.Errorf("query: no arrow in edge clause %q", clause)
+}
+
+// MustParse is Parse but panics on error; for tests, examples and the
+// built-in query set.
+func MustParse(pattern string) *Graph {
+	q, err := Parse(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

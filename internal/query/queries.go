@@ -1,0 +1,140 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphflow/internal/graph"
+)
+
+// The 14 benchmark queries of Figure 6. The paper's figure gives drawings
+// only; the concrete directed versions below follow the structures the text
+// pins down: Q1 is the asymmetric triangle (Section 3.2.1), Q3 the tailed
+// triangle (Figure 2b), Q4 the diamond-X (Figure 1), Q5 the diamond-X with
+// symmetric (cyclic) triangles (Figure 2a / Table 6), Q6/Q7/Q14 the 4-, 5-
+// and 7-cliques (21 query edges for Q14, matching Section 8.1.3), Q8 two
+// triangles sharing a vertex (Section 8.2), Q9 the Figure 10 query, Q10 the
+// diamond+triangle join (Section 8.3), Q11/Q13 acyclic, Q12 the 6-cycle.
+
+// Q1 is the asymmetric triangle: a1->a2, a2->a3, a1->a3.
+func Q1() *Graph { return MustParse("a1->a2, a2->a3, a1->a3") }
+
+// Q2 is the directed 4-cycle.
+func Q2() *Graph { return MustParse("a1->a2, a2->a3, a3->a4, a4->a1") }
+
+// Q3 is the tailed triangle (Figure 2b): triangle a1,a2,a3 with tail a2->a4.
+func Q3() *Graph { return MustParse("a1->a2, a2->a3, a1->a3, a2->a4") }
+
+// Q4 is the diamond-X of Figure 1: two asymmetric triangles sharing edge
+// a2->a3.
+func Q4() *Graph { return MustParse("a1->a2, a1->a3, a2->a3, a2->a4, a3->a4") }
+
+// Q5 is the diamond-X with symmetric (cyclic) triangles of Figure 2a: two
+// directed 3-cycles sharing the edge a2->a3, so both a1 and a4 are found by
+// intersecting a3's forward with a2's backward list — the intersection-cache
+// showcase of Table 6.
+func Q5() *Graph { return MustParse("a1->a2, a2->a3, a3->a1, a3->a4, a4->a2") }
+
+// Q6 is the 4-clique (acyclic orientation).
+func Q6() *Graph { return clique(4) }
+
+// Q7 is the 5-clique (acyclic orientation).
+func Q7() *Graph { return clique(5) }
+
+// Q8 is two triangles sharing vertex a3 ("small cyclic structures that do
+// not share edges", Section 8.2).
+func Q8() *Graph {
+	return MustParse("a1->a2, a2->a3, a1->a3, a3->a4, a4->a5, a3->a5")
+}
+
+// Q9 is the Figure 10 query: triangles (a1,a2,a3) and (a3,a4,a5) sharing
+// a3, plus a6 adjacent to both triangles; its best plan joins the two
+// triangles and then closes a6 with a 2-way intersection — the hybrid shape
+// outside EmptyHeaded's plan space.
+func Q9() *Graph {
+	return MustParse("a1->a2, a2->a3, a1->a3, a3->a4, a4->a5, a3->a5, a2->a6, a4->a6")
+}
+
+// Q10 is a diamond joined with a triangle on a4 (Section 8.3).
+func Q10() *Graph {
+	return MustParse("a1->a2, a1->a3, a2->a4, a3->a4, a4->a5, a5->a6, a4->a6")
+}
+
+// Q11 is the directed 4-path on 5 vertices (acyclic).
+func Q11() *Graph { return MustParse("a1->a2, a2->a3, a3->a4, a4->a5") }
+
+// Q12 is the directed 6-cycle, the paper's "most interesting query": its
+// efficient hybrid plans (binary-join two 3-paths, then close with an
+// intersection) are not GHD-shaped.
+func Q12() *Graph {
+	return MustParse("a1->a2, a2->a3, a3->a4, a4->a5, a5->a6, a6->a1")
+}
+
+// Q13 is the directed 5-path on 6 vertices (acyclic).
+func Q13() *Graph { return MustParse("a1->a2, a2->a3, a3->a4, a4->a5, a5->a6") }
+
+// Q14 is the 7-clique: 21 query edges, the hardest query (Section 8.5).
+func Q14() *Graph { return clique(7) }
+
+func clique(n int) *Graph {
+	q := &Graph{}
+	for i := 0; i < n; i++ {
+		q.Vertices = append(q.Vertices, Vertex{Name: fmt.Sprintf("a%d", i+1)})
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			q.Edges = append(q.Edges, Edge{From: i, To: j})
+		}
+	}
+	return q
+}
+
+// Benchmark returns query QJ for J in 1..14, or nil.
+func Benchmark(j int) *Graph {
+	switch j {
+	case 1:
+		return Q1()
+	case 2:
+		return Q2()
+	case 3:
+		return Q3()
+	case 4:
+		return Q4()
+	case 5:
+		return Q5()
+	case 6:
+		return Q6()
+	case 7:
+		return Q7()
+	case 8:
+		return Q8()
+	case 9:
+		return Q9()
+	case 10:
+		return Q10()
+	case 11:
+		return Q11()
+	case 12:
+		return Q12()
+	case 13:
+		return Q13()
+	case 14:
+		return Q14()
+	}
+	return nil
+}
+
+// WithRandomEdgeLabels returns a copy of q whose edges carry labels drawn
+// uniformly from [0, numLabels): the query side of the paper's QJi
+// workloads. numLabels <= 1 returns an unchanged copy.
+func WithRandomEdgeLabels(q *Graph, numLabels int, seed int64) *Graph {
+	out := q.Clone()
+	if numLabels <= 1 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range out.Edges {
+		out.Edges[i].Label = graph.Label(rng.Intn(numLabels))
+	}
+	return out
+}

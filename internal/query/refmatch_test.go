@@ -1,0 +1,94 @@
+package query
+
+import (
+	"testing"
+
+	"graphflow/internal/graph"
+)
+
+// k4 returns the complete directed graph on 4 vertices (both directions).
+func k4(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				b.AddEdge(graph.VertexID(i), graph.VertexID(j), 0)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestRefCountTriangleOnK4(t *testing.T) {
+	g := k4(t)
+	// Every ordered triple of distinct vertices matches the asymmetric
+	// triangle on a bidirectional K4: 4*3*2 = 24.
+	if got := RefCount(g, Q1()); got != 24 {
+		t.Errorf("triangles on K4 = %d, want 24", got)
+	}
+}
+
+func TestRefCountDirectedTriangle(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 0)
+	b.AddEdge(0, 2, 0)
+	g := b.MustBuild()
+	if got := RefCount(g, Q1()); got != 1 {
+		t.Errorf("asymmetric triangle count = %d, want 1", got)
+	}
+	cyc := MustParse("a->b, b->c, c->a")
+	if got := RefCount(g, cyc); got != 0 {
+		t.Errorf("cyclic triangle count = %d, want 0", got)
+	}
+}
+
+func TestRefCountLabels(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.SetVertexLabel(2, 1)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 1)
+	g := b.MustBuild()
+	// Path with matching labels.
+	q := MustParse("a -> b, b -[1]-> c:1")
+	if got := RefCount(g, q); got != 1 {
+		t.Errorf("labeled path count = %d, want 1", got)
+	}
+	// Wrong edge label.
+	q2 := MustParse("a -> b, b -[1]-> c")
+	if got := RefCount(g, q2); got != 0 {
+		t.Errorf("mismatched vertex label count = %d, want 0", got)
+	}
+}
+
+func TestRefCountHomomorphismSemantics(t *testing.T) {
+	// 4-cycle query on a graph with a 2-cycle: a1..a4 can fold onto the two
+	// vertices (a1=a3's image allowed since not adjacent in Q2).
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 0, 0)
+	g := b.MustBuild()
+	// Matches: a1=0,a2=1,a3=0,a4=1 and a1=1,a2=0,a3=1,a4=0.
+	if got := RefCount(g, Q2()); got != 2 {
+		t.Errorf("4-cycle homomorphisms on 2-cycle = %d, want 2", got)
+	}
+}
+
+func TestRefEnumerateEmit(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 0)
+	g := b.MustBuild()
+	q := MustParse("x->y, y->z")
+	var got [][]graph.VertexID
+	n := RefEnumerate(g, q, func(a []graph.VertexID) {
+		got = append(got, append([]graph.VertexID(nil), a...))
+	})
+	if n != 1 || len(got) != 1 {
+		t.Fatalf("path matches = %d (%v), want 1", n, got)
+	}
+	if got[0][q.VertexIndex("x")] != 0 || got[0][q.VertexIndex("z")] != 2 {
+		t.Errorf("assignment = %v", got[0])
+	}
+}
