@@ -1,17 +1,24 @@
-// Command gfquery runs a subgraph query end to end: load or generate a
+// Command gfquery runs subgraph queries end to end: load or generate a
 // graph, build the catalogue, optimize, execute, and report the plan and
-// statistics.
+// statistics. Queries are compiled once with the prepared-query API and
+// run from the compiled form; -repeat shows planning amortizing away
+// across repeated executions.
 //
 // Usage:
 //
 //	gfquery -dataset Epinions -query "a->b, b->c, a->c"
 //	gfquery -data graph.txt -query "a->b, b->c" -workers 8 -explain
+//	gfquery -dataset Epinions -query "a->b, b->c, a->c" -repeat 5
+//	gfquery -dataset Epinions            # interactive: one pattern per line
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"graphflow"
 )
@@ -21,23 +28,19 @@ func main() {
 		dataFile = flag.String("data", "", "edge-list file to load (see internal/graph format)")
 		dsName   = flag.String("dataset", "", "built-in dataset name (Amazon, Epinions, LiveJournal, Twitter, BerkStan, Google, Human)")
 		scale    = flag.Int("scale", 1, "dataset scale factor")
-		pattern  = flag.String("query", "", "query pattern, e.g. \"a->b, b->c, a->c\"")
+		pattern  = flag.String("query", "", "query pattern, e.g. \"a->b, b->c, a->c\"; empty starts an interactive loop")
 		workers  = flag.Int("workers", 1, "parallel workers")
 		adaptive = flag.Bool("adaptive", false, "adaptive query-vertex-ordering selection")
 		wcoOnly  = flag.Bool("wco", false, "restrict the optimizer to WCO plans")
 		noCache  = flag.Bool("nocache", false, "disable the intersection cache")
 		limit    = flag.Int64("limit", 0, "stop after this many matches (0 = all)")
+		repeat   = flag.Int("repeat", 1, "execute the prepared query this many times")
 		explain  = flag.Bool("explain", false, "print the plan without executing")
 		analyze  = flag.Bool("analyze", false, "run and print per-operator statistics")
 		catZ     = flag.Int("catz", 1000, "catalogue sample size z")
 		catH     = flag.Int("cath", 3, "catalogue max subquery size h")
 	)
 	flag.Parse()
-	if *pattern == "" {
-		fmt.Fprintln(os.Stderr, "gfquery: -query is required")
-		flag.Usage()
-		os.Exit(2)
-	}
 
 	opts := &graphflow.Options{CatalogueH: *catH, CatalogueZ: *catZ}
 	var db *graphflow.DB
@@ -61,11 +64,25 @@ func main() {
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", db.NumVertices(), db.NumEdges())
 
+	qo := &graphflow.QueryOptions{
+		Workers:      *workers,
+		Adaptive:     *adaptive,
+		WCOOnly:      *wcoOnly,
+		DisableCache: *noCache,
+		Limit:        *limit,
+	}
+
+	if *pattern == "" {
+		repl(db, qo)
+		return
+	}
+
 	if *explain {
-		st, err := db.Explain(*pattern)
+		pq, err := prepareFor(db, qo)(*pattern)
 		if err != nil {
 			fatal(err)
 		}
+		st := pq.Stats()
 		fmt.Printf("plan kind: %s\n%s", st.PlanKind, st.Plan)
 		if est, err := db.EstimateCardinality(*pattern); err == nil {
 			fmt.Printf("estimated matches: %.1f\n", est)
@@ -81,20 +98,91 @@ func main() {
 		return
 	}
 
-	qo := &graphflow.QueryOptions{
-		Workers:      *workers,
-		Adaptive:     *adaptive,
-		WCOOnly:      *wcoOnly,
-		DisableCache: *noCache,
-		Limit:        *limit,
-	}
-	n, st, err := db.CountStats(*pattern, qo)
-	if err != nil {
+	if err := runPrepared(db, *pattern, qo, *repeat); err != nil {
 		fatal(err)
 	}
+}
+
+// runPrepared compiles the pattern once, runs it repeat times, and
+// reports per-run wall time: with the compiled plan reused, every run
+// after the first pays execution cost only.
+// prepareFor selects the Prepare variant matching the session's planning
+// options (-wco restricts the plan space at compile time).
+func prepareFor(db *graphflow.DB, qo *graphflow.QueryOptions) func(string) (*graphflow.PreparedQuery, error) {
+	if qo.WCOOnly {
+		return db.PrepareWCO
+	}
+	return db.Prepare
+}
+
+func runPrepared(db *graphflow.DB, pattern string, qo *graphflow.QueryOptions, repeat int) error {
+	planStart := time.Now()
+	pq, err := prepareFor(db, qo)(pattern)
+	if err != nil {
+		return err
+	}
+	planTime := time.Since(planStart)
+	if repeat < 1 {
+		repeat = 1
+	}
+	var st graphflow.Stats
+	var n int64
+	for i := 0; i < repeat; i++ {
+		runStart := time.Now()
+		n, st, err = pq.CountStats(qo)
+		if err != nil {
+			return err
+		}
+		if repeat > 1 {
+			fmt.Printf("run %d: %d matches in %v\n", i+1, n, time.Since(runStart))
+		}
+	}
 	fmt.Printf("matches: %d\n", n)
-	fmt.Printf("plan kind: %s\nintermediate: %d  i-cost: %d  cache hits: %d\n%s",
-		st.PlanKind, st.Intermediate, st.ICost, st.CacheHits, st.Plan)
+	fmt.Printf("plan kind: %s  (planned+compiled once in %v)\nintermediate: %d  i-cost: %d  cache hits: %d\n%s",
+		st.PlanKind, planTime, st.Intermediate, st.ICost, st.CacheHits, st.Plan)
+	return nil
+}
+
+// repl reads one pattern per line and evaluates it through the DB's plan
+// cache, so re-issuing a query (or an isomorphic spelling of it) skips
+// re-optimization. Commands: ":explain <pattern>", ":cache", ":quit".
+func repl(db *graphflow.DB, qo *graphflow.QueryOptions) {
+	fmt.Println(`interactive mode - enter a pattern ("a->b, b->c, a->c"), ":explain <pattern>", ":cache" or ":quit"`)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("gfquery> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ":quit" || line == ":q" || line == ":exit":
+			return
+		case line == ":cache":
+			cs := db.PlanCacheStats()
+			fmt.Printf("plan cache: %d entries, %d hits, %d misses, %d evictions\n",
+				cs.Entries, cs.Hits, cs.Misses, cs.Evictions)
+		case strings.HasPrefix(line, ":explain "):
+			// Plan in the same space queries execute in (-wco applies).
+			pq, err := prepareFor(db, qo)(strings.TrimSpace(strings.TrimPrefix(line, ":explain ")))
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			st := pq.Stats()
+			fmt.Printf("plan kind: %s\n%s", st.PlanKind, st.Plan)
+		default:
+			start := time.Now()
+			n, st, err := db.CountStats(line, qo)
+			if err != nil {
+				fmt.Println("error:", err)
+				break
+			}
+			fmt.Printf("matches: %d  (%v, plan kind %s)\n", n, time.Since(start), st.PlanKind)
+		}
+		fmt.Print("gfquery> ")
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,3 @@
+module graphflow
+
+go 1.24

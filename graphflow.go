@@ -13,14 +13,23 @@
 // plans, binary-join plans and hybrids, using the intersection-cost model
 // of the paper; execution supports parallel workers, an intersection
 // cache, and adaptive per-tuple re-selection of query vertex orderings.
+//
+// Queries follow a compile-once/run-many lifecycle. Prepare parses,
+// canonicalizes, optimizes and compiles a pattern into a PreparedQuery
+// that any number of goroutines may execute concurrently. The one-shot
+// entry points (Count, Match, Analyze, ...) go through the same machinery
+// backed by a concurrent plan cache keyed by the pattern's canonical
+// form, so repeated ad-hoc queries skip re-optimization automatically.
 package graphflow
 
 import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync/atomic"
 
 	"graphflow/internal/adaptive"
+	"graphflow/internal/cache"
 	"graphflow/internal/catalogue"
 	"graphflow/internal/datagen"
 	"graphflow/internal/exec"
@@ -43,6 +52,10 @@ type Options struct {
 	// CalibrateJoinWeights runs the empirical w1/w2 calibration of Section
 	// 4.2 on this machine instead of using the defaults.
 	CalibrateJoinWeights bool
+	// PlanCacheSize bounds the DB's compiled-plan cache (entries, shared
+	// across all goroutines). 0 takes the default of 256; a negative value
+	// disables plan caching entirely.
+	PlanCacheSize int
 }
 
 func (o *Options) withDefaults() Options {
@@ -59,15 +72,22 @@ func (o *Options) withDefaults() Options {
 	if out.Seed == 0 {
 		out.Seed = 1
 	}
+	if out.PlanCacheSize == 0 {
+		out.PlanCacheSize = 256
+	}
 	return out
 }
 
-// DB is an immutable graph database instance: graph, catalogue, and
-// calibrated cost-model weights.
+// DB is an immutable graph database instance: graph, catalogue,
+// calibrated cost-model weights, and the compiled-plan cache. A DB is
+// safe for concurrent use by multiple goroutines.
 type DB struct {
 	g      *graph.Graph
 	cat    *catalogue.Catalogue
 	w1, w2 float64
+	// plans caches compiled plans keyed by canonical query form (nil when
+	// caching is disabled).
+	plans *cache.Cache[*preparedPlan]
 }
 
 // QueryOptions tunes one query evaluation.
@@ -76,7 +96,9 @@ type QueryOptions struct {
 	Workers int
 	// Adaptive re-picks query vertex orderings per tuple (Section 6).
 	Adaptive bool
-	// WCOOnly restricts planning to worst-case-optimal plans.
+	// WCOOnly restricts planning to worst-case-optimal plans. Ignored by
+	// PreparedQuery methods: plan choice is fixed at Prepare time (use
+	// PrepareWCO for a WCO-restricted prepared query).
 	WCOOnly bool
 	// DisableCache turns off the intersection cache.
 	DisableCache bool
@@ -86,6 +108,10 @@ type QueryOptions struct {
 	// subgraph-isomorphism semantics: every query vertex must bind a
 	// distinct data vertex. Implemented as a post-filter.
 	Distinct bool
+	// SkipPlanCache bypasses the DB's compiled-plan cache for this call,
+	// forcing a fresh parse/optimize/compile. Used to measure planning
+	// overhead; leave false otherwise.
+	SkipPlanCache bool
 }
 
 // Stats reports what one evaluation did.
@@ -98,12 +124,25 @@ type Stats struct {
 	Plan         string // operator tree, one operator per line
 }
 
+// PlanCacheStats is a snapshot of the DB's compiled-plan cache counters.
+type PlanCacheStats struct {
+	// Hits and Misses count cache lookups by Count/Match/Prepare/etc.
+	Hits, Misses int64
+	// Evictions counts plans dropped to respect the size bound.
+	Evictions int64
+	// Entries is the number of currently cached plans.
+	Entries int
+}
+
 // newDB builds the catalogue and weights for a finished graph.
 func newDB(g *graph.Graph, opts Options) *DB {
 	db := &DB{
 		g:  g,
 		w1: optimizer.DefaultW1,
 		w2: optimizer.DefaultW2,
+	}
+	if opts.PlanCacheSize > 0 {
+		db.plans = cache.New[*preparedPlan](opts.PlanCacheSize)
 	}
 	db.cat = catalogue.Build(g, catalogue.Config{H: opts.CatalogueH, Z: opts.CatalogueZ, Seed: opts.Seed})
 	if opts.CalibrateJoinWeights {
@@ -175,26 +214,198 @@ func (db *DB) NumVertices() int { return db.g.NumVertices() }
 // NumEdges returns the graph's edge count.
 func (db *DB) NumEdges() int { return db.g.NumEdges() }
 
-// plan compiles the pattern into an optimized physical plan.
-func (db *DB) plan(pattern string, qo QueryOptions) (*query.Graph, *planWrap, error) {
-	q, err := query.ParseAny(pattern)
-	if err != nil {
-		return nil, nil, err
+// preparedPlan is the shareable, immutable compiled artifact cached per
+// canonical query form: the canonical query, its optimized plan, and the
+// plan lowered into an executable CompiledPlan. The plan is built over
+// the canonical query, so one cached entry serves every isomorphic
+// spelling of a pattern; per-spelling state (the original vertex names)
+// lives in PreparedQuery instead.
+type preparedPlan struct {
+	canon    *query.Graph
+	plan     *plan.Plan
+	compiled *exec.CompiledPlan
+}
+
+// preparedFor returns the compiled plan for q (from the cache when
+// possible) plus perm, mapping q's vertex indices to canonical indices.
+func (db *DB) preparedFor(q *query.Graph, wcoOnly, skipCache bool) (*preparedPlan, []int, error) {
+	canon, perm := q.Canonical()
+	var key string
+	if db.plans != nil && !skipCache {
+		key = canon.Key()
+		if wcoOnly {
+			// WCO-restricted planning yields different plans; keep the
+			// spaces apart in the cache.
+			key += "|wco"
+		}
+		if pp, ok := db.plans.Get(key); ok {
+			return pp, perm, nil
+		}
 	}
-	p, err := optimizer.Optimize(q, optimizer.Options{
+	p, err := optimizer.Optimize(canon, optimizer.Options{
 		Catalogue: db.cat,
 		W1:        db.w1,
 		W2:        db.w2,
-		WCOOnly:   qo.WCOOnly,
+		WCOOnly:   wcoOnly,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	return q, &planWrap{p}, nil
+	cp, err := exec.Compile(db.g, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	pp := &preparedPlan{canon: canon, plan: p, compiled: cp}
+	if key != "" {
+		db.plans.Put(key, pp)
+	}
+	return pp, perm, nil
+}
+
+// PlanCacheStats reports the DB's compiled-plan cache effectiveness; all
+// zeros when caching is disabled.
+func (db *DB) PlanCacheStats() PlanCacheStats {
+	if db.plans == nil {
+		return PlanCacheStats{}
+	}
+	st := db.plans.Stats()
+	return PlanCacheStats{Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions, Entries: st.Entries}
+}
+
+// PreparedQuery is a pattern compiled once — parsed, canonicalized,
+// optimized and lowered — and runnable many times. All methods are safe
+// for concurrent use from multiple goroutines: the compiled plan is
+// immutable and every run carries its own mutable state.
+type PreparedQuery struct {
+	db *DB
+	pp *preparedPlan
+	// names maps canonical vertex index to the pattern's original vertex
+	// name, for Match output.
+	names []string
+}
+
+// Prepare compiles the pattern for repeated execution. Planning uses the
+// full WCO/binary/hybrid plan space; per-run knobs (Workers, Limit,
+// Distinct, DisableCache, Adaptive) are supplied to each Count/Match
+// call. The compiled plan is shared with the DB's plan cache, so ad-hoc
+// Count calls with an isomorphic pattern reuse it too.
+func (db *DB) Prepare(pattern string) (*PreparedQuery, error) {
+	return db.prepare(pattern, false, false)
+}
+
+// PrepareWCO is Prepare with planning restricted to worst-case-optimal
+// plans (QueryOptions.WCOOnly fixed at compile time).
+func (db *DB) PrepareWCO(pattern string) (*PreparedQuery, error) {
+	return db.prepare(pattern, true, false)
+}
+
+// prepare is the single parse → canonicalize → plan → compile path every
+// query entry point goes through.
+func (db *DB) prepare(pattern string, wcoOnly, skipCache bool) (*PreparedQuery, error) {
+	q, err := query.ParseAny(pattern)
+	if err != nil {
+		return nil, err
+	}
+	pp, perm, err := db.preparedFor(q, wcoOnly, skipCache)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(q.Vertices))
+	for orig, canon := range perm {
+		names[canon] = q.Vertices[orig].Name
+	}
+	return &PreparedQuery{db: db, pp: pp, names: names}, nil
+}
+
+// Count evaluates the prepared query and returns the number of matches.
+// opts may be nil. Safe for concurrent use.
+func (pq *PreparedQuery) Count(opts *QueryOptions) (int64, error) {
+	n, _, err := pq.CountStats(opts)
+	return n, err
+}
+
+// CountStats is Count plus the execution statistics and plan description.
+func (pq *PreparedQuery) CountStats(opts *QueryOptions) (int64, Stats, error) {
+	var qo QueryOptions
+	if opts != nil {
+		qo = *opts
+	}
+	n, prof, err := pq.db.runCount(pq.pp, qo)
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	return n, statsFrom(pq.pp.plan, prof, n), nil
+}
+
+// Match evaluates the prepared query, invoking fn with each match as a
+// map from vertex name to data vertex ID; fn returning false stops
+// enumeration promptly. Distinct and Limit apply as in Count.
+// Single-threaded.
+func (pq *PreparedQuery) Match(fn func(map[string]uint32) bool, opts *QueryOptions) error {
+	var qo QueryOptions
+	if opts != nil {
+		qo = *opts
+	}
+	layout := pq.pp.plan.Root.Out()
+	names := make([]string, len(layout))
+	for slot, v := range layout {
+		names[slot] = pq.names[v]
+	}
+	cfg := exec.RunConfig{DisableCache: qo.DisableCache}
+	var delivered int64
+	_, err := pq.pp.compiled.RunUntil(cfg, func(t []graph.VertexID) bool {
+		if qo.Distinct && !allDistinct(t) {
+			return true
+		}
+		m := make(map[string]uint32, len(t))
+		for slot, v := range t {
+			m[names[slot]] = uint32(v)
+		}
+		if !fn(m) {
+			return false
+		}
+		delivered++
+		return qo.Limit <= 0 || delivered < qo.Limit
+	})
+	return err
+}
+
+// Stats returns the prepared plan's kind and operator tree without
+// running it (the Explain view).
+func (pq *PreparedQuery) Stats() Stats {
+	return Stats{PlanKind: pq.pp.plan.Kind(), Plan: pq.pp.plan.Describe()}
+}
+
+// runCount executes a compiled plan under the given options.
+func (db *DB) runCount(pp *preparedPlan, qo QueryOptions) (int64, exec.Profile, error) {
+	cfg := exec.RunConfig{Workers: qo.Workers, DisableCache: qo.DisableCache}
+	switch {
+	case qo.Distinct:
+		// RunConcurrent calls emit from every worker goroutine without
+		// serialising, so the count must be an atomic.
+		var count atomic.Int64
+		prof, err := pp.compiled.RunConcurrent(cfg, func(t []graph.VertexID) {
+			if allDistinct(t) {
+				count.Add(1)
+			}
+		})
+		return count.Load(), prof, err
+	case qo.Adaptive:
+		ev := &adaptive.Evaluator{Graph: db.g, Catalogue: db.cat, Config: adaptive.Config{Workers: qo.Workers}}
+		return ev.Count(pp.plan)
+	case qo.Limit > 0:
+		return pp.compiled.CountUpTo(cfg, qo.Limit)
+	default:
+		// Pure counting can skip enumerating the last extension's Cartesian
+		// product (factorized counting); the count is exact.
+		cfg.FastCount = true
+		return pp.compiled.Count(cfg)
+	}
 }
 
 // Count evaluates the pattern and returns the number of matches. opts may
-// be nil.
+// be nil. Repeated calls with isomorphic patterns hit the plan cache and
+// skip re-optimization.
 func (db *DB) Count(pattern string, opts *QueryOptions) (int64, error) {
 	n, _, err := db.CountStats(pattern, opts)
 	return n, err
@@ -206,38 +417,15 @@ func (db *DB) CountStats(pattern string, opts *QueryOptions) (int64, Stats, erro
 	if opts != nil {
 		qo = *opts
 	}
-	_, pw, err := db.plan(pattern, qo)
+	pq, err := db.prepare(pattern, qo.WCOOnly, qo.SkipPlanCache)
 	if err != nil {
 		return 0, Stats{}, err
 	}
-	var prof exec.Profile
-	var n int64
-	switch {
-	case qo.Distinct:
-		r := &exec.Runner{Graph: db.g, Workers: qo.Workers, DisableCache: qo.DisableCache}
-		var count int64
-		prof, err = r.Run(pw.p, func(t []graph.VertexID) {
-			if allDistinct(t) {
-				count++
-			}
-		})
-		n = count
-	case qo.Adaptive:
-		ev := &adaptive.Evaluator{Graph: db.g, Catalogue: db.cat, Config: adaptive.Config{Workers: qo.Workers}}
-		n, prof, err = ev.Count(pw.p)
-	case qo.Limit > 0:
-		r := &exec.Runner{Graph: db.g, DisableCache: qo.DisableCache}
-		n, prof, err = r.CountUpTo(pw.p, qo.Limit)
-	default:
-		// Pure counting can skip enumerating the last extension's Cartesian
-		// product (factorized counting); the count is exact.
-		r := &exec.Runner{Graph: db.g, Workers: qo.Workers, DisableCache: qo.DisableCache, FastCount: true}
-		n, prof, err = r.Count(pw.p)
-	}
+	n, prof, err := db.runCount(pq.pp, qo)
 	if err != nil {
 		return 0, Stats{}, err
 	}
-	return n, statsFrom(pw, prof, n), nil
+	return n, statsFrom(pq.pp.plan, prof, n), nil
 }
 
 // allDistinct reports whether the tuple binds pairwise-distinct data
@@ -254,62 +442,43 @@ func allDistinct(t []graph.VertexID) bool {
 }
 
 // Match evaluates the pattern, invoking fn with each match as a map from
-// vertex name to data vertex ID; fn returning false stops enumeration.
-// Single-threaded.
+// vertex name to data vertex ID; fn returning false stops enumeration
+// promptly (the runner halts rather than draining the full result set).
+// Distinct and Limit apply as in Count. Single-threaded.
 func (db *DB) Match(pattern string, fn func(map[string]uint32) bool, opts *QueryOptions) error {
 	var qo QueryOptions
 	if opts != nil {
 		qo = *opts
 	}
-	q, pw, err := db.plan(pattern, qo)
+	pq, err := db.prepare(pattern, qo.WCOOnly, qo.SkipPlanCache)
 	if err != nil {
 		return err
 	}
-	layout := pw.p.Root.Out()
-	names := make([]string, len(layout))
-	for slot, v := range layout {
-		names[slot] = q.Vertices[v].Name
-	}
-	r := &exec.Runner{Graph: db.g, DisableCache: qo.DisableCache}
-	stopped := false
-	_, err = r.Run(pw.p, func(t []graph.VertexID) {
-		if stopped {
-			return
-		}
-		m := make(map[string]uint32, len(t))
-		for slot, v := range t {
-			m[names[slot]] = uint32(v)
-		}
-		if !fn(m) {
-			stopped = true
-		}
-	})
-	return err
+	return pq.Match(fn, opts)
 }
 
 // Explain returns the optimizer's plan for the pattern without running it.
 func (db *DB) Explain(pattern string) (Stats, error) {
-	_, pw, err := db.plan(pattern, QueryOptions{})
+	pq, err := db.prepare(pattern, false, false)
 	if err != nil {
 		return Stats{}, err
 	}
-	return Stats{PlanKind: pw.p.Kind(), Plan: pw.p.Describe()}, nil
+	return pq.Stats(), nil
 }
 
 // Analyze runs the pattern and returns Stats whose Plan field carries the
 // per-operator breakdown (tuples out, i-cost, cache hits, probe and build
 // counts) — EXPLAIN ANALYZE for subgraph plans. Single-threaded.
 func (db *DB) Analyze(pattern string) (Stats, error) {
-	_, pw, err := db.plan(pattern, QueryOptions{})
+	pq, err := db.prepare(pattern, false, false)
 	if err != nil {
 		return Stats{}, err
 	}
-	r := &exec.Runner{Graph: db.g}
-	ops, prof, err := r.Analyze(pw.p)
+	ops, prof, err := pq.pp.compiled.Analyze(exec.RunConfig{})
 	if err != nil {
 		return Stats{}, err
 	}
-	st := statsFrom(pw, prof, prof.Matches)
+	st := statsFrom(pq.pp.plan, prof, prof.Matches)
 	st.Plan = ops.Describe()
 	return st, nil
 }
@@ -330,16 +499,13 @@ func (db *DB) GraphStats() graph.Stats {
 	return db.g.ComputeStats(2000, rand.New(rand.NewSource(7)))
 }
 
-// planWrap keeps internal plan types out of exported signatures.
-type planWrap struct{ p *plan.Plan }
-
-func statsFrom(pw *planWrap, prof exec.Profile, n int64) Stats {
+func statsFrom(p *plan.Plan, prof exec.Profile, n int64) Stats {
 	return Stats{
 		Matches:      n,
 		Intermediate: prof.Intermediate,
 		ICost:        prof.ICost,
 		CacheHits:    prof.CacheHits,
-		PlanKind:     pw.p.Kind(),
-		Plan:         pw.p.Describe(),
+		PlanKind:     p.Kind(),
+		Plan:         p.Describe(),
 	}
 }

@@ -75,10 +75,21 @@ func (nc *nodeCounters) add(n plan.Node, out, icost, hits, probes, build int64) 
 // along with the aggregate profile. It runs sequentially so counters need
 // no sharding; use Run for performance measurements.
 func (r *Runner) Analyze(p *plan.Plan) (*OpStats, Profile, error) {
-	seq := &Runner{Graph: r.Graph, Workers: 1, DisableCache: r.DisableCache, MaxBuildRows: r.MaxBuildRows}
+	cp, err := Compile(r.Graph, p)
+	if err != nil {
+		return nil, Profile{}, err
+	}
+	return cp.Analyze(RunConfig{DisableCache: r.DisableCache, MaxBuildRows: r.MaxBuildRows})
+}
+
+// Analyze runs the compiled plan sequentially, collecting per-operator
+// counters. cfg.Workers and cfg.FastCount are ignored: analysis
+// enumerates every match on one goroutine.
+func (cp *CompiledPlan) Analyze(cfg RunConfig) (*OpStats, Profile, error) {
+	cfg.Workers = 1
+	cfg.FastCount = false
 	nc := &nodeCounters{m: map[plan.Node]*OpStats{}}
-	seq.analyze = nc
-	prof, err := seq.Run(p, nil)
+	prof, err := cp.run(cfg, nc, nil)
 	if err != nil {
 		return nil, Profile{}, err
 	}
@@ -94,30 +105,5 @@ func (r *Runner) Analyze(p *plan.Plan) (*OpStats, Profile, error) {
 		}
 		return st
 	}
-	return build(p.Root), prof, nil
+	return build(cp.root), prof, nil
 }
-
-// analyzeScan/analyzeExtend/analyzeProbe are invoked by the worker when
-// analysis is enabled; they collect after each pipeline run using the
-// stage-local counters.
-func collectStageStats(w *worker) {
-	nc := w.analyze
-	if nc == nil {
-		return
-	}
-	nc.add(w.scanNode(), w.scanOut, 0, 0, 0, 0)
-	w.scanOut = 0
-	for _, s := range w.stages {
-		switch st := s.(type) {
-		case *extendStage:
-			nc.add(st.op, st.outTuples, st.icost, st.hits, 0, 0)
-			st.outTuples, st.icost, st.hits = 0, 0, 0
-		case *probeStage:
-			nc.add(st.op, st.outTuples, 0, 0, st.probes, int64(st.table.len()))
-			st.outTuples, st.probes = 0, 0
-		}
-	}
-}
-
-// scanNode returns the scan's plan node for attribution.
-func (w *worker) scanNode() plan.Node { return w.scan }

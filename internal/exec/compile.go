@@ -1,0 +1,173 @@
+package exec
+
+import (
+	"fmt"
+
+	"graphflow/internal/graph"
+	"graphflow/internal/plan"
+)
+
+// CompiledPlan is the immutable, executable form of a physical plan: the
+// plan tree decomposed into flattened pipelines with all static layout
+// work (stage widths, probe slot maps, hash-table key slots) done once.
+// A CompiledPlan holds no mutable execution state — tuples, profiles,
+// intersection caches and hash tables live in the per-run context that
+// each Run/Count call materialises — so one CompiledPlan may be executed
+// by any number of goroutines simultaneously.
+type CompiledPlan struct {
+	graph *graph.Graph
+	root  plan.Node
+	// pipes lists every pipeline in execution order: hash-join build
+	// pipelines first (each before any pipeline that probes its table),
+	// the driver pipeline last.
+	pipes []*compiledPipeline
+}
+
+// compiledPipeline is one flattened probe path: a SCAN plus the chain of
+// operators above it, ending either at the plan root (the driver) or at
+// the build side of a hash join.
+type compiledPipeline struct {
+	node   plan.Node // subplan node whose probe path this pipeline drives
+	scan   *plan.Scan
+	stages []stageSpec
+	// feeds, when non-nil, is the hash join whose build side this
+	// pipeline materialises; keySlots are the join-vertex slots in the
+	// build tuple layout.
+	feeds    *plan.HashJoin
+	keySlots []int
+	outWidth int
+}
+
+// stageSpec is the static, shareable description of one operator above a
+// scan. newState mints the per-run mutable counterpart.
+type stageSpec interface {
+	newState(rc *runContext) stageState
+	planNode() plan.Node
+}
+
+// extendSpec is the compiled form of an EXTEND/INTERSECT operator.
+type extendSpec struct {
+	op *plan.Extend
+}
+
+func (s *extendSpec) planNode() plan.Node { return s.op }
+
+func (s *extendSpec) newState(rc *runContext) stageState {
+	return &extendState{spec: s, useCache: !rc.cfg.DisableCache}
+}
+
+// probeSpec is the compiled form of a HASH-JOIN probe: the slot maps that
+// the old executor derived lazily per worker are computed once here.
+type probeSpec struct {
+	op         *plan.HashJoin
+	probeSlots []int // slots in the probe tuple carrying the join vertices
+	appendIdx  []int // slots in the build tuple to append to the output
+}
+
+func (s *probeSpec) planNode() plan.Node { return s.op }
+
+func (s *probeSpec) newState(rc *runContext) stageState {
+	return &probeState{spec: s, table: rc.tables[s.op]}
+}
+
+// Compile validates p and lowers it into a CompiledPlan over g.
+func Compile(g *graph.Graph, p *plan.Plan) (*CompiledPlan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return CompileNode(g, p.Root)
+}
+
+// CompileNode lowers an arbitrary subplan node (which need not cover the
+// whole query). The adaptive evaluator compiles partial plans this way.
+func CompileNode(g *graph.Graph, root plan.Node) (*CompiledPlan, error) {
+	cp := &CompiledPlan{graph: g, root: root}
+	if err := cp.addPipeline(root, nil); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// Root returns the plan node this CompiledPlan executes.
+func (cp *CompiledPlan) Root() plan.Node { return cp.root }
+
+// addPipeline flattens the probe path of n into a pipeline, recursively
+// compiling the build side of every hash join on the path first so that
+// cp.pipes stays in valid execution order.
+func (cp *CompiledPlan) addPipeline(n plan.Node, feeds *plan.HashJoin) error {
+	scan, chain, err := flattenPipeline(n)
+	if err != nil {
+		return err
+	}
+	pipe := &compiledPipeline{node: n, scan: scan, feeds: feeds}
+	width := 2
+	for _, cn := range chain {
+		switch op := cn.(type) {
+		case *plan.Extend:
+			pipe.stages = append(pipe.stages, &extendSpec{op: op})
+			width++
+		case *plan.HashJoin:
+			if err := cp.addPipeline(op.Build, op); err != nil {
+				return err
+			}
+			spec := &probeSpec{op: op}
+			buildOut := op.Build.Out()
+			slotOf := make(map[int]int, len(op.Probe.Out()))
+			for slot, v := range op.Probe.Out() {
+				slotOf[v] = slot
+			}
+			for _, v := range op.JoinVertices {
+				spec.probeSlots = append(spec.probeSlots, slotOf[v])
+			}
+			joinSet := make(map[int]bool, len(op.JoinVertices))
+			for _, v := range op.JoinVertices {
+				joinSet[v] = true
+			}
+			for slot, v := range buildOut {
+				if !joinSet[v] {
+					spec.appendIdx = append(spec.appendIdx, slot)
+				}
+			}
+			pipe.stages = append(pipe.stages, spec)
+			width += len(buildOut) - len(op.JoinVertices)
+		}
+	}
+	pipe.outWidth = width
+	if feeds != nil {
+		buildOut := n.Out()
+		slotOf := make(map[int]int, len(buildOut))
+		for slot, v := range buildOut {
+			slotOf[v] = slot
+		}
+		for _, v := range feeds.JoinVertices {
+			pipe.keySlots = append(pipe.keySlots, slotOf[v])
+		}
+	}
+	cp.pipes = append(cp.pipes, pipe)
+	return nil
+}
+
+// flattenPipeline decomposes the probe path of n into its driving SCAN and
+// the chain of operators applied above it (bottom-up order).
+func flattenPipeline(n plan.Node) (*plan.Scan, []plan.Node, error) {
+	var chain []plan.Node
+	cur := n
+	for {
+		switch op := cur.(type) {
+		case *plan.Scan:
+			// chain currently holds top..bottom; reverse to bottom-up.
+			for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+				chain[i], chain[j] = chain[j], chain[i]
+			}
+			return op, chain, nil
+		case *plan.Extend:
+			chain = append(chain, op)
+			cur = op.Child
+		case *plan.HashJoin:
+			chain = append(chain, op)
+			cur = op.Probe
+		default:
+			return nil, nil, fmt.Errorf("exec: unknown node %T", cur)
+		}
+	}
+}

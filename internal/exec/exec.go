@@ -1,14 +1,22 @@
 // Package exec evaluates query plans against a graph (paper Section 7).
 //
-// Execution is push-based: each pipeline drives tuples from a SCAN through
-// a chain of EXTEND/INTERSECT and hash-join probes. Hash-join build sides
-// are materialised bottom-up before their probe pipelines run. The E/I
-// operator implements the intersection cache of Section 3.1, and every
-// operator maintains the profiling counters (i-cost, intermediate matches,
-// cache hits) that the paper's demonstrative experiments report.
+// Execution is split into two phases. Compile lowers a plan into an
+// immutable CompiledPlan: flattened push-based pipelines — each drives
+// tuples from a SCAN through a chain of EXTEND/INTERSECT and hash-join
+// probes — with all layout work (stage widths, probe slot maps, join key
+// slots) done once. Running a CompiledPlan materialises a fresh per-run
+// context holding every piece of mutable state: hash tables, tuple
+// buffers, intersection caches and profiling counters. Because the
+// compiled form is never written after construction, one CompiledPlan
+// can be executed by many goroutines at the same time — the property
+// prepared queries rely on.
 //
-// The parallel runtime follows Section 7: each worker gets its own copy of
-// the pipeline state and consumes ranges of the SCAN's vertices from a
+// The E/I operator implements the intersection cache of Section 3.1, and
+// every operator maintains the profiling counters (i-cost, intermediate
+// matches, cache hits) that the paper's demonstrative experiments report.
+//
+// The parallel runtime follows Section 7: each worker gets its own copy
+// of the pipeline state and consumes ranges of the SCAN's vertices from a
 // shared work queue (work stealing over scan ranges).
 package exec
 
@@ -50,9 +58,9 @@ func (p *Profile) Add(other Profile) {
 	p.ProbedTuples += other.ProbedTuples
 }
 
-// Runner executes plans against a graph.
-type Runner struct {
-	Graph *graph.Graph
+// RunConfig carries the per-run execution knobs. The zero value is a
+// sequential run with the intersection cache on.
+type RunConfig struct {
 	// Workers is the number of parallel workers; <=1 means sequential.
 	Workers int
 	// DisableCache turns off the E/I intersection cache (Table 3's
@@ -68,199 +76,199 @@ type Runner struct {
 	// paper's Section 10). Counts are identical; Matches in the profile is
 	// still exact.
 	FastCount bool
-
-	// analyze, when set by Analyze, collects per-operator statistics.
-	analyze *nodeCounters
 }
 
 // ErrBuildTooLarge is returned when MaxBuildRows is exceeded.
 var ErrBuildTooLarge = fmt.Errorf("exec: hash-join build side exceeds MaxBuildRows")
 
-// Count evaluates the plan and returns the number of matches and the
-// execution profile.
-func (r *Runner) Count(p *plan.Plan) (int64, Profile, error) {
-	if r.FastCount {
-		prof, err := r.Run(p, nil)
-		return prof.Matches, prof, err
-	}
-	var n int64
-	prof, err := r.Run(p, func(tuple []graph.VertexID) { n++ })
-	return n, prof, err
+// runContext owns every piece of mutable state of one execution of a
+// CompiledPlan: the materialised hash tables, the aggregate profile, and
+// the optional per-operator analysis counters. A fresh runContext is
+// created per run, so concurrent runs never share mutable state.
+type runContext struct {
+	cp      *CompiledPlan
+	cfg     RunConfig
+	tables  map[*plan.HashJoin]*hashTable
+	analyze *nodeCounters
+	profile Profile
 }
 
-// limitReached aborts execution from inside an emit callback; CountUpTo
-// recovers it.
-type limitReached struct{}
-
-// CountUpTo evaluates the plan, stopping once limit matches have been
-// produced (the output caps of the Appendix C experiments). Sequential
-// only: a Workers value above 1 is ignored.
-func (r *Runner) CountUpTo(p *plan.Plan, limit int64) (n int64, prof Profile, err error) {
-	seq := &Runner{Graph: r.Graph, Workers: 1, DisableCache: r.DisableCache, MaxBuildRows: r.MaxBuildRows}
-	defer func() {
-		if rec := recover(); rec != nil {
-			if _, ok := rec.(limitReached); !ok {
-				panic(rec)
+// Run evaluates the compiled plan, invoking emit for every match. The
+// tuple slice passed to emit is only valid during the call and is laid
+// out according to the plan root's Out(). When cfg.Workers > 1, emit is
+// serialised internally — matches never interleave within a call.
+func (cp *CompiledPlan) Run(cfg RunConfig, emit func([]graph.VertexID)) (Profile, error) {
+	var inner func([]graph.VertexID) bool
+	if emit != nil {
+		if cfg.Workers > 1 {
+			var mu sync.Mutex
+			inner = func(t []graph.VertexID) bool {
+				mu.Lock()
+				emit(t)
+				mu.Unlock()
+				return true
+			}
+		} else {
+			inner = func(t []graph.VertexID) bool {
+				emit(t)
+				return true
 			}
 		}
-	}()
-	prof, err = seq.Run(p, func(tuple []graph.VertexID) {
-		n++
-		if n >= limit {
-			panic(limitReached{})
+	}
+	return cp.run(cfg, nil, inner)
+}
+
+// RunConcurrent is Run without the emit serialisation: when cfg.Workers
+// > 1, emit is called concurrently from multiple goroutines and must be
+// safe for that. Use it when the callback does its own (cheaper)
+// synchronisation, e.g. a single atomic counter.
+func (cp *CompiledPlan) RunConcurrent(cfg RunConfig, emit func([]graph.VertexID)) (Profile, error) {
+	var inner func([]graph.VertexID) bool
+	if emit != nil {
+		inner = func(t []graph.VertexID) bool {
+			emit(t)
+			return true
 		}
+	}
+	return cp.run(cfg, nil, inner)
+}
+
+// RunUntil is Run with early termination: enumeration halts once emit
+// returns false. Pending workers stop at their next scan vertex, so a few
+// extra emit calls may still arrive after the first false return; emit is
+// serialised when cfg.Workers > 1.
+func (cp *CompiledPlan) RunUntil(cfg RunConfig, emit func([]graph.VertexID) bool) (Profile, error) {
+	inner := emit
+	if cfg.Workers > 1 {
+		var mu sync.Mutex
+		stopped := false
+		inner = func(t []graph.VertexID) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			if stopped {
+				return false
+			}
+			if !emit(t) {
+				stopped = true
+				return false
+			}
+			return true
+		}
+	}
+	return cp.run(cfg, nil, inner)
+}
+
+// Count evaluates the compiled plan and returns the number of matches
+// and the execution profile.
+func (cp *CompiledPlan) Count(cfg RunConfig) (int64, Profile, error) {
+	if cfg.FastCount {
+		prof, err := cp.run(cfg, nil, nil)
+		return prof.Matches, prof, err
+	}
+	var n atomic.Int64
+	prof, err := cp.run(cfg, nil, func([]graph.VertexID) bool {
+		n.Add(1)
+		return true
+	})
+	return n.Load(), prof, err
+}
+
+// CountUpTo evaluates the compiled plan, stopping once limit matches have
+// been produced (the output caps of the Appendix C experiments).
+// Sequential only: a Workers value above 1 is ignored.
+func (cp *CompiledPlan) CountUpTo(cfg RunConfig, limit int64) (int64, Profile, error) {
+	cfg.Workers = 1
+	cfg.FastCount = false
+	var n int64
+	prof, err := cp.run(cfg, nil, func([]graph.VertexID) bool {
+		n++
+		return n < limit
 	})
 	return n, prof, err
 }
 
-// Run evaluates the plan, invoking emit for every match. The tuple slice
-// passed to emit is only valid during the call and is laid out according to
-// p.Root.Out(). When Workers > 1, emit may be called concurrently from
-// multiple goroutines unless it is nil.
-func (r *Runner) Run(p *plan.Plan, emit func([]graph.VertexID)) (Profile, error) {
-	if err := p.Validate(); err != nil {
-		return Profile{}, err
-	}
-	workers := r.Workers
+// run is the execution driver: it materialises the per-run context,
+// builds every hash table, then drives the root pipeline. emit, when
+// non-nil, must tolerate concurrent calls if cfg.Workers > 1 (the public
+// wrappers serialise user callbacks before reaching here) and returns
+// false to request early termination.
+func (cp *CompiledPlan) run(cfg RunConfig, analyze *nodeCounters, emit func([]graph.VertexID) bool) (Profile, error) {
+	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > 1 && emit != nil {
-		// Results must not interleave within a single emit call; guard it.
-		var mu sync.Mutex
-		inner := emit
-		emit = func(t []graph.VertexID) {
-			mu.Lock()
-			inner(t)
-			mu.Unlock()
-		}
+	if workers > runtime.NumCPU()*4 {
+		workers = runtime.NumCPU() * 4
 	}
-	env := &environment{runner: r, tables: map[plan.Node]*hashTable{}}
-	if err := env.buildTables(p.Root, workers); err != nil {
-		return Profile{}, err
-	}
-	prof := env.profile
-	driverProf, err := r.runPipeline(p.Root, env, workers, true, emit)
-	if err != nil {
-		return Profile{}, err
-	}
-	prof.Add(driverProf)
-	return prof, nil
-}
-
-// RunSubplan evaluates an arbitrary subplan node (which need not cover the
-// whole query), emitting its tuples in node.Out() layout. The adaptive
-// evaluator uses this to drive the non-adapted part of a plan.
-func (r *Runner) RunSubplan(node plan.Node, emit func([]graph.VertexID)) (Profile, error) {
-	workers := r.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > 1 && emit != nil {
-		var mu sync.Mutex
-		inner := emit
-		emit = func(t []graph.VertexID) {
-			mu.Lock()
-			inner(t)
-			mu.Unlock()
-		}
-	}
-	env := &environment{runner: r, tables: map[plan.Node]*hashTable{}}
-	if err := env.buildTables(node, workers); err != nil {
-		return Profile{}, err
-	}
-	prof := env.profile
-	driverProf, err := r.runPipeline(node, env, workers, true, emit)
-	if err != nil {
-		return Profile{}, err
-	}
-	prof.Add(driverProf)
-	return prof, nil
-}
-
-// environment holds materialised hash tables shared by all workers, plus
-// the profile accumulated while building them.
-type environment struct {
-	runner  *Runner
-	tables  map[plan.Node]*hashTable
-	profile Profile
-}
-
-// buildTables materialises the build side of every hash join reachable
-// through probe/child edges from n, bottom-up.
-func (e *environment) buildTables(n plan.Node, workers int) error {
-	switch op := n.(type) {
-	case *plan.Scan:
-		return nil
-	case *plan.Extend:
-		return e.buildTables(op.Child, workers)
-	case *plan.HashJoin:
-		// The build side may itself contain joins.
-		if err := e.buildTables(op.Build, workers); err != nil {
-			return err
-		}
-		ht := newHashTable(op)
-		var mu sync.Mutex
-		overflow := false
-		prof, err := e.runner.runPipeline(op.Build, e, workers, false, func(t []graph.VertexID) {
-			mu.Lock()
-			if e.runner.MaxBuildRows > 0 && int64(ht.len()) >= e.runner.MaxBuildRows {
-				overflow = true
-			} else {
-				ht.insert(t)
+	rc := &runContext{cp: cp, cfg: cfg, tables: make(map[*plan.HashJoin]*hashTable), analyze: analyze}
+	for _, pipe := range cp.pipes {
+		if pipe.feeds != nil {
+			if err := rc.buildTable(pipe, workers); err != nil {
+				return Profile{}, err
 			}
-			mu.Unlock()
-		})
+			continue
+		}
+		prof, err := rc.runPipeline(pipe, workers, true, emit)
 		if err != nil {
-			return err
+			return Profile{}, err
 		}
-		if overflow {
-			return ErrBuildTooLarge
-		}
-		prof.HashedTuples += int64(ht.len())
-		// Build-side outputs are intermediate results.
-		prof.Intermediate += int64(ht.len())
-		e.profile.Add(prof)
-		e.tables[op] = ht
-		return e.buildTables(op.Probe, workers)
-	default:
-		return fmt.Errorf("exec: unknown node %T", n)
+		rc.profile.Add(prof)
 	}
+	return rc.profile, nil
 }
 
-// runPipeline runs the probe-side pipeline rooted at n: the chain of
-// operators reached by following Extend.Child and HashJoin.Probe down to a
-// SCAN. isRoot marks whether n is the plan root (its outputs are final
-// matches rather than intermediate results).
-func (r *Runner) runPipeline(n plan.Node, env *environment, workers int, isRoot bool, emit func([]graph.VertexID)) (Profile, error) {
-	scan, chain, err := flattenPipeline(n)
+// buildTable runs one build pipeline and materialises its hash join's
+// table in the run context.
+func (rc *runContext) buildTable(pipe *compiledPipeline, workers int) error {
+	ht := newHashTable(pipe.keySlots, pipe.outWidth)
+	var mu sync.Mutex
+	overflow := false
+	prof, err := rc.runPipeline(pipe, workers, false, func(t []graph.VertexID) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if rc.cfg.MaxBuildRows > 0 && int64(ht.len()) >= rc.cfg.MaxBuildRows {
+			overflow = true
+			return false
+		}
+		ht.insert(t)
+		return true
+	})
 	if err != nil {
-		return Profile{}, err
+		return err
 	}
+	if overflow {
+		return ErrBuildTooLarge
+	}
+	prof.HashedTuples += int64(ht.len())
+	// Build-side outputs are intermediate results.
+	prof.Intermediate += int64(ht.len())
+	rc.profile.Add(prof)
+	rc.tables[pipe.feeds] = ht
+	return nil
+}
+
+// runPipeline executes one pipeline with the given worker count. isRoot
+// marks whether the pipeline's outputs are final matches rather than
+// intermediate results.
+func (rc *runContext) runPipeline(pipe *compiledPipeline, workers int, isRoot bool, emit func([]graph.VertexID) bool) (Profile, error) {
+	n := rc.cp.graph.NumVertices()
+	var stopped atomic.Bool
 	if workers <= 1 {
-		w := newWorker(r, env, scan, chain, isRoot, emit)
-		w.runRange(0, r.Graph.NumVertices())
-		collectStageStats(w)
+		w := newWorker(rc, pipe, isRoot, emit, &stopped)
+		w.runRecovered(0, n)
+		w.finish()
 		return w.profile, nil
 	}
-	return r.runParallel(env, scan, chain, isRoot, emit, workers)
-}
-
-func (r *Runner) runParallel(env *environment, scan *plan.Scan, chain []plan.Node, isRoot bool, emit func([]graph.VertexID), workers int) (Profile, error) {
-	n := r.Graph.NumVertices()
 	chunk := n/(workers*8) + 1
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	profs := make([]Profile, workers)
-	if workers > runtime.NumCPU()*4 {
-		workers = runtime.NumCPU() * 4
-	}
 	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			w := newWorker(r, env, scan, chain, isRoot, emit)
-			for {
+			w := newWorker(rc, pipe, isRoot, emit, &stopped)
+			for !stopped.Load() {
 				start := int(next.Add(int64(chunk))) - chunk
 				if start >= n {
 					break
@@ -269,9 +277,9 @@ func (r *Runner) runParallel(env *environment, scan *plan.Scan, chain []plan.Nod
 				if end > n {
 					end = n
 				}
-				w.runRange(start, end)
+				w.runRecovered(start, end)
 			}
-			collectStageStats(w)
+			w.finish()
 			profs[wi] = w.profile
 		}(wi)
 	}
@@ -283,27 +291,68 @@ func (r *Runner) runParallel(env *environment, scan *plan.Scan, chain []plan.Nod
 	return total, nil
 }
 
-// flattenPipeline decomposes the probe path of n into its driving SCAN and
-// the chain of operators applied above it (bottom-up order).
-func flattenPipeline(n plan.Node) (*plan.Scan, []plan.Node, error) {
-	var chain []plan.Node
-	cur := n
-	for {
-		switch op := cur.(type) {
-		case *plan.Scan:
-			// chain currently holds top..bottom; reverse to bottom-up.
-			for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
-				chain[i], chain[j] = chain[j], chain[i]
-			}
-			return op, chain, nil
-		case *plan.Extend:
-			chain = append(chain, op)
-			cur = op.Child
-		case *plan.HashJoin:
-			chain = append(chain, op)
-			cur = op.Probe
-		default:
-			return nil, nil, fmt.Errorf("exec: unknown node %T", cur)
-		}
+// Runner executes plans against a graph: the single-shot facade over
+// Compile + CompiledPlan.Run kept for callers that do not reuse plans.
+type Runner struct {
+	Graph *graph.Graph
+	// Workers is the number of parallel workers; <=1 means sequential.
+	Workers int
+	// DisableCache turns off the E/I intersection cache.
+	DisableCache bool
+	// MaxBuildRows aborts execution when a hash-join build side
+	// materialises more than this many tuples (0 = unlimited).
+	MaxBuildRows int64
+	// FastCount enables factorized counting when no tuples are emitted.
+	FastCount bool
+}
+
+func (r *Runner) config() RunConfig {
+	return RunConfig{
+		Workers:      r.Workers,
+		DisableCache: r.DisableCache,
+		MaxBuildRows: r.MaxBuildRows,
+		FastCount:    r.FastCount,
 	}
+}
+
+// Count evaluates the plan and returns the number of matches and the
+// execution profile.
+func (r *Runner) Count(p *plan.Plan) (int64, Profile, error) {
+	cp, err := Compile(r.Graph, p)
+	if err != nil {
+		return 0, Profile{}, err
+	}
+	return cp.Count(r.config())
+}
+
+// CountUpTo evaluates the plan, stopping once limit matches have been
+// produced. Sequential only: a Workers value above 1 is ignored.
+func (r *Runner) CountUpTo(p *plan.Plan, limit int64) (int64, Profile, error) {
+	cp, err := Compile(r.Graph, p)
+	if err != nil {
+		return 0, Profile{}, err
+	}
+	return cp.CountUpTo(r.config(), limit)
+}
+
+// Run evaluates the plan, invoking emit for every match. The tuple slice
+// passed to emit is only valid during the call and is laid out according
+// to p.Root.Out(). When Workers > 1, emit calls are serialised.
+func (r *Runner) Run(p *plan.Plan, emit func([]graph.VertexID)) (Profile, error) {
+	cp, err := Compile(r.Graph, p)
+	if err != nil {
+		return Profile{}, err
+	}
+	return cp.Run(r.config(), emit)
+}
+
+// RunSubplan evaluates an arbitrary subplan node (which need not cover the
+// whole query), emitting its tuples in node.Out() layout. The adaptive
+// evaluator uses this to drive the non-adapted part of a plan.
+func (r *Runner) RunSubplan(node plan.Node, emit func([]graph.VertexID)) (Profile, error) {
+	cp, err := CompileNode(r.Graph, node)
+	if err != nil {
+		return Profile{}, err
+	}
+	return cp.Run(r.config(), emit)
 }

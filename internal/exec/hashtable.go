@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 
 	"graphflow/internal/graph"
-	"graphflow/internal/plan"
 )
 
 // hashTable stores the materialised build side of a HASH-JOIN, keyed by the
@@ -20,16 +19,10 @@ type hashTable struct {
 	wide   map[string][][]graph.VertexID
 }
 
-func newHashTable(op *plan.HashJoin) *hashTable {
-	buildOut := op.Build.Out()
-	slotOf := map[int]int{}
-	for slot, v := range buildOut {
-		slotOf[v] = slot
-	}
-	ht := &hashTable{rowWidth: len(buildOut)}
-	for _, v := range op.JoinVertices {
-		ht.keySlots = append(ht.keySlots, slotOf[v])
-	}
+// newHashTable builds an empty table keyed by keySlots (join-vertex slots
+// in the build tuple layout, precomputed at plan compile time).
+func newHashTable(keySlots []int, rowWidth int) *hashTable {
+	ht := &hashTable{keySlots: keySlots, rowWidth: rowWidth}
 	if len(ht.keySlots) <= 2 {
 		ht.packed = make(map[uint64][][]graph.VertexID)
 	} else {

@@ -1,20 +1,26 @@
 package exec
 
 import (
+	"sync/atomic"
+
 	"graphflow/internal/graph"
-	"graphflow/internal/plan"
 )
 
-// worker owns the per-thread state of one pipeline: the operator chain
-// compiled into stages with local intersection caches and buffers. Workers
-// share only the read-only graph and hash tables.
+// worker owns the per-goroutine state of one pipeline run: the tuple
+// buffer and the stage states (intersection caches, scratch buffers,
+// per-operator counters) minted from the compiled stage specs. Workers
+// share only the read-only graph, the compiled plan and the run's hash
+// tables.
 type worker struct {
-	g       *graph.Graph
-	env     *environment
-	scan    *plan.Scan
-	stages  []stage
-	isRoot  bool
-	emit    func([]graph.VertexID)
+	g      *graph.Graph
+	rc     *runContext
+	pipe   *compiledPipeline
+	stages []stageState
+	isRoot bool
+	// emit receives each output tuple and returns false to request early
+	// termination of the whole pipeline. nil for pure counting.
+	emit    func([]graph.VertexID) bool
+	stopped *atomic.Bool
 	tuple   []graph.VertexID
 	profile Profile
 	// countFast enables factorized counting: when the final stage is an
@@ -22,52 +28,61 @@ type worker struct {
 	// size is added to the match count without enumerating the Cartesian
 	// product (the factorization optimization of the paper's Section 10).
 	countFast bool
-	// analyze, when non-nil, receives per-operator counters on completion.
-	analyze *nodeCounters
-	scanOut int64
+	scanOut   int64
 }
 
-// stage is one compiled operator above the scan.
-type stage interface {
-	// push processes the current w.tuple prefix of length inWidth and calls
-	// next() for each output (with w.tuple grown accordingly).
+// stageState is the per-run mutable counterpart of one stageSpec.
+type stageState interface {
+	// push processes the current w.tuple prefix and calls next() for each
+	// output (with w.tuple grown accordingly).
 	push(w *worker, next func())
-	inWidth() int
 }
 
-func newWorker(r *Runner, env *environment, scan *plan.Scan, chain []plan.Node, isRoot bool, emit func([]graph.VertexID)) *worker {
-	w := &worker{g: r.Graph, env: env, scan: scan, isRoot: isRoot, emit: emit,
-		countFast: r.FastCount && emit == nil, analyze: r.analyze}
-	width := 2
-	for _, n := range chain {
-		switch op := n.(type) {
-		case *plan.Extend:
-			w.stages = append(w.stages, &extendStage{
-				op:       op,
-				width:    width,
-				useCache: !r.DisableCache,
-			})
-			width++
-		case *plan.HashJoin:
-			ht := env.tables[op]
-			w.stages = append(w.stages, &probeStage{op: op, table: ht, width: width})
-			width += len(op.Build.Out()) - len(op.JoinVertices)
-		}
+func newWorker(rc *runContext, pipe *compiledPipeline, isRoot bool, emit func([]graph.VertexID) bool, stopped *atomic.Bool) *worker {
+	w := &worker{
+		g: rc.cp.graph, rc: rc, pipe: pipe, isRoot: isRoot,
+		emit: emit, stopped: stopped,
+		countFast: rc.cfg.FastCount && emit == nil,
 	}
-	w.tuple = make([]graph.VertexID, 0, width)
+	for _, spec := range pipe.stages {
+		w.stages = append(w.stages, spec.newState(rc))
+	}
+	w.tuple = make([]graph.VertexID, 0, pipe.outWidth)
 	return w
+}
+
+// stopRun unwinds a pipeline when emit requests early termination; the
+// worker's range loop recovers it.
+type stopRun struct{}
+
+// runRecovered scans [start, end), converting a stopRun unwind into the
+// shared stopped flag so sibling workers cease at their next check.
+func (w *worker) runRecovered(start, end int) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(stopRun); !ok {
+				panic(rec)
+			}
+			w.stopped.Store(true)
+		}
+	}()
+	w.runRange(start, end)
 }
 
 // runRange scans the forward adjacency of vertices [start, end) matching
 // the scan's labels and drives each edge tuple through the stages.
 func (w *worker) runRange(start, end int) {
-	srcLabel := w.scan.SrcLabel
+	scan := w.pipe.scan
+	srcLabel := scan.SrcLabel
 	for v := start; v < end; v++ {
+		if w.stopped.Load() {
+			return
+		}
 		src := graph.VertexID(v)
 		if w.g.VertexLabel(src) != srcLabel {
 			continue
 		}
-		nbrs := w.g.Neighbors(src, graph.Forward, w.scan.EdgeLabel, w.scan.DstLabel, nil)
+		nbrs := w.g.Neighbors(src, graph.Forward, scan.EdgeLabel, scan.DstLabel, nil)
 		for _, dst := range nbrs {
 			w.tuple = append(w.tuple[:0], src, dst)
 			w.scanOut++
@@ -79,13 +94,13 @@ func (w *worker) runRange(start, end int) {
 
 func (w *worker) runStage(i int) {
 	if i == len(w.stages) {
-		if w.emit != nil {
-			w.emit(w.tuple)
+		if w.emit != nil && !w.emit(w.tuple) {
+			panic(stopRun{})
 		}
 		return
 	}
 	if w.countFast && w.isRoot && i == len(w.stages)-1 {
-		if es, ok := w.stages[i].(*extendStage); ok {
+		if es, ok := w.stages[i].(*extendState); ok {
 			w.profile.Matches += int64(len(es.extensionSet(w)))
 			return
 		}
@@ -107,10 +122,30 @@ func (w *worker) countOutput(stageIdx int) {
 	}
 }
 
-// extendStage implements EXTEND/INTERSECT with the intersection cache.
-type extendStage struct {
-	op       *plan.Extend
-	width    int
+// finish flushes per-operator counters into the run's analysis collector,
+// if one is attached.
+func (w *worker) finish() {
+	nc := w.rc.analyze
+	if nc == nil {
+		return
+	}
+	nc.add(w.pipe.scan, w.scanOut, 0, 0, 0, 0)
+	w.scanOut = 0
+	for _, s := range w.stages {
+		switch st := s.(type) {
+		case *extendState:
+			nc.add(st.spec.op, st.outTuples, st.icost, st.hits, 0, 0)
+			st.outTuples, st.icost, st.hits = 0, 0, 0
+		case *probeState:
+			nc.add(st.spec.op, st.outTuples, 0, 0, st.probes, int64(st.table.len()))
+			st.outTuples, st.probes = 0, 0
+		}
+	}
+}
+
+// extendState implements EXTEND/INTERSECT with the intersection cache.
+type extendState struct {
+	spec     *extendSpec
 	useCache bool
 
 	// Intersection cache (Section 3.1): if consecutive tuples present the
@@ -121,20 +156,19 @@ type extendStage struct {
 	scratch    []graph.VertexID
 	lists      [][]graph.VertexID
 
-	// Per-operator analysis counters (collected by collectStageStats).
+	// Per-operator analysis counters (collected by worker.finish).
 	outTuples, icost, hits int64
 }
 
-func (s *extendStage) inWidth() int { return s.width }
-
-func (s *extendStage) push(w *worker, next func()) {
+func (s *extendState) push(w *worker, next func()) {
 	s.extendWith(w, s.extensionSet(w), next)
 }
 
 // extensionSet computes (or serves from the intersection cache) the
 // extension set of the current tuple.
-func (s *extendStage) extensionSet(w *worker) []graph.VertexID {
-	descs := s.op.Descriptors
+func (s *extendState) extensionSet(w *worker) []graph.VertexID {
+	op := s.spec.op
+	descs := op.Descriptors
 	// Cache lookup.
 	if s.useCache {
 		if s.cacheValid && len(s.cacheKey) == len(descs) {
@@ -160,7 +194,7 @@ func (s *extendStage) extensionSet(w *worker) []graph.VertexID {
 	// (Equation 1).
 	s.lists = s.lists[:0]
 	for _, d := range descs {
-		list := w.g.Neighbors(w.tuple[d.TupleIdx], d.Dir, d.EdgeLabel, s.op.TargetLabel, nil)
+		list := w.g.Neighbors(w.tuple[d.TupleIdx], d.Dir, d.EdgeLabel, op.TargetLabel, nil)
 		w.profile.ICost += int64(len(list))
 		s.icost += int64(len(list))
 		s.lists = append(s.lists, list)
@@ -185,7 +219,7 @@ func (s *extendStage) extensionSet(w *worker) []graph.VertexID {
 	return ext
 }
 
-func (s *extendStage) extendWith(w *worker, ext []graph.VertexID, next func()) {
+func (s *extendState) extendWith(w *worker, ext []graph.VertexID, next func()) {
 	base := len(w.tuple)
 	s.outTuples += int64(len(ext))
 	for _, x := range ext {
@@ -195,56 +229,24 @@ func (s *extendStage) extendWith(w *worker, ext []graph.VertexID, next func()) {
 	w.tuple = w.tuple[:base]
 }
 
-// probeStage implements the probe side of HASH-JOIN.
-type probeStage struct {
-	op    *plan.HashJoin
+// probeState implements the probe side of HASH-JOIN.
+type probeState struct {
+	spec  *probeSpec
 	table *hashTable
-	width int
-
-	probeSlots []int // slots in the probe tuple carrying the join vertices
-	appendIdx  []int // slots in the build tuple to append to the output
-	init       bool
 
 	// Per-operator analysis counters.
 	outTuples, probes int64
 }
 
-func (s *probeStage) inWidth() int { return s.width }
-
-func (s *probeStage) ensureInit() {
-	if s.init {
-		return
-	}
-	s.init = true
-	probeOut := s.op.Probe.Out()
-	slotOf := map[int]int{}
-	for slot, v := range probeOut {
-		slotOf[v] = slot
-	}
-	for _, v := range s.op.JoinVertices {
-		s.probeSlots = append(s.probeSlots, slotOf[v])
-	}
-	joinSet := map[int]bool{}
-	for _, v := range s.op.JoinVertices {
-		joinSet[v] = true
-	}
-	for slot, v := range s.op.Build.Out() {
-		if !joinSet[v] {
-			s.appendIdx = append(s.appendIdx, slot)
-		}
-	}
-}
-
-func (s *probeStage) push(w *worker, next func()) {
-	s.ensureInit()
+func (s *probeState) push(w *worker, next func()) {
 	w.profile.ProbedTuples++
 	s.probes++
 	base := len(w.tuple)
-	rows := s.table.lookup(w.tuple, s.probeSlots)
+	rows := s.table.lookup(w.tuple, s.spec.probeSlots)
 	s.outTuples += int64(len(rows))
 	for _, row := range rows {
 		w.tuple = w.tuple[:base]
-		for _, bi := range s.appendIdx {
+		for _, bi := range s.spec.appendIdx {
 			w.tuple = append(w.tuple, row[bi])
 		}
 		next()

@@ -1,0 +1,269 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the cheap canonical form used as the plan-cache
+// key. Unlike CanonicalCode (exact but factorial in the vertex count, for
+// catalogue keys of <= 5 vertices), Canonical runs in polynomial time on
+// typical queries: colour refinement narrows the candidate orderings,
+// and the exact minimum encoding is only enumerated when the residual
+// symmetry is small. The construction is sound by encoding the complete
+// renumbered graph into the key: two queries receive the same key only if
+// their canonical forms are identical as labelled graphs, i.e. only if
+// they are isomorphic. Heavily symmetric queries that colour refinement
+// cannot fully split may receive distinct keys for distinct spellings —
+// that costs a cache miss, never a wrong plan.
+
+// maxCanonPerms bounds the class-respecting permutations enumerated for
+// the exact minimum; beyond it the greedy refined ordering is used as-is.
+const maxCanonPerms = 4096
+
+// Canonical returns a structurally-normalised copy of q — vertices
+// renamed a1..an in a deterministic, structure-derived order and edges
+// sorted — together with perm, where perm[origIdx] is the canonical index
+// of original vertex origIdx. Isomorphic queries written with different
+// vertex names or edge orders map to the same canonical form whenever
+// colour refinement plus bounded enumeration resolves the symmetry
+// (always, for the paper's benchmark shapes).
+func (q *Graph) Canonical() (*Graph, []int) {
+	n := len(q.Vertices)
+	if n == 0 {
+		return &Graph{}, nil
+	}
+	colors := q.refineColors()
+
+	// Group vertices into classes ordered by colour value. Colour values
+	// are ranks of sorted structural signatures, so the class order is
+	// identical for isomorphic inputs.
+	classes := map[int][]int{}
+	maxColor := 0
+	for v, c := range colors {
+		classes[c] = append(classes[c], v)
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	var ordered [][]int
+	perms := 1
+	for c := 0; c <= maxColor; c++ {
+		cls, ok := classes[c]
+		if !ok {
+			continue
+		}
+		ordered = append(ordered, cls)
+		for k := 2; k <= len(cls); k++ {
+			if perms <= maxCanonPerms {
+				perms *= k
+			}
+		}
+	}
+
+	var inv []int // inv[origIdx] = canonical index
+	if perms <= maxCanonPerms {
+		inv = minEncodingOrder(q, ordered)
+	} else {
+		inv = make([]int, n)
+		pos := 0
+		for _, cls := range ordered {
+			for _, v := range cls {
+				inv[v] = pos
+				pos++
+			}
+		}
+	}
+	return q.renumber(inv), inv
+}
+
+// CanonicalKey returns a string key for the canonical form of q: equal
+// keys imply isomorphic queries (same labels, edge directions and edge
+// labels), and one query always yields the same key.
+func (q *Graph) CanonicalKey() string {
+	canon, _ := q.Canonical()
+	return canon.Key()
+}
+
+// Key serialises q's exact current vertex order and edge list. Call it on
+// the output of Canonical to obtain a cache key; on a non-canonical graph
+// it is order-sensitive.
+func (q *Graph) Key() string { return q.encodeKey() }
+
+// renumber returns the copy of q with vertex origIdx mapped to inv[origIdx],
+// vertices renamed a1..an, and edges sorted.
+func (q *Graph) renumber(inv []int) *Graph {
+	n := len(q.Vertices)
+	out := &Graph{Vertices: make([]Vertex, n), Edges: make([]Edge, 0, len(q.Edges))}
+	for v, canon := range inv {
+		out.Vertices[canon] = Vertex{Name: fmt.Sprintf("a%d", canon+1), Label: q.Vertices[v].Label}
+	}
+	for _, e := range q.Edges {
+		out.Edges = append(out.Edges, Edge{From: inv[e.From], To: inv[e.To], Label: e.Label})
+	}
+	sort.Slice(out.Edges, func(i, j int) bool {
+		a, b := out.Edges[i], out.Edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return a.Label < b.Label
+	})
+	return out
+}
+
+// encodeKey serialises the graph assuming its vertex order is already
+// canonical: vertex labels in order, then the sorted edge list.
+func (q *Graph) encodeKey() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n%d:", len(q.Vertices))
+	for i, v := range q.Vertices {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", v.Label)
+	}
+	sb.WriteByte('|')
+	for i, e := range q.Edges {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		fmt.Fprintf(&sb, "%d>%d:%d", e.From, e.To, e.Label)
+	}
+	return sb.String()
+}
+
+// refineColors runs 1-dimensional colour refinement (Weisfeiler-Leman):
+// vertices start coloured by (label, out-degree, in-degree) and are
+// iteratively split by the multiset of (direction, edge label, neighbour
+// colour) over incident edges, until the partition stabilises. Colour
+// values are ranks of sorted signature strings, so they depend only on
+// structure, never on input vertex order.
+func (q *Graph) refineColors() []int {
+	n := len(q.Vertices)
+	sigs := make([]string, n)
+	for v := range q.Vertices {
+		out, in := 0, 0
+		for _, e := range q.Edges {
+			if e.From == v {
+				out++
+			}
+			if e.To == v {
+				in++
+			}
+		}
+		sigs[v] = fmt.Sprintf("%d|%d|%d", q.Vertices[v].Label, out, in)
+	}
+	colors := rankStrings(sigs)
+	distinct := countDistinct(colors)
+	for iter := 0; iter < n; iter++ {
+		for v := range sigs {
+			var parts []string
+			for _, e := range q.Edges {
+				if e.From == v {
+					parts = append(parts, fmt.Sprintf(">%d:%d", e.Label, colors[e.To]))
+				}
+				if e.To == v {
+					parts = append(parts, fmt.Sprintf("<%d:%d", e.Label, colors[e.From]))
+				}
+			}
+			sort.Strings(parts)
+			sigs[v] = fmt.Sprintf("%d#%s", colors[v], strings.Join(parts, ","))
+		}
+		colors = rankStrings(sigs)
+		d := countDistinct(colors)
+		if d == distinct {
+			break
+		}
+		distinct = d
+	}
+	return colors
+}
+
+// rankStrings maps each string to the rank of its value in the sorted
+// distinct-value order.
+func rankStrings(sigs []string) []int {
+	uniq := append([]string(nil), sigs...)
+	sort.Strings(uniq)
+	rank := map[string]int{}
+	for _, s := range uniq {
+		if _, ok := rank[s]; !ok {
+			rank[s] = len(rank)
+		}
+	}
+	out := make([]int, len(sigs))
+	for i, s := range sigs {
+		out[i] = rank[s]
+	}
+	return out
+}
+
+func countDistinct(colors []int) int {
+	seen := map[int]struct{}{}
+	for _, c := range colors {
+		seen[c] = struct{}{}
+	}
+	return len(seen)
+}
+
+// minEncodingOrder enumerates every ordering that keeps each colour class
+// contiguous (classes in colour order, vertices permuted within their
+// class) and returns the inv mapping minimising the edge encoding. For
+// isomorphic inputs the minimum encoding — and hence the canonical form —
+// is identical, because refinement colours and class sizes are
+// isomorphism-invariant.
+func minEncodingOrder(q *Graph, classes [][]int) []int {
+	n := len(q.Vertices)
+	inv := make([]int, n)
+	bestInv := make([]int, n)
+	best := ""
+	starts := make([]int, len(classes))
+	pos := 0
+	for i, cls := range classes {
+		starts[i] = pos
+		pos += len(cls)
+	}
+	encode := func() string {
+		keys := make([]string, len(q.Edges))
+		for i, e := range q.Edges {
+			keys[i] = fmt.Sprintf("%03d>%03d:%d", inv[e.From], inv[e.To], e.Label)
+		}
+		sort.Strings(keys)
+		return strings.Join(keys, ";")
+	}
+	var rec func(ci int)
+	rec = func(ci int) {
+		if ci == len(classes) {
+			code := encode()
+			if best == "" || code < best {
+				best = code
+				copy(bestInv, inv)
+			}
+			return
+		}
+		cls := classes[ci]
+		used := make([]bool, len(cls))
+		var place func(offset int)
+		place = func(offset int) {
+			if offset == len(cls) {
+				rec(ci + 1)
+				return
+			}
+			for i, v := range cls {
+				if used[i] {
+					continue
+				}
+				used[i] = true
+				inv[v] = starts[ci] + offset
+				place(offset + 1)
+				used[i] = false
+			}
+		}
+		place(0)
+	}
+	rec(0)
+	return bestInv
+}

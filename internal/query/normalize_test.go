@@ -1,0 +1,149 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanonicalKeyIsomorphicSpellings(t *testing.T) {
+	// The same structure under renamed vertices and reordered edges must
+	// share a canonical key.
+	groups := [][]string{
+		{
+			"a->b, b->c, a->c",
+			"x->y, y->z, x->z",
+			"b->c, a->b, a->c",
+			"q <- p, q->r, p->r", // p->q, q->r, p->r
+		},
+		{
+			"a->b, b->c, c->a",
+			"z->x, x->y, y->z",
+		},
+		{
+			"a:1 -> b:2",
+			"u:1 -> v:2",
+		},
+		{
+			"a -[3]-> b, b -> c, a -> c",
+			"x -[3]-> y, y -> z, x -> z",
+		},
+	}
+	for gi, group := range groups {
+		var key string
+		for _, pat := range group {
+			q := MustParse(pat)
+			k := q.CanonicalKey()
+			if key == "" {
+				key = k
+			} else if k != key {
+				t.Errorf("group %d: %q key %q != %q", gi, pat, k, key)
+			}
+		}
+	}
+}
+
+func TestCanonicalKeyDistinguishes(t *testing.T) {
+	patterns := []string{
+		"a->b, b->c, a->c", // asymmetric triangle
+		"a->b, b->c, c->a", // cyclic triangle
+		"a->b, b->c",       // path
+		"a->b, a->c",       // out-fork
+		"b->a, c->a",       // in-fork
+		"a:1->b, b->c, a->c",
+		"a-[1]->b, b->c, a->c",
+		"a->b, b->c, c->d, a->d",
+		"a->b, b->c, c->d, d->a",
+	}
+	seen := map[string]string{}
+	for _, pat := range patterns {
+		k := MustParse(pat).CanonicalKey()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("patterns %q and %q share key %q", prev, pat, k)
+		}
+		seen[k] = pat
+	}
+}
+
+func TestCanonicalNormalizesNamesAndEdges(t *testing.T) {
+	q := MustParse("zz->yy, yy->xx, zz->xx")
+	canon, perm := q.Canonical()
+	if len(perm) != 3 {
+		t.Fatalf("perm length %d", len(perm))
+	}
+	for i, v := range canon.Vertices {
+		want := []string{"a1", "a2", "a3"}[i]
+		if v.Name != want {
+			t.Errorf("canonical vertex %d named %q, want %q", i, v.Name, want)
+		}
+	}
+	for i := 1; i < len(canon.Edges); i++ {
+		a, b := canon.Edges[i-1], canon.Edges[i]
+		if a.From > b.From || (a.From == b.From && a.To > b.To) {
+			t.Errorf("edges not sorted: %+v before %+v", a, b)
+		}
+	}
+	if err := canon.Validate(); err != nil {
+		t.Errorf("canonical graph invalid: %v", err)
+	}
+	// perm must be a bijection applied consistently.
+	for orig, c := range perm {
+		if q.Vertices[orig].Label != canon.Vertices[c].Label {
+			t.Errorf("label mismatch through perm at %d", orig)
+		}
+	}
+}
+
+func TestCanonicalDeterministic(t *testing.T) {
+	q := MustParse("a->b, b->c, c->d, a->d, a->c")
+	want := q.CanonicalKey()
+	for i := 0; i < 20; i++ {
+		if got := q.CanonicalKey(); got != want {
+			t.Fatalf("run %d: key %q != %q", i, got, want)
+		}
+	}
+}
+
+func TestCanonicalMatchesExactIsomorphism(t *testing.T) {
+	// For small queries the cheap canonical key must agree with the exact
+	// (factorial) canonical code on isomorphism.
+	pairs := []struct {
+		a, b string
+		iso  bool
+	}{
+		{"a->b, b->c, a->c", "j->k, j->l, k->l", true},
+		{"a->b, b->c, a->c", "a->b, b->c, c->a", false},
+		{"a->b, b->c, c->d, d->a", "w->x, x->y, y->z, z->w", true},
+		{"a->b, a->c, a->d", "b->a, c->a, d->a", false},
+	}
+	for _, p := range pairs {
+		qa, qb := MustParse(p.a), MustParse(p.b)
+		exact := qa.IsIsomorphic(qb)
+		if exact != p.iso {
+			t.Fatalf("exact isomorphism of %q vs %q = %v, want %v", p.a, p.b, exact, p.iso)
+		}
+		cheap := qa.CanonicalKey() == qb.CanonicalKey()
+		if cheap != exact {
+			t.Errorf("canonical-key equality %v disagrees with exact isomorphism %v for %q vs %q",
+				cheap, exact, p.a, p.b)
+		}
+	}
+}
+
+func TestCanonicalKeySoundOnSymmetricQuery(t *testing.T) {
+	// A 6-cycle gives colour refinement nothing to split on; whatever
+	// ordering is chosen, the key must still be stable and must differ
+	// from a near-miss structure.
+	cyc := MustParse("a->b, b->c, c->d, d->e, e->f, f->a")
+	k1 := cyc.CanonicalKey()
+	k2 := MustParse("u->v, v->w, w->x, x->y, y->z, z->u").CanonicalKey()
+	if k1 != k2 {
+		t.Errorf("isomorphic 6-cycles got distinct keys %q / %q", k1, k2)
+	}
+	other := MustParse("a->b, b->c, c->d, d->e, e->f, a->f") // one edge flipped
+	if other.CanonicalKey() == k1 {
+		t.Error("non-isomorphic query shares the 6-cycle key")
+	}
+	if !strings.HasPrefix(k1, "n6:") {
+		t.Errorf("key %q missing vertex-count prefix", k1)
+	}
+}
