@@ -1,0 +1,119 @@
+// Command gfserver serves subgraph queries over HTTP: load or generate a
+// graph, build the catalogue once, then answer /query, /prepare,
+// /execute/{name}, /explain, /stats and /healthz requests (see
+// internal/server for the endpoint contracts). Every query runs under a
+// per-request deadline through the ctx-aware execution core, admission
+// is bounded by a semaphore, and SIGINT/SIGTERM trigger a graceful
+// drain.
+//
+// Usage:
+//
+//	gfserver -dataset Epinions -addr :8090
+//	gfserver -data graph.txt -timeout 10s -max-concurrent 32
+//
+//	curl -s localhost:8090/query -d '{"pattern":"a->b, b->c, a->c"}'
+//	curl -s localhost:8090/prepare -d '{"name":"tri","pattern":"a->b, b->c, a->c"}'
+//	curl -s localhost:8090/execute/tri -d '{"workers":4}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"graphflow"
+	"graphflow/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8090", "listen address")
+		dataFile = flag.String("data", "", "edge-list file to load (see internal/graph format)")
+		dsName   = flag.String("dataset", "", "built-in dataset name (Amazon, Epinions, LiveJournal, Twitter, BerkStan, Google, Human)")
+		scale    = flag.Int("scale", 1, "dataset scale factor")
+		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query execution deadline")
+		maxTime  = flag.Duration("max-timeout", 5*time.Minute, "ceiling on request-supplied timeouts")
+		maxConc  = flag.Int("max-concurrent", 64, "admission limit on concurrently executing queries")
+		maxRows  = flag.Int("max-rows", 10000, "ceiling on rows returned by one match request")
+		maxWork  = flag.Int("max-workers", 16, "ceiling on request-supplied worker counts")
+		catZ     = flag.Int("catz", 1000, "catalogue sample size z")
+		catH     = flag.Int("cath", 3, "catalogue max subquery size h")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	opts := &graphflow.Options{CatalogueH: *catH, CatalogueZ: *catZ}
+	var db *graphflow.DB
+	var err error
+	switch {
+	case *dataFile != "":
+		f, ferr := os.Open(*dataFile)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		db, err = graphflow.NewFromEdgeList(f, opts)
+		f.Close()
+	case *dsName != "":
+		db, err = graphflow.NewFromDataset(*dsName, *scale, opts)
+	default:
+		fmt.Fprintln(os.Stderr, "gfserver: one of -data or -dataset is required")
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("graph loaded: %d vertices, %d edges", db.NumVertices(), db.NumEdges())
+
+	srv, err := server.New(server.Config{
+		DB:             db,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTime,
+		MaxConcurrent:  *maxConc,
+		MaxRows:        *maxRows,
+		MaxWorkers:     *maxWork,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// ReadHeaderTimeout guards against slowloris clients holding
+		// connections open without sending a request.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain: Shutdown stops accepting
+	// new connections and waits for in-flight requests — whose query
+	// contexts keep running until their own deadlines — up to the drain
+	// budget, after which Close cancels whatever remains.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("gfserver listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("signal received; draining for up to %v", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain budget exhausted, closing: %v", err)
+		_ = httpSrv.Close()
+	}
+	log.Printf("gfserver stopped")
+}

@@ -1,0 +1,215 @@
+package graphflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// denseDB builds a DB over a dense random graph on which clique queries
+// run long enough for mid-run cancellation to be observable.
+func denseDB(t testing.TB) *DB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	const n, deg = 2000, 60
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for d := 0; d < deg; d++ {
+			b.AddEdge(uint32(v), uint32(rng.Intn(n)), 0)
+		}
+	}
+	db, err := b.Open(&Options{CatalogueZ: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// wcoHeavy is a 4-clique: the optimizer evaluates it with multiway
+// intersections, the workload the cancellation check must interrupt.
+const wcoHeavy = "a->b, a->c, a->d, b->c, b->d, c->d"
+
+// TestCountCtxCancelsWCOQueryPromptly is the acceptance test for the
+// ctx-aware public API: a Count on a WCO-heavy query must return
+// context.DeadlineExceeded promptly when its context expires mid-run.
+func TestCountCtxCancelsWCOQueryPromptly(t *testing.T) {
+	db := denseDB(t)
+
+	full := time.Now()
+	n, err := db.Count(wcoHeavy, &QueryOptions{WCOOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDur := time.Since(full)
+	if fullDur < 100*time.Millisecond {
+		t.Skipf("full count of %d matches took only %v; too fast to observe mid-run cancellation", n, fullDur)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = db.CountCtx(ctx, wcoHeavy, &QueryOptions{WCOOnly: true})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > fullDur/2 && elapsed > 500*time.Millisecond {
+		t.Errorf("cancellation latency %v (full run %v): not bounded", elapsed, fullDur)
+	}
+}
+
+func TestCtxEntryPointsPropagateCancellation(t *testing.T) {
+	db := denseDB(t)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := db.CountCtx(cancelled, wcoHeavy, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("DB.CountCtx err = %v, want context.Canceled", err)
+	}
+	if err := db.MatchCtx(cancelled, wcoHeavy, func(map[string]uint32) bool { return true }, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("DB.MatchCtx err = %v, want context.Canceled", err)
+	}
+	pq, err := db.Prepare(wcoHeavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.CountCtx(cancelled, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("PreparedQuery.CountCtx err = %v, want context.Canceled", err)
+	}
+	if err := pq.MatchCtx(cancelled, func(map[string]uint32) bool { return true }, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("PreparedQuery.MatchCtx err = %v, want context.Canceled", err)
+	}
+
+	// Every execution mode must propagate the context, not just the
+	// factorized-count default path.
+	for _, opts := range []*QueryOptions{
+		{Distinct: true},
+		{Adaptive: true},
+		{Limit: 10},
+		{Workers: 4},
+	} {
+		if _, err := db.CountCtx(cancelled, wcoHeavy, opts); !errors.Is(err, context.Canceled) {
+			t.Errorf("CountCtx(%+v) err = %v, want context.Canceled", *opts, err)
+		}
+	}
+}
+
+func TestQueryOptionsContextField(t *testing.T) {
+	db := denseDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.Count(wcoHeavy, &QueryOptions{Context: ctx}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Count with QueryOptions.Context err = %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelMatchHonorsLimit is the regression test for the old
+// behaviour where any Limit silently forced sequential execution: a
+// parallel Match with a row cap must deliver exactly Limit rows, each of
+// which is a genuine match of the pattern.
+func TestParallelMatchHonorsLimit(t *testing.T) {
+	db, err := NewFromDataset("Epinions", 1, &Options{CatalogueZ: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pattern = "a->b, b->c, a->c"
+
+	// Reference: the full sequential result set.
+	fullSet := map[string]bool{}
+	err = db.Match(pattern, func(m map[string]uint32) bool {
+		fullSet[fmt.Sprintf("%d-%d-%d", m["a"], m["b"], m["c"])] = true
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := int64(len(fullSet))
+	if total < 20 {
+		t.Fatalf("fixture too small: %d triangles", total)
+	}
+	limit := total / 2
+
+	for _, workers := range []int{1, 4} {
+		var rows []string
+		err := db.Match(pattern, func(m map[string]uint32) bool {
+			rows = append(rows, fmt.Sprintf("%d-%d-%d", m["a"], m["b"], m["c"]))
+			return true
+		}, &QueryOptions{Workers: workers, Limit: limit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(rows)) != limit {
+			t.Errorf("workers=%d: delivered %d rows, want %d", workers, len(rows), limit)
+		}
+		for _, r := range rows {
+			if !fullSet[r] {
+				t.Fatalf("workers=%d: row %s is not a match of the sequential reference", workers, r)
+			}
+		}
+	}
+}
+
+// TestParallelCountHonorsLimit checks the Count side of the same fix:
+// Limit with Workers > 1 no longer downgrades to one worker, and the
+// returned count still equals the cap exactly.
+func TestParallelCountHonorsLimit(t *testing.T) {
+	db, err := NewFromDataset("Epinions", 1, &Options{CatalogueZ: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pattern = "a->b, b->c, a->c"
+	seq, err := db.Count(pattern, &QueryOptions{Limit: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := db.Count(pattern, &QueryOptions{Limit: 50, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 50 || par != 50 {
+		t.Errorf("limited counts: sequential = %d, parallel = %d, want 50", seq, par)
+	}
+}
+
+// TestLimitComposesWithDistinctAndAdaptive: Limit must stop enumeration
+// in every counting mode, not just the default path.
+func TestLimitComposesWithDistinctAndAdaptive(t *testing.T) {
+	db, err := NewFromDataset("Epinions", 1, &Options{CatalogueZ: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pattern = "a->b, b->c, a->c"
+	for _, opts := range []*QueryOptions{
+		{Distinct: true, Limit: 25},
+		{Distinct: true, Limit: 25, Workers: 4},
+		{Adaptive: true, Limit: 25},
+	} {
+		n, st, err := db.CountStats(pattern, opts)
+		if err != nil {
+			t.Fatalf("Count(%+v): %v", *opts, err)
+		}
+		if n != 25 {
+			t.Errorf("Count(%+v) = %d, want the limit 25", *opts, n)
+		}
+		// The profile of the capped run must survive (the adaptive path
+		// stops itself via context cancellation internally).
+		if st.Intermediate == 0 {
+			t.Errorf("Count(%+v) reported an empty profile", *opts)
+		}
+	}
+	// A limit above the total returns the exact full count.
+	full, err := db.Count(pattern, &QueryOptions{Distinct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := db.Count(pattern, &QueryOptions{Distinct: true, Limit: full + 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped != full {
+		t.Errorf("distinct with oversized limit = %d, want full count %d", capped, full)
+	}
+}

@@ -23,6 +23,8 @@
 package graphflow
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -92,6 +94,14 @@ type DB struct {
 
 // QueryOptions tunes one query evaluation.
 type QueryOptions struct {
+	// Context, when non-nil, bounds the evaluation: execution stops
+	// promptly once the context is cancelled or its deadline passes, and
+	// the context's error (context.Canceled or context.DeadlineExceeded)
+	// is returned. Workers poll the context with an amortized check every
+	// few thousand produced tuples, so cancellation latency is bounded
+	// even for worst-case-optimal plans stuck in a huge intersection
+	// cascade. The CountCtx/MatchCtx entry points set this field.
+	Context context.Context
 	// Workers parallelises execution (paper Section 7); default 1.
 	Workers int
 	// Adaptive re-picks query vertex orderings per tuple (Section 6).
@@ -102,7 +112,9 @@ type QueryOptions struct {
 	WCOOnly bool
 	// DisableCache turns off the intersection cache.
 	DisableCache bool
-	// Limit stops after this many matches (0 = all; forces Workers=1).
+	// Limit stops after this many matches (0 = all). Parallel execution
+	// honors the limit: with Workers > 1 the count still stops at Limit,
+	// but which matches are produced first is nondeterministic.
 	Limit int64
 	// Distinct switches from the paper's join (homomorphism) semantics to
 	// subgraph-isomorphism semantics: every query vertex must bind a
@@ -325,22 +337,23 @@ func (pq *PreparedQuery) Count(opts *QueryOptions) (int64, error) {
 }
 
 // CountStats is Count plus the execution statistics and plan description.
+// On context cancellation the partial count and statistics observed so
+// far are returned alongside the error.
 func (pq *PreparedQuery) CountStats(opts *QueryOptions) (int64, Stats, error) {
 	var qo QueryOptions
 	if opts != nil {
 		qo = *opts
 	}
 	n, prof, err := pq.db.runCount(pq.pp, qo)
-	if err != nil {
-		return 0, Stats{}, err
-	}
-	return n, statsFrom(pq.pp.plan, prof, n), nil
+	return n, statsFrom(pq.pp.plan, prof, n), err
 }
 
 // Match evaluates the prepared query, invoking fn with each match as a
 // map from vertex name to data vertex ID; fn returning false stops
-// enumeration promptly. Distinct and Limit apply as in Count.
-// Single-threaded.
+// enumeration promptly. Distinct and Limit apply as in Count. Workers
+// parallelises enumeration — fn is always serialised (never called
+// concurrently) and a Limit is still honored exactly, but match order is
+// nondeterministic across runs when Workers > 1.
 func (pq *PreparedQuery) Match(fn func(map[string]uint32) bool, opts *QueryOptions) error {
 	var qo QueryOptions
 	if opts != nil {
@@ -351,9 +364,10 @@ func (pq *PreparedQuery) Match(fn func(map[string]uint32) bool, opts *QueryOptio
 	for slot, v := range layout {
 		names[slot] = pq.names[v]
 	}
-	cfg := exec.RunConfig{DisableCache: qo.DisableCache}
+	cfg := exec.RunConfig{Workers: qo.Workers, DisableCache: qo.DisableCache}
+	// delivered needs no synchronisation: RunUntil serialises emit.
 	var delivered int64
-	_, err := pq.pp.compiled.RunUntil(cfg, func(t []graph.VertexID) bool {
+	_, err := pq.pp.compiled.RunUntilCtx(qo.context(), cfg, func(t []graph.VertexID) bool {
 		if qo.Distinct && !allDistinct(t) {
 			return true
 		}
@@ -370,21 +384,52 @@ func (pq *PreparedQuery) Match(fn func(map[string]uint32) bool, opts *QueryOptio
 	return err
 }
 
+// CountCtx is Count bounded by ctx: evaluation stops promptly once ctx
+// is cancelled or its deadline passes, returning ctx's error. Equivalent
+// to setting QueryOptions.Context.
+func (pq *PreparedQuery) CountCtx(ctx context.Context, opts *QueryOptions) (int64, error) {
+	return pq.Count(withContext(ctx, opts))
+}
+
+// MatchCtx is Match bounded by ctx (see CountCtx).
+func (pq *PreparedQuery) MatchCtx(ctx context.Context, fn func(map[string]uint32) bool, opts *QueryOptions) error {
+	return pq.Match(fn, withContext(ctx, opts))
+}
+
 // Stats returns the prepared plan's kind and operator tree without
 // running it (the Explain view).
 func (pq *PreparedQuery) Stats() Stats {
 	return Stats{PlanKind: pq.pp.plan.Kind(), Plan: pq.pp.plan.Describe()}
 }
 
+// PlanKind returns the prepared plan's kind ("wco", "bj" or "hybrid")
+// without rendering the operator tree — cheap enough for per-request
+// serving paths.
+func (pq *PreparedQuery) PlanKind() string { return pq.pp.plan.Kind() }
+
 // runCount executes a compiled plan under the given options.
 func (db *DB) runCount(pp *preparedPlan, qo QueryOptions) (int64, exec.Profile, error) {
+	ctx := qo.context()
 	cfg := exec.RunConfig{Workers: qo.Workers, DisableCache: qo.DisableCache}
 	switch {
 	case qo.Distinct:
+		if qo.Limit > 0 {
+			// RunUntil serialises emit, so the counter needs no atomics and
+			// the limit is exact.
+			var count int64
+			prof, err := pp.compiled.RunUntilCtx(ctx, cfg, func(t []graph.VertexID) bool {
+				if !allDistinct(t) {
+					return true
+				}
+				count++
+				return count < qo.Limit
+			})
+			return count, prof, err
+		}
 		// RunConcurrent calls emit from every worker goroutine without
 		// serialising, so the count must be an atomic.
 		var count atomic.Int64
-		prof, err := pp.compiled.RunConcurrent(cfg, func(t []graph.VertexID) {
+		prof, err := pp.compiled.RunConcurrentCtx(ctx, cfg, func(t []graph.VertexID) {
 			if allDistinct(t) {
 				count.Add(1)
 			}
@@ -392,15 +437,56 @@ func (db *DB) runCount(pp *preparedPlan, qo QueryOptions) (int64, exec.Profile, 
 		return count.Load(), prof, err
 	case qo.Adaptive:
 		ev := &adaptive.Evaluator{Graph: db.g, Catalogue: db.cat, Config: adaptive.Config{Workers: qo.Workers}}
-		return ev.Count(pp.plan)
+		if qo.Limit > 0 {
+			// The adaptive evaluator has no native early stop; reaching the
+			// limit cancels a child context, which its amortized polling
+			// already honors. The self-inflicted Canceled is success —
+			// cancellation from the caller's own ctx still propagates.
+			lctx, stop := context.WithCancel(ctx)
+			defer stop()
+			var count int64
+			prof, err := ev.RunCtx(lctx, pp.plan, func([]graph.VertexID) {
+				if count < qo.Limit {
+					count++
+					if count == qo.Limit {
+						stop()
+					}
+				}
+			})
+			if err != nil && !(errors.Is(err, context.Canceled) && ctx.Err() == nil) {
+				return count, prof, err
+			}
+			return count, prof, nil
+		}
+		return ev.CountCtx(ctx, pp.plan)
 	case qo.Limit > 0:
-		return pp.compiled.CountUpTo(cfg, qo.Limit)
+		return pp.compiled.CountUpToCtx(ctx, cfg, qo.Limit)
 	default:
 		// Pure counting can skip enumerating the last extension's Cartesian
 		// product (factorized counting); the count is exact.
 		cfg.FastCount = true
-		return pp.compiled.Count(cfg)
+		return pp.compiled.CountCtx(ctx, cfg)
 	}
+}
+
+// context returns the evaluation-bounding context (Background when the
+// caller supplied none).
+func (qo *QueryOptions) context() context.Context {
+	if qo.Context != nil {
+		return qo.Context
+	}
+	return context.Background()
+}
+
+// withContext copies opts (nil allowed) and installs ctx as the
+// evaluation-bounding context.
+func withContext(ctx context.Context, opts *QueryOptions) *QueryOptions {
+	var qo QueryOptions
+	if opts != nil {
+		qo = *opts
+	}
+	qo.Context = ctx
+	return &qo
 }
 
 // Count evaluates the pattern and returns the number of matches. opts may
@@ -411,7 +497,16 @@ func (db *DB) Count(pattern string, opts *QueryOptions) (int64, error) {
 	return n, err
 }
 
+// CountCtx is Count bounded by ctx: evaluation stops promptly once ctx
+// is cancelled or its deadline passes, returning ctx's error. Equivalent
+// to setting QueryOptions.Context.
+func (db *DB) CountCtx(ctx context.Context, pattern string, opts *QueryOptions) (int64, error) {
+	return db.Count(pattern, withContext(ctx, opts))
+}
+
 // CountStats is Count plus the execution statistics and plan description.
+// On context cancellation the partial count and statistics observed so
+// far are returned alongside the error.
 func (db *DB) CountStats(pattern string, opts *QueryOptions) (int64, Stats, error) {
 	var qo QueryOptions
 	if opts != nil {
@@ -422,10 +517,7 @@ func (db *DB) CountStats(pattern string, opts *QueryOptions) (int64, Stats, erro
 		return 0, Stats{}, err
 	}
 	n, prof, err := db.runCount(pq.pp, qo)
-	if err != nil {
-		return 0, Stats{}, err
-	}
-	return n, statsFrom(pq.pp.plan, prof, n), nil
+	return n, statsFrom(pq.pp.plan, prof, n), err
 }
 
 // allDistinct reports whether the tuple binds pairwise-distinct data
@@ -444,7 +536,7 @@ func allDistinct(t []graph.VertexID) bool {
 // Match evaluates the pattern, invoking fn with each match as a map from
 // vertex name to data vertex ID; fn returning false stops enumeration
 // promptly (the runner halts rather than draining the full result set).
-// Distinct and Limit apply as in Count. Single-threaded.
+// Distinct, Limit and Workers apply as in PreparedQuery.Match.
 func (db *DB) Match(pattern string, fn func(map[string]uint32) bool, opts *QueryOptions) error {
 	var qo QueryOptions
 	if opts != nil {
@@ -455,6 +547,11 @@ func (db *DB) Match(pattern string, fn func(map[string]uint32) bool, opts *Query
 		return err
 	}
 	return pq.Match(fn, opts)
+}
+
+// MatchCtx is Match bounded by ctx (see CountCtx).
+func (db *DB) MatchCtx(ctx context.Context, pattern string, fn func(map[string]uint32) bool, opts *QueryOptions) error {
+	return db.Match(pattern, fn, withContext(ctx, opts))
 }
 
 // Explain returns the optimizer's plan for the pattern without running it.

@@ -13,6 +13,7 @@
 package adaptive
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -80,8 +81,14 @@ func splitChain(root plan.Node) ([]*plan.Extend, plan.Node) {
 // Count evaluates p adaptively and returns the match count and profile.
 // Plans without an adaptable chain fall back to fixed execution.
 func (e *Evaluator) Count(p *plan.Plan) (int64, exec.Profile, error) {
+	return e.CountCtx(context.Background(), p)
+}
+
+// CountCtx is Count bounded by ctx: evaluation stops promptly once ctx is
+// cancelled and the partial count is returned alongside ctx's error.
+func (e *Evaluator) CountCtx(ctx context.Context, p *plan.Plan) (int64, exec.Profile, error) {
 	var n int64
-	prof, err := e.Run(p, func([]graph.VertexID) { n++ })
+	prof, err := e.RunCtx(ctx, p, func([]graph.VertexID) { n++ })
 	return n, prof, err
 }
 
@@ -91,6 +98,14 @@ func (e *Evaluator) Count(p *plan.Plan) (int64, exec.Profile, error) {
 // callers needing vertex identities should index via the final layout
 // passed to Layout).
 func (e *Evaluator) Run(p *plan.Plan, emit func([]graph.VertexID)) (exec.Profile, error) {
+	return e.RunCtx(context.Background(), p, emit)
+}
+
+// RunCtx is Run bounded by ctx. The source pipeline polls ctx through the
+// executor's amortized check; the adaptive chains additionally poll it
+// every few thousand extensions so a single source tuple with a massive
+// chain fan-out cannot delay cancellation.
+func (e *Evaluator) RunCtx(ctx context.Context, p *plan.Plan, emit func([]graph.VertexID)) (exec.Profile, error) {
 	cfg := e.Config.withDefaults()
 	if err := p.Validate(); err != nil {
 		return exec.Profile{}, err
@@ -98,26 +113,32 @@ func (e *Evaluator) Run(p *plan.Plan, emit func([]graph.VertexID)) (exec.Profile
 	chain, source := splitChain(p.Root)
 	runner := &exec.Runner{Graph: e.Graph, Workers: cfg.Workers}
 	if len(chain) < 2 {
-		return runner.Run(p, emit)
+		return runner.RunPlanCtx(ctx, p, emit)
 	}
 	ad, err := newAdaptiveChain(e.Graph, e.Catalogue, p.Query, source, chain, cfg)
 	if err != nil {
 		return exec.Profile{}, err
 	}
+	ad.ctx = ctx
 	// Drive the source; adaptation is stateful per ordering, so the source
 	// must feed tuples sequentially.
 	srcRunner := &exec.Runner{Graph: e.Graph, Workers: cfg.Workers}
-	prof, err := srcRunner.RunSubplan(source, func(t []graph.VertexID) {
+	prof, err := srcRunner.RunSubplanCtx(ctx, source, func(t []graph.VertexID) {
 		ad.process(t, emit)
 	})
-	if err != nil {
-		return exec.Profile{}, err
-	}
+	// Merge the chain's counters before returning so cancellation still
+	// reports the partial profile (matching the executor's contract).
 	// Source outputs were counted as Matches by RunSubplan; they are
 	// intermediate here.
 	prof.Intermediate += prof.Matches
 	prof.Matches = 0
 	prof.Add(ad.profile)
+	if err != nil {
+		return prof, err
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return prof, ctx.Err()
+	}
 	return prof, nil
 }
 
@@ -156,7 +177,16 @@ type adaptiveChain struct {
 	tuple   []graph.VertexID
 	lists   [][]graph.VertexID
 	profile exec.Profile
+	// ctx, when non-nil, bounds the chain's own extension work; cancelled
+	// short-circuits runStep so in-flight recursion unwinds quickly and
+	// later source tuples become no-ops while the source pipeline stops.
+	ctx             context.Context
+	cancelled       bool
+	cancelCountdown int
 }
+
+// cancelCheckInterval matches the executor's amortized polling cadence.
+const cancelCheckInterval = 4096
 
 func newAdaptiveChain(g *graph.Graph, cat *catalogue.Catalogue, q *query.Graph, source plan.Node, chain []*plan.Extend, cfg Config) (*adaptiveChain, error) {
 	baseMask := plan.CoverMask(source)
@@ -236,6 +266,9 @@ func newAdaptiveChain(g *graph.Graph, cat *catalogue.Catalogue, q *query.Graph, 
 // process routes one source tuple to the ordering with the lowest
 // re-estimated cost and runs it through that ordering's chain.
 func (ad *adaptiveChain) process(t []graph.VertexID, emit func([]graph.VertexID)) {
+	if ad.cancelled {
+		return
+	}
 	best, bestCost := 0, math.Inf(1)
 	for i, o := range ad.orders {
 		c := ad.reestimate(o, t)
@@ -279,6 +312,16 @@ func (ad *adaptiveChain) reestimate(o *ordering, t []graph.VertexID) float64 {
 
 // runStep pushes the current tuple through step s of ordering o.
 func (ad *adaptiveChain) runStep(o *ordering, s int, emit func([]graph.VertexID)) {
+	ad.cancelCountdown--
+	if ad.cancelCountdown <= 0 {
+		ad.cancelCountdown = cancelCheckInterval
+		if ad.ctx != nil && ad.ctx.Err() != nil {
+			ad.cancelled = true
+		}
+	}
+	if ad.cancelled {
+		return
+	}
 	if s == len(o.steps) {
 		ad.profile.Matches++
 		if emit != nil {

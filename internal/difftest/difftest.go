@@ -1,0 +1,148 @@
+// Package difftest is a differential correctness harness: it generates
+// random labelled graphs and random connected query patterns, evaluates
+// each pair through the full public pipeline (parse → canonicalize →
+// optimize → compile → execute, hybrid plans included), and checks the
+// count against the deliberately naive binary-join reference of
+// internal/baseline. The two engines share no join code — BJCount is an
+// edge-at-a-time nested loop over materialised tuples — so agreement
+// across a corpus is strong evidence that the optimizer's plan space,
+// the canonical form and the executor are consistent.
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphflow"
+	"graphflow/internal/baseline"
+	"graphflow/internal/datagen"
+	"graphflow/internal/graph"
+	"graphflow/internal/query"
+)
+
+// maxBJIntermediate aborts reference evaluations whose intermediate
+// relations explode; the harness skips those pairs rather than spending
+// minutes on a single naive join.
+const maxBJIntermediate = 400_000
+
+// GenGraph returns a random labelled graph whose shape (preferential
+// attachment with triangle closure) exercises the skew and cyclicity the
+// optimizer keys on, relabelled with a few vertex and edge labels so
+// label filters take part in the comparison.
+func GenGraph(seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := datagen.Social(datagen.SocialConfig{
+		N:          100 + rng.Intn(150),
+		MPerV:      2 + rng.Intn(2),
+		Closure:    0.2 + 0.5*rng.Float64(),
+		Reciprocal: 0.4 * rng.Float64(),
+		Seed:       rng.Int63(),
+	})
+	return datagen.Relabel(g, 1+rng.Intn(3), 1+rng.Intn(2), rng.Int63())
+}
+
+// GenPattern returns a random connected query with 2-5 vertices: a
+// random spanning tree plus a few extra cycle-closing edges, random
+// directions, and labels drawn from the same small alphabets as
+// GenGraph. At most one edge per vertex pair — the optimizer rejects
+// parallel query edges.
+func GenPattern(rng *rand.Rand) *query.Graph {
+	for {
+		n := 2 + rng.Intn(4)
+		q := &query.Graph{}
+		for v := 0; v < n; v++ {
+			q.Vertices = append(q.Vertices, query.Vertex{
+				Name:  fmt.Sprintf("v%d", v),
+				Label: graph.Label(rng.Intn(3)),
+			})
+		}
+		paired := map[[2]int]bool{}
+		addEdge := func(a, b int) {
+			if a == b {
+				return
+			}
+			pair := [2]int{min(a, b), max(a, b)}
+			if paired[pair] {
+				return
+			}
+			paired[pair] = true
+			e := query.Edge{From: a, To: b, Label: graph.Label(rng.Intn(2))}
+			if rng.Intn(2) == 0 {
+				e.From, e.To = e.To, e.From
+			}
+			q.Edges = append(q.Edges, e)
+		}
+		// Spanning tree: attach each vertex to an earlier one.
+		for v := 1; v < n; v++ {
+			addEdge(rng.Intn(v), v)
+		}
+		// Extra edges close cycles — the shapes where WCO and hybrid plans
+		// diverge most from binary joins.
+		for i := rng.Intn(4); i > 0; i-- {
+			addEdge(rng.Intn(n), rng.Intn(n))
+		}
+		if q.Validate() == nil {
+			return q
+		}
+		// Redraw on the (rare) structurally invalid outcome.
+	}
+}
+
+// OpenDB wraps g in a DB with a deliberately tiny catalogue (H=2, small
+// sample): on labelled graphs a full catalogue samples a huge labelled
+// pattern space, and the corpus trades catalogue fidelity for volume —
+// plan *choice* may differ from a production DB, correctness must not.
+func OpenDB(g *graph.Graph) (*graphflow.DB, error) {
+	b := graphflow.NewBuilder(g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		b.SetVertexLabel(uint32(v), uint16(g.VertexLabel(graph.VertexID(v))))
+	}
+	g.Edges(func(src, dst graph.VertexID, l graph.Label) bool {
+		b.AddEdge(uint32(src), uint32(dst), uint16(l))
+		return true
+	})
+	return b.Open(&graphflow.Options{CatalogueZ: 100, CatalogueH: 2})
+}
+
+// Result is the outcome of one graph/pattern comparison.
+type Result struct {
+	Pattern  string
+	Want     int64 // reference BJ count
+	Got      int64 // hybrid-plan count through the public API
+	GotWCO   int64 // WCO-restricted count
+	PlanKind string
+	Skipped  bool // reference blew the intermediate-size budget
+}
+
+// ComparePair counts q on db via the optimizer's chosen (possibly
+// hybrid) plan and via the WCO-restricted plan space, and checks both
+// against the baseline BJ reference on g.
+func ComparePair(db *graphflow.DB, g *graph.Graph, q *query.Graph) (Result, error) {
+	res := Result{Pattern: q.String()}
+	want, _, err := baseline.BJCount(g, q, baseline.BJConfig{
+		EagerClose:      true,
+		MaxIntermediate: maxBJIntermediate,
+	})
+	if err == baseline.ErrTooLarge {
+		res.Skipped = true
+		return res, nil
+	}
+	if err != nil {
+		return res, fmt.Errorf("reference BJ on %q: %w", res.Pattern, err)
+	}
+	res.Want = want
+
+	got, st, err := db.CountStats(res.Pattern, nil)
+	if err != nil {
+		return res, fmt.Errorf("hybrid count of %q: %w", res.Pattern, err)
+	}
+	res.Got = got
+	res.PlanKind = st.PlanKind
+
+	gotWCO, err := db.Count(res.Pattern, &graphflow.QueryOptions{WCOOnly: true})
+	if err != nil {
+		return res, fmt.Errorf("wco count of %q: %w", res.Pattern, err)
+	}
+	res.GotWCO = gotWCO
+	return res, nil
+}

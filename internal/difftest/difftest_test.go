@@ -1,0 +1,60 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// runCorpus checks numGraphs random graphs × patternsPer random patterns
+// against the BJ reference.
+func runCorpus(t *testing.T, firstSeed int64, numGraphs, patternsPer int) {
+	t.Helper()
+	skipped := 0
+	for gi := 0; gi < numGraphs; gi++ {
+		seed := firstSeed + int64(gi)
+		g := GenGraph(seed)
+		db, err := OpenDB(g)
+		if err != nil {
+			t.Fatalf("graph seed %d: %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed * 7919))
+		for pi := 0; pi < patternsPer; pi++ {
+			q := GenPattern(rng)
+			res, err := ComparePair(db, g, q)
+			if err != nil {
+				t.Fatalf("graph seed %d pattern %d: %v", seed, pi, err)
+			}
+			if res.Skipped {
+				skipped++
+				continue
+			}
+			if res.Got != res.Want {
+				t.Errorf("graph seed %d: %s plan of %q counted %d, BJ reference %d",
+					seed, res.PlanKind, res.Pattern, res.Got, res.Want)
+			}
+			if res.GotWCO != res.Want {
+				t.Errorf("graph seed %d: WCO plan of %q counted %d, BJ reference %d",
+					seed, res.Pattern, res.GotWCO, res.Want)
+			}
+		}
+	}
+	total := numGraphs * patternsPer
+	if skipped > total/2 {
+		t.Errorf("%d/%d pairs skipped on the reference budget; corpus too thin", skipped, total)
+	}
+	t.Logf("corpus: %d pairs, %d skipped", total-skipped, skipped)
+}
+
+// TestDifferentialBounded is the always-on corpus: small enough for the
+// race-enabled CI job, broad enough to catch planner/executor drift.
+func TestDifferentialBounded(t *testing.T) {
+	runCorpus(t, 1000, 10, 15)
+}
+
+// TestDifferentialExtended is the larger corpus, skipped under -short.
+func TestDifferentialExtended(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended differential corpus skipped in -short mode")
+	}
+	runCorpus(t, 5000, 40, 25)
+}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -89,7 +90,7 @@ func (cp *CompiledPlan) Analyze(cfg RunConfig) (*OpStats, Profile, error) {
 	cfg.Workers = 1
 	cfg.FastCount = false
 	nc := &nodeCounters{m: map[plan.Node]*OpStats{}}
-	prof, err := cp.run(cfg, nc, nil)
+	prof, err := cp.run(context.Background(), cfg, nc, nil)
 	if err != nil {
 		return nil, Profile{}, err
 	}

@@ -1,0 +1,131 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"graphflow/internal/graph"
+	"graphflow/internal/query"
+)
+
+// heavyPlan returns a compiled WCO plan whose full evaluation takes long
+// enough (hundreds of milliseconds at least) that mid-run cancellation is
+// observable: a 4-clique over a dense random graph.
+func heavyPlan(t testing.TB) *CompiledPlan {
+	t.Helper()
+	g := smallRandomGraph(7, 2000, 60)
+	q := query.MustParse("a->b, a->c, a->d, b->c, b->d, c->d")
+	p := buildWCO(t, q, []int{0, 1, 2, 3})
+	cp, err := Compile(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func TestCountCtxExpiredContextReturnsImmediately(t *testing.T) {
+	cp := heavyPlan(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, _, err := cp.CountCtx(ctx, RunConfig{FastCount: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("cancelled run took %v, want near-instant", el)
+	}
+}
+
+// TestCountCtxDeadlineBoundsLatency is the acceptance test for the
+// amortized cancellation check: a WCO-heavy count whose context expires
+// mid-run must return context.DeadlineExceeded well before the full
+// evaluation would have finished.
+func TestCountCtxDeadlineBoundsLatency(t *testing.T) {
+	cp := heavyPlan(t)
+
+	// Establish that the query genuinely runs long; skip (never fail) on
+	// absurdly fast machines where the premise does not hold.
+	full := time.Now()
+	n, _, err := cp.Count(RunConfig{FastCount: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullDur := time.Since(full)
+	if fullDur < 100*time.Millisecond {
+		t.Skipf("full count of %d matches took only %v; too fast to observe mid-run cancellation", n, fullDur)
+	}
+
+	const deadline = 20 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	start := time.Now()
+	_, _, err = cp.CountCtx(ctx, RunConfig{FastCount: true})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// The bound is deliberately loose (scheduler noise, slow CI), but far
+	// below fullDur: the run must not have drained the plan.
+	if elapsed > fullDur/2 && elapsed > 500*time.Millisecond {
+		t.Errorf("cancellation latency %v (deadline %v, full run %v): not bounded", elapsed, deadline, fullDur)
+	}
+}
+
+func TestCountCtxParallelCancellation(t *testing.T) {
+	cp := heavyPlan(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := cp.CountCtx(ctx, RunConfig{Workers: 4, FastCount: true})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("parallel cancelled run took %v", el)
+	}
+}
+
+func TestRunUntilCtxEarlyStopIsNotAnError(t *testing.T) {
+	cp, _, _ := compiledTriangle(t)
+	seen := 0
+	_, err := cp.RunUntilCtx(context.Background(), RunConfig{}, func([]graph.VertexID) bool {
+		seen++
+		return seen < 3
+	})
+	if err != nil {
+		t.Fatalf("early stop returned error %v", err)
+	}
+	if seen != 3 {
+		t.Errorf("emit called %d times, want 3", seen)
+	}
+}
+
+func TestCountUpToCtxHonorsWorkers(t *testing.T) {
+	cp, _, total := compiledTriangle(t)
+	limit := total / 2
+	if limit < 1 {
+		t.Skip("triangle fixture too small")
+	}
+	for _, workers := range []int{1, 4} {
+		n, _, err := cp.CountUpTo(RunConfig{Workers: workers}, limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != limit {
+			t.Errorf("workers=%d: CountUpTo = %d, want %d", workers, n, limit)
+		}
+	}
+	// A limit above the total yields the exact total regardless of workers.
+	for _, workers := range []int{1, 4} {
+		n, _, err := cp.CountUpTo(RunConfig{Workers: workers}, total+100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != total {
+			t.Errorf("workers=%d: uncapped CountUpTo = %d, want %d", workers, n, total)
+		}
+	}
+}

@@ -21,6 +21,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -88,6 +89,7 @@ var ErrBuildTooLarge = fmt.Errorf("exec: hash-join build side exceeds MaxBuildRo
 type runContext struct {
 	cp      *CompiledPlan
 	cfg     RunConfig
+	ctx     context.Context
 	tables  map[*plan.HashJoin]*hashTable
 	analyze *nodeCounters
 	profile Profile
@@ -98,6 +100,15 @@ type runContext struct {
 // out according to the plan root's Out(). When cfg.Workers > 1, emit is
 // serialised internally — matches never interleave within a call.
 func (cp *CompiledPlan) Run(cfg RunConfig, emit func([]graph.VertexID)) (Profile, error) {
+	return cp.RunCtx(context.Background(), cfg, emit)
+}
+
+// RunCtx is Run bounded by ctx: execution stops promptly once ctx is
+// cancelled or its deadline passes, and the ctx error is returned
+// together with the partial profile accumulated so far. Workers poll the
+// context every cancelCheckInterval produced tuples, so cancellation
+// latency is bounded even mid-pipeline.
+func (cp *CompiledPlan) RunCtx(ctx context.Context, cfg RunConfig, emit func([]graph.VertexID)) (Profile, error) {
 	var inner func([]graph.VertexID) bool
 	if emit != nil {
 		if cfg.Workers > 1 {
@@ -115,7 +126,7 @@ func (cp *CompiledPlan) Run(cfg RunConfig, emit func([]graph.VertexID)) (Profile
 			}
 		}
 	}
-	return cp.run(cfg, nil, inner)
+	return cp.run(ctx, cfg, nil, inner)
 }
 
 // RunConcurrent is Run without the emit serialisation: when cfg.Workers
@@ -123,6 +134,11 @@ func (cp *CompiledPlan) Run(cfg RunConfig, emit func([]graph.VertexID)) (Profile
 // safe for that. Use it when the callback does its own (cheaper)
 // synchronisation, e.g. a single atomic counter.
 func (cp *CompiledPlan) RunConcurrent(cfg RunConfig, emit func([]graph.VertexID)) (Profile, error) {
+	return cp.RunConcurrentCtx(context.Background(), cfg, emit)
+}
+
+// RunConcurrentCtx is RunConcurrent bounded by ctx (see RunCtx).
+func (cp *CompiledPlan) RunConcurrentCtx(ctx context.Context, cfg RunConfig, emit func([]graph.VertexID)) (Profile, error) {
 	var inner func([]graph.VertexID) bool
 	if emit != nil {
 		inner = func(t []graph.VertexID) bool {
@@ -130,14 +146,21 @@ func (cp *CompiledPlan) RunConcurrent(cfg RunConfig, emit func([]graph.VertexID)
 			return true
 		}
 	}
-	return cp.run(cfg, nil, inner)
+	return cp.run(ctx, cfg, nil, inner)
 }
 
 // RunUntil is Run with early termination: enumeration halts once emit
 // returns false. Pending workers stop at their next scan vertex, so a few
-// extra emit calls may still arrive after the first false return; emit is
-// serialised when cfg.Workers > 1.
+// extra tuples may still be produced after the first false return, but
+// emit itself is serialised when cfg.Workers > 1 and is never invoked
+// again once it has returned false.
 func (cp *CompiledPlan) RunUntil(cfg RunConfig, emit func([]graph.VertexID) bool) (Profile, error) {
+	return cp.RunUntilCtx(context.Background(), cfg, emit)
+}
+
+// RunUntilCtx is RunUntil bounded by ctx (see RunCtx). Early termination
+// via emit is not an error; cancellation via ctx returns ctx's error.
+func (cp *CompiledPlan) RunUntilCtx(ctx context.Context, cfg RunConfig, emit func([]graph.VertexID) bool) (Profile, error) {
 	inner := emit
 	if cfg.Workers > 1 {
 		var mu sync.Mutex
@@ -155,18 +178,24 @@ func (cp *CompiledPlan) RunUntil(cfg RunConfig, emit func([]graph.VertexID) bool
 			return true
 		}
 	}
-	return cp.run(cfg, nil, inner)
+	return cp.run(ctx, cfg, nil, inner)
 }
 
 // Count evaluates the compiled plan and returns the number of matches
 // and the execution profile.
 func (cp *CompiledPlan) Count(cfg RunConfig) (int64, Profile, error) {
+	return cp.CountCtx(context.Background(), cfg)
+}
+
+// CountCtx is Count bounded by ctx (see RunCtx). On cancellation the
+// partial count is returned alongside ctx's error.
+func (cp *CompiledPlan) CountCtx(ctx context.Context, cfg RunConfig) (int64, Profile, error) {
 	if cfg.FastCount {
-		prof, err := cp.run(cfg, nil, nil)
+		prof, err := cp.run(ctx, cfg, nil, nil)
 		return prof.Matches, prof, err
 	}
 	var n atomic.Int64
-	prof, err := cp.run(cfg, nil, func([]graph.VertexID) bool {
+	prof, err := cp.run(ctx, cfg, nil, func([]graph.VertexID) bool {
 		n.Add(1)
 		return true
 	})
@@ -174,25 +203,36 @@ func (cp *CompiledPlan) Count(cfg RunConfig) (int64, Profile, error) {
 }
 
 // CountUpTo evaluates the compiled plan, stopping once limit matches have
-// been produced (the output caps of the Appendix C experiments).
-// Sequential only: a Workers value above 1 is ignored.
+// been produced (the output caps of the Appendix C experiments). Honors
+// cfg.Workers: with parallel workers the count still stops at limit, but
+// which matches are counted is nondeterministic.
 func (cp *CompiledPlan) CountUpTo(cfg RunConfig, limit int64) (int64, Profile, error) {
-	cfg.Workers = 1
+	return cp.CountUpToCtx(context.Background(), cfg, limit)
+}
+
+// CountUpToCtx is CountUpTo bounded by ctx (see RunCtx).
+func (cp *CompiledPlan) CountUpToCtx(ctx context.Context, cfg RunConfig, limit int64) (int64, Profile, error) {
 	cfg.FastCount = false
-	var n int64
-	prof, err := cp.run(cfg, nil, func([]graph.VertexID) bool {
-		n++
-		return n < limit
+	var n atomic.Int64
+	prof, err := cp.run(ctx, cfg, nil, func([]graph.VertexID) bool {
+		// Workers may race past the cap by one tuple each before observing
+		// the stop; the overshoot is clamped below, so the reported count
+		// never exceeds limit.
+		return n.Add(1) < limit
 	})
-	return n, prof, err
+	c := n.Load()
+	if c > limit {
+		c = limit
+	}
+	return c, prof, err
 }
 
 // run is the execution driver: it materialises the per-run context,
 // builds every hash table, then drives the root pipeline. emit, when
 // non-nil, must tolerate concurrent calls if cfg.Workers > 1 (the public
 // wrappers serialise user callbacks before reaching here) and returns
-// false to request early termination.
-func (cp *CompiledPlan) run(cfg RunConfig, analyze *nodeCounters, emit func([]graph.VertexID) bool) (Profile, error) {
+// false to request early termination. A nil ctx disables cancellation.
+func (cp *CompiledPlan) run(ctx context.Context, cfg RunConfig, analyze *nodeCounters, emit func([]graph.VertexID) bool) (Profile, error) {
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
@@ -200,8 +240,11 @@ func (cp *CompiledPlan) run(cfg RunConfig, analyze *nodeCounters, emit func([]gr
 	if workers > runtime.NumCPU()*4 {
 		workers = runtime.NumCPU() * 4
 	}
-	rc := &runContext{cp: cp, cfg: cfg, tables: make(map[*plan.HashJoin]*hashTable), analyze: analyze}
+	rc := &runContext{cp: cp, cfg: cfg, ctx: ctx, tables: make(map[*plan.HashJoin]*hashTable), analyze: analyze}
 	for _, pipe := range cp.pipes {
+		if err := rc.ctxErr(); err != nil {
+			return rc.profile, err
+		}
 		if pipe.feeds != nil {
 			if err := rc.buildTable(pipe, workers); err != nil {
 				return Profile{}, err
@@ -214,7 +257,20 @@ func (cp *CompiledPlan) run(cfg RunConfig, analyze *nodeCounters, emit func([]gr
 		}
 		rc.profile.Add(prof)
 	}
+	// Workers unwind on cancellation without an error of their own; the
+	// context is the single source of truth for why the run ended early.
+	if err := rc.ctxErr(); err != nil {
+		return rc.profile, err
+	}
 	return rc.profile, nil
+}
+
+// ctxErr reports the run context's cancellation state.
+func (rc *runContext) ctxErr() error {
+	if rc.ctx == nil {
+		return nil
+	}
+	return rc.ctx.Err()
 }
 
 // buildTable runs one build pipeline and materialises its hash join's
@@ -318,15 +374,21 @@ func (r *Runner) config() RunConfig {
 // Count evaluates the plan and returns the number of matches and the
 // execution profile.
 func (r *Runner) Count(p *plan.Plan) (int64, Profile, error) {
+	return r.CountCtx(context.Background(), p)
+}
+
+// CountCtx is Count bounded by ctx (see CompiledPlan.RunCtx).
+func (r *Runner) CountCtx(ctx context.Context, p *plan.Plan) (int64, Profile, error) {
 	cp, err := Compile(r.Graph, p)
 	if err != nil {
 		return 0, Profile{}, err
 	}
-	return cp.Count(r.config())
+	return cp.CountCtx(ctx, r.config())
 }
 
 // CountUpTo evaluates the plan, stopping once limit matches have been
-// produced. Sequential only: a Workers value above 1 is ignored.
+// produced. Honors Workers: with parallel workers the count still stops
+// at limit, but which matches are counted is nondeterministic.
 func (r *Runner) CountUpTo(p *plan.Plan, limit int64) (int64, Profile, error) {
 	cp, err := Compile(r.Graph, p)
 	if err != nil {
@@ -339,20 +401,30 @@ func (r *Runner) CountUpTo(p *plan.Plan, limit int64) (int64, Profile, error) {
 // passed to emit is only valid during the call and is laid out according
 // to p.Root.Out(). When Workers > 1, emit calls are serialised.
 func (r *Runner) Run(p *plan.Plan, emit func([]graph.VertexID)) (Profile, error) {
+	return r.RunPlanCtx(context.Background(), p, emit)
+}
+
+// RunPlanCtx is Run bounded by ctx (see CompiledPlan.RunCtx).
+func (r *Runner) RunPlanCtx(ctx context.Context, p *plan.Plan, emit func([]graph.VertexID)) (Profile, error) {
 	cp, err := Compile(r.Graph, p)
 	if err != nil {
 		return Profile{}, err
 	}
-	return cp.Run(r.config(), emit)
+	return cp.RunCtx(ctx, r.config(), emit)
 }
 
 // RunSubplan evaluates an arbitrary subplan node (which need not cover the
 // whole query), emitting its tuples in node.Out() layout. The adaptive
 // evaluator uses this to drive the non-adapted part of a plan.
 func (r *Runner) RunSubplan(node plan.Node, emit func([]graph.VertexID)) (Profile, error) {
+	return r.RunSubplanCtx(context.Background(), node, emit)
+}
+
+// RunSubplanCtx is RunSubplan bounded by ctx (see CompiledPlan.RunCtx).
+func (r *Runner) RunSubplanCtx(ctx context.Context, node plan.Node, emit func([]graph.VertexID)) (Profile, error) {
 	cp, err := CompileNode(r.Graph, node)
 	if err != nil {
 		return Profile{}, err
 	}
-	return cp.Run(r.config(), emit)
+	return cp.RunCtx(ctx, r.config(), emit)
 }

@@ -29,7 +29,18 @@ type worker struct {
 	// product (the factorization optimization of the paper's Section 10).
 	countFast bool
 	scanOut   int64
+	// cancelCountdown amortizes context polling: it is decremented on
+	// every produced tuple and the context is only consulted when it
+	// reaches zero, so the hot extend/probe loops pay one integer
+	// decrement per tuple.
+	cancelCountdown int
 }
+
+// cancelCheckInterval is the number of produced tuples between context
+// polls. Small enough that even a single deep pipeline observes
+// cancellation within microseconds on modern hardware, large enough that
+// the poll never shows up in profiles.
+const cancelCheckInterval = 4096
 
 // stageState is the per-run mutable counterpart of one stageSpec.
 type stageState interface {
@@ -42,7 +53,8 @@ func newWorker(rc *runContext, pipe *compiledPipeline, isRoot bool, emit func([]
 	w := &worker{
 		g: rc.cp.graph, rc: rc, pipe: pipe, isRoot: isRoot,
 		emit: emit, stopped: stopped,
-		countFast: rc.cfg.FastCount && emit == nil,
+		countFast:       rc.cfg.FastCount && emit == nil,
+		cancelCountdown: cancelCheckInterval,
 	}
 	for _, spec := range pipe.stages {
 		w.stages = append(w.stages, spec.newState(rc))
@@ -113,12 +125,32 @@ func (w *worker) runStage(i int) {
 
 // countOutput attributes a produced tuple to either intermediate results or
 // final matches. Stage index len(stages) output is the root's output when
-// this pipeline is the plan root.
+// this pipeline is the plan root. Every produced tuple at every stage
+// flows through here, which makes it the natural hook for the amortized
+// cancellation check: long-running pipelines produce tuples constantly,
+// so polling every cancelCheckInterval tuples bounds cancellation
+// latency without a per-tuple context load.
 func (w *worker) countOutput(stageIdx int) {
 	if w.isRoot && stageIdx == len(w.stages) {
 		w.profile.Matches++
 	} else {
 		w.profile.Intermediate++
+	}
+	w.cancelCountdown--
+	if w.cancelCountdown <= 0 {
+		w.pollCancel()
+	}
+}
+
+// pollCancel consults the run's context and unwinds the pipeline via the
+// same stopRun machinery as emit-driven early termination when it has
+// been cancelled. The run driver reads ctx.Err() afterwards, so the
+// cancellation reason is never lost in the unwind.
+func (w *worker) pollCancel() {
+	w.cancelCountdown = cancelCheckInterval
+	if w.rc.ctx != nil && w.rc.ctx.Err() != nil {
+		w.stopped.Store(true)
+		panic(stopRun{})
 	}
 }
 

@@ -42,6 +42,14 @@ func Parse(pattern string) (*Graph, error) {
 		if name == "" {
 			return -1, fmt.Errorf("query: empty vertex name in %q", tok)
 		}
+		// Names containing arrow fragments parse in some clause positions
+		// but cannot be re-rendered unambiguously (String would emit a
+		// pattern that fails to reparse); reject them outright.
+		for _, bad := range []string{"->", "<-", "-["} {
+			if strings.Contains(name, bad) {
+				return -1, fmt.Errorf("query: vertex name %q contains arrow sequence %q", name, bad)
+			}
+		}
 		idx := q.VertexIndex(name)
 		if idx < 0 {
 			q.Vertices = append(q.Vertices, Vertex{Name: name, Label: label})

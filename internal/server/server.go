@@ -1,0 +1,490 @@
+// Package server exposes a graphflow DB over HTTP: ad-hoc counting and
+// matching, a named prepared-statement registry backed by the DB's
+// compiled-plan cache, plan inspection, and operational stats. Every
+// query executes under a per-request deadline threaded through the
+// ctx-aware execution core, so a pathological worst-case-optimal query
+// cannot pin a worker past its budget, and a semaphore admission limit
+// sheds load once the configured number of queries are in flight.
+//
+// Endpoints (all JSON):
+//
+//	POST /query            one-shot count or match of a pattern
+//	POST /prepare          register a named prepared statement
+//	POST /execute/{name}   run a previously prepared statement
+//	DELETE /prepare/{name} drop a prepared statement
+//	GET/POST /explain      optimizer plan without executing
+//	GET /stats             graph, plan-cache, prepared and request counters
+//	GET /healthz           liveness probe
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphflow"
+)
+
+// StatusClientClosedRequest is the non-standard 499 status (nginx
+// convention) reported when the client abandoned a request whose query
+// was then cancelled. It distinguishes client-initiated cancellation
+// from the server-initiated 504 deadline.
+const StatusClientClosedRequest = 499
+
+// Config tunes a Server. The zero value of every field takes a sensible
+// default; only DB is mandatory.
+type Config struct {
+	// DB is the database served. Required.
+	DB *graphflow.DB
+	// DefaultTimeout bounds query execution when the request does not set
+	// timeout_ms. Default 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request-supplied timeouts. Default 5m.
+	MaxTimeout time.Duration
+	// MaxConcurrent is the admission limit: requests that would exceed
+	// this many concurrently executing queries are rejected with 429.
+	// Default 64.
+	MaxConcurrent int
+	// MaxRows clamps the number of rows a match request may return.
+	// Default 10000.
+	MaxRows int
+	// MaxWorkers clamps request-supplied worker counts. Default 16.
+	MaxWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 64
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 10000
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = 16
+	}
+	return c
+}
+
+// Server is the HTTP serving layer over one DB. It is safe for
+// concurrent use; construct with New and mount via Handler or ServeHTTP.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	// sem is the admission semaphore: a slot is held while a request
+	// plans or executes a query — the CPU-bound phases — and released
+	// before the response is encoded, so a slow-reading client cannot
+	// hold admission capacity with no query running.
+	sem chan struct{}
+
+	mu       sync.RWMutex
+	prepared map[string]*graphflow.PreparedQuery
+
+	served, rejected, deadlined atomic.Int64
+}
+
+// New builds a Server over cfg.DB.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		prepared: make(map[string]*graphflow.PreparedQuery),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /prepare", s.handlePrepare)
+	mux.HandleFunc("DELETE /prepare/{name}", s.handleUnprepare)
+	mux.HandleFunc("POST /execute/{name}", s.handleExecute)
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// queryRequest is the body of /query and /execute/{name}. All fields are
+// optional except Pattern (ignored by /execute, which uses the prepared
+// statement's pattern).
+type queryRequest struct {
+	Pattern string `json:"pattern"`
+	// Mode is "count" (default) or "match".
+	Mode      string `json:"mode"`
+	Workers   int    `json:"workers"`
+	Limit     int64  `json:"limit"`
+	Distinct  bool   `json:"distinct"`
+	Adaptive  bool   `json:"adaptive"`
+	WCO       bool   `json:"wco"`
+	TimeoutMS int64  `json:"timeout_ms"`
+}
+
+// queryResponse is the body of a successful /query or /execute response.
+// Count and Rows are pointers so their zero values still serialise in
+// the mode that produced them ("count":0, "rows":[]) while the other
+// mode omits the field entirely.
+type queryResponse struct {
+	Count     *int64               `json:"count,omitempty"`
+	Rows      *[]map[string]uint32 `json:"rows,omitempty"`
+	Truncated bool                 `json:"truncated,omitempty"`
+	PlanKind  string               `json:"plan_kind,omitempty"`
+	ElapsedMS float64              `json:"elapsed_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody parses the request body into v; a missing body is treated
+// as an empty object so every knob defaults.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// admit acquires an execution slot without blocking; false means the
+// admission limit is reached and a 429 was written.
+func (s *Server) admit(w http.ResponseWriter) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		s.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "admission limit reached (%d queries in flight)", s.cfg.MaxConcurrent)
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// queryOptions maps a request onto QueryOptions, clamping workers and
+// limits to the server's configured ceilings.
+func (s *Server) queryOptions(req *queryRequest) *graphflow.QueryOptions {
+	workers := req.Workers
+	if workers > s.cfg.MaxWorkers {
+		workers = s.cfg.MaxWorkers
+	}
+	return &graphflow.QueryOptions{
+		Workers:  workers,
+		Limit:    req.Limit,
+		Distinct: req.Distinct,
+		Adaptive: req.Adaptive,
+		WCOOnly:  req.WCO,
+	}
+}
+
+// timeout resolves the request's execution budget. The millisecond
+// value is compared before multiplying so an absurd timeout_ms cannot
+// overflow time.Duration into a negative (instantly expired) deadline.
+func (s *Server) timeout(req *queryRequest) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		if req.TimeoutMS >= s.cfg.MaxTimeout.Milliseconds() {
+			return s.cfg.MaxTimeout
+		}
+		d = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// writeRunError maps an execution error onto timeout/cancellation
+// semantics: 504 when the server-side deadline expired, 499 when the
+// client went away, 500 otherwise.
+func (s *Server) writeRunError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlined.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "query exceeded its deadline: %v", err)
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		// The request context is the only canceller wired in; its
+		// cancellation means the client closed the connection.
+		writeError(w, StatusClientClosedRequest, "client closed request: %v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "query failed: %v", err)
+	}
+}
+
+// errUnknownMode marks a request whose mode field is neither "count"
+// nor "match"; respond maps it to 400.
+var errUnknownMode = errors.New("unknown mode")
+
+// execute runs pq under the request's deadline and options. The caller
+// must hold an admission slot: planning and execution are the CPU-bound
+// phases the semaphore bounds.
+func (s *Server) execute(r *http.Request, pq *graphflow.PreparedQuery, req *queryRequest) (queryResponse, error) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req))
+	defer cancel()
+
+	start := time.Now()
+	resp := queryResponse{PlanKind: pq.PlanKind()}
+	switch req.Mode {
+	case "", "count":
+		n, err := pq.CountCtx(ctx, s.queryOptions(req))
+		if err != nil {
+			return resp, err
+		}
+		resp.Count = &n
+	case "match":
+		opts := s.queryOptions(req)
+		rowCap := int64(s.cfg.MaxRows)
+		capped := opts.Limit <= 0 || opts.Limit > rowCap
+		if capped {
+			opts.Limit = rowCap
+		}
+		rows := make([]map[string]uint32, 0, 16)
+		err := pq.MatchCtx(ctx, func(m map[string]uint32) bool {
+			rows = append(rows, m)
+			return true
+		}, opts)
+		if err != nil {
+			return resp, err
+		}
+		resp.Rows = &rows
+		// A full rowCap of rows under the server's ceiling (no caller limit,
+		// or one the ceiling clamped) means enumeration may have been cut
+		// short rather than exhausted.
+		resp.Truncated = capped && int64(len(rows)) == rowCap
+	default:
+		return resp, fmt.Errorf("%w %q (want \"count\" or \"match\")", errUnknownMode, req.Mode)
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	return resp, nil
+}
+
+// respond writes the outcome of execute.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, resp queryResponse, err error) {
+	switch {
+	case err == nil:
+		s.served.Add(1)
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, errUnknownMode):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		s.writeRunError(w, r, err)
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Pattern == "" {
+		writeError(w, http.StatusBadRequest, "missing pattern")
+		return
+	}
+	// Planning runs inside the admission slot too: a flood of novel
+	// patterns is optimizer work the semaphore must bound.
+	if !s.admit(w) {
+		return
+	}
+	pq, err := s.prepare(req.Pattern, req.WCO)
+	if err != nil {
+		s.release()
+		writeError(w, http.StatusBadRequest, "bad pattern: %v", err)
+		return
+	}
+	resp, runErr := s.execute(r, pq, &req)
+	s.release()
+	s.respond(w, r, resp, runErr)
+}
+
+func (s *Server) prepare(pattern string, wco bool) (*graphflow.PreparedQuery, error) {
+	if wco {
+		return s.cfg.DB.PrepareWCO(pattern)
+	}
+	return s.cfg.DB.Prepare(pattern)
+}
+
+// prepareRequest is the body of /prepare.
+type prepareRequest struct {
+	Name    string `json:"name"`
+	Pattern string `json:"pattern"`
+	WCO     bool   `json:"wco"`
+}
+
+type prepareResponse struct {
+	Name     string `json:"name"`
+	PlanKind string `json:"plan_kind"`
+	Plan     string `json:"plan"`
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	var req prepareRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Name == "" || req.Pattern == "" {
+		writeError(w, http.StatusBadRequest, "both name and pattern are required")
+		return
+	}
+	if !s.admit(w) {
+		return
+	}
+	pq, err := s.prepare(req.Pattern, req.WCO)
+	s.release()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad pattern: %v", err)
+		return
+	}
+	s.mu.Lock()
+	if _, exists := s.prepared[req.Name]; exists {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "statement %q already prepared", req.Name)
+		return
+	}
+	s.prepared[req.Name] = pq
+	s.mu.Unlock()
+	st := pq.Stats()
+	writeJSON(w, http.StatusCreated, prepareResponse{Name: req.Name, PlanKind: st.PlanKind, Plan: st.Plan})
+}
+
+func (s *Server) handleUnprepare(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.prepared[name]
+	delete(s.prepared, name)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no prepared statement %q", name)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	pq, ok := s.prepared[name]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no prepared statement %q", name)
+		return
+	}
+	var req queryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !s.admit(w) {
+		return
+	}
+	resp, runErr := s.execute(r, pq, &req)
+	s.release()
+	s.respond(w, r, resp, runErr)
+}
+
+type explainResponse struct {
+	PlanKind  string  `json:"plan_kind"`
+	Plan      string  `json:"plan"`
+	Estimated float64 `json:"estimated_cardinality"`
+}
+
+// handleExplain accepts the pattern either as a ?pattern= query
+// parameter (GET) or a JSON body (POST).
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	pattern := r.URL.Query().Get("pattern")
+	if pattern == "" && r.Method == http.MethodPost {
+		var req queryRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		pattern = req.Pattern
+	}
+	if pattern == "" {
+		writeError(w, http.StatusBadRequest, "missing pattern")
+		return
+	}
+	if !s.admit(w) {
+		return
+	}
+	st, err := s.cfg.DB.Explain(pattern)
+	var est float64
+	if err == nil {
+		est, _ = s.cfg.DB.EstimateCardinality(pattern)
+	}
+	s.release()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad pattern: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, explainResponse{PlanKind: st.PlanKind, Plan: st.Plan, Estimated: est})
+}
+
+type statsResponse struct {
+	Graph struct {
+		Vertices int `json:"vertices"`
+		Edges    int `json:"edges"`
+	} `json:"graph"`
+	PlanCache struct {
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+		Entries   int   `json:"entries"`
+	} `json:"plan_cache"`
+	Prepared int `json:"prepared_statements"`
+	Requests struct {
+		Served    int64 `json:"served"`
+		Rejected  int64 `json:"rejected"`
+		Deadlined int64 `json:"deadlined"`
+		InFlight  int   `json:"in_flight"`
+	} `json:"requests"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp statsResponse
+	resp.Graph.Vertices = s.cfg.DB.NumVertices()
+	resp.Graph.Edges = s.cfg.DB.NumEdges()
+	pc := s.cfg.DB.PlanCacheStats()
+	resp.PlanCache.Hits = pc.Hits
+	resp.PlanCache.Misses = pc.Misses
+	resp.PlanCache.Evictions = pc.Evictions
+	resp.PlanCache.Entries = pc.Entries
+	s.mu.RLock()
+	resp.Prepared = len(s.prepared)
+	s.mu.RUnlock()
+	resp.Requests.Served = s.served.Load()
+	resp.Requests.Rejected = s.rejected.Load()
+	resp.Requests.Deadlined = s.deadlined.Load()
+	resp.Requests.InFlight = len(s.sem)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

@@ -1,0 +1,333 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"graphflow"
+)
+
+var (
+	dbOnce sync.Once
+	testDB *graphflow.DB
+)
+
+// sharedDB builds one Epinions-like DB for every test; catalogue
+// construction dominates setup so it is done once.
+func sharedDB(t *testing.T) *graphflow.DB {
+	t.Helper()
+	dbOnce.Do(func() {
+		db, err := graphflow.NewFromDataset("Epinions", 1, &graphflow.Options{CatalogueZ: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		testDB = db
+	})
+	return testDB
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.DB == nil {
+		cfg.DB = sharedDB(t)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// do issues one request against the in-process handler and returns the
+// recorder. body may be a raw string or any JSON-marshalable value.
+func do(t *testing.T, s *Server, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	return doCtx(t, s, context.Background(), method, path, body)
+}
+
+func doCtx(t *testing.T, s *Server, ctx context.Context, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	switch b := body.(type) {
+	case nil:
+		rd = bytes.NewReader(nil)
+	case string:
+		rd = bytes.NewReader([]byte(b))
+	default:
+		buf, err := json.Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req := httptest.NewRequest(method, path, rd).WithContext(ctx)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+const triangle = "a->b, b->c, a->c"
+
+func TestHandlerTable(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// One statement for the /execute cases.
+	if w := do(t, s, "POST", "/prepare", prepareRequest{Name: "tri", Pattern: triangle}); w.Code != http.StatusCreated {
+		t.Fatalf("prepare: status %d: %s", w.Code, w.Body)
+	}
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       any
+		wantStatus int
+		wantSubstr string // substring of the response body
+	}{
+		{"healthz", "GET", "/healthz", nil, http.StatusOK, `"ok"`},
+		{"count triangle", "POST", "/query", queryRequest{Pattern: triangle}, http.StatusOK, `"count"`},
+		{"match with limit", "POST", "/query", queryRequest{Pattern: triangle, Mode: "match", Limit: 5}, http.StatusOK, `"rows"`},
+		{"parallel count", "POST", "/query", queryRequest{Pattern: triangle, Workers: 4}, http.StatusOK, `"count"`},
+		{"bad pattern", "POST", "/query", queryRequest{Pattern: "a->"}, http.StatusBadRequest, "bad pattern"},
+		{"disconnected pattern", "POST", "/query", queryRequest{Pattern: "a->b, c->d"}, http.StatusBadRequest, "bad pattern"},
+		{"empty pattern", "POST", "/query", queryRequest{}, http.StatusBadRequest, "missing pattern"},
+		{"malformed json", "POST", "/query", `{"pattern": `, http.StatusBadRequest, "bad request body"},
+		{"bad mode", "POST", "/query", queryRequest{Pattern: triangle, Mode: "explode"}, http.StatusBadRequest, "unknown mode"},
+		{"explain GET", "GET", "/explain?pattern=" + "a-%3Eb,b-%3Ec,a-%3Ec", nil, http.StatusOK, `"plan_kind"`},
+		{"explain bad", "GET", "/explain?pattern=zzz", nil, http.StatusBadRequest, "bad pattern"},
+		{"explain missing", "GET", "/explain", nil, http.StatusBadRequest, "missing pattern"},
+		{"prepare duplicate", "POST", "/prepare", prepareRequest{Name: "tri", Pattern: triangle}, http.StatusConflict, "already prepared"},
+		{"prepare nameless", "POST", "/prepare", prepareRequest{Pattern: triangle}, http.StatusBadRequest, "required"},
+		{"prepare bad pattern", "POST", "/prepare", prepareRequest{Name: "bad", Pattern: "->"}, http.StatusBadRequest, "bad pattern"},
+		{"execute", "POST", "/execute/tri", queryRequest{}, http.StatusOK, `"count"`},
+		{"execute match", "POST", "/execute/tri", queryRequest{Mode: "match", Limit: 3}, http.StatusOK, `"rows"`},
+		{"execute unknown", "POST", "/execute/nope", queryRequest{}, http.StatusNotFound, "no prepared statement"},
+		{"stats", "GET", "/stats", nil, http.StatusOK, `"plan_cache"`},
+		{"query wrong method", "GET", "/query", nil, http.StatusMethodNotAllowed, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := do(t, s, tc.method, tc.path, tc.body)
+			if w.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body: %s)", w.Code, tc.wantStatus, w.Body)
+			}
+			if tc.wantSubstr != "" && !strings.Contains(w.Body.String(), tc.wantSubstr) {
+				t.Errorf("body %q does not contain %q", w.Body, tc.wantSubstr)
+			}
+		})
+	}
+}
+
+func TestQueryCountValue(t *testing.T) {
+	s := newTestServer(t, Config{})
+	want, err := s.cfg.DB.Count(triangle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := do(t, s, "POST", "/query", queryRequest{Pattern: triangle})
+	var resp queryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad response %s: %v", w.Body, err)
+	}
+	if resp.Count == nil || *resp.Count != want {
+		t.Errorf("served count = %v, want %d", resp.Count, want)
+	}
+	if resp.PlanKind == "" {
+		t.Error("missing plan_kind")
+	}
+}
+
+// TestZeroCountSerialized pins the regression where "count":0 was
+// dropped by omitempty: a query with no matches must still carry an
+// explicit count field.
+func TestZeroCountSerialized(t *testing.T) {
+	s := newTestServer(t, Config{})
+	// Epinions has a single vertex label, so label 9 matches nothing.
+	w := do(t, s, "POST", "/query", queryRequest{Pattern: "a:9 -> b:9"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), `"count":0`) {
+		t.Errorf(`zero-match response must contain "count":0, got %s`, w.Body)
+	}
+}
+
+// TestEmptyMatchSerializesRows: a match with zero results must still
+// carry "rows":[] so clients can distinguish it from a count response.
+func TestEmptyMatchSerializesRows(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := do(t, s, "POST", "/query", queryRequest{Pattern: "a:9 -> b:9", Mode: "match"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if !strings.Contains(w.Body.String(), `"rows":[]`) {
+		t.Errorf(`empty match response must contain "rows":[], got %s`, w.Body)
+	}
+}
+
+// TestTruncatedOnClampedLimit: a client limit above MaxRows is clamped,
+// and the response must admit the cut with truncated=true.
+func TestTruncatedOnClampedLimit(t *testing.T) {
+	s := newTestServer(t, Config{MaxRows: 5})
+	w := do(t, s, "POST", "/query", queryRequest{Pattern: triangle, Mode: "match", Limit: 50})
+	var resp queryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad response %s: %v", w.Body, err)
+	}
+	if resp.Rows == nil || len(*resp.Rows) != 5 {
+		t.Fatalf("got rows %v, want the MaxRows clamp of 5", resp.Rows)
+	}
+	if !resp.Truncated {
+		t.Error("clamped match response must set truncated")
+	}
+	// A caller limit below the ceiling is honored exactly and not
+	// reported as truncation.
+	w = do(t, s, "POST", "/query", queryRequest{Pattern: triangle, Mode: "match", Limit: 3})
+	resp = queryResponse{}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rows == nil || len(*resp.Rows) != 3 || resp.Truncated {
+		t.Errorf("limit 3: got rows %v truncated=%v, want 3 rows untruncated", resp.Rows, resp.Truncated)
+	}
+}
+
+// TestDeadlineReturns504 pins the timeout semantics: a server-side
+// deadline that expires during execution surfaces as 504 Gateway
+// Timeout. The default timeout is set below any possible execution time,
+// so the executor's first context poll deterministically observes
+// expiry.
+func TestDeadlineReturns504(t *testing.T) {
+	s := newTestServer(t, Config{DefaultTimeout: time.Nanosecond})
+	w := do(t, s, "POST", "/query", queryRequest{Pattern: triangle})
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want %d (body: %s)", w.Code, http.StatusGatewayTimeout, w.Body)
+	}
+	st := do(t, s, "GET", "/stats", nil)
+	if !strings.Contains(st.Body.String(), `"deadlined":1`) {
+		t.Errorf("stats should count the deadlined request: %s", st.Body)
+	}
+}
+
+// TestHugeTimeoutMSClampsInsteadOfOverflowing: an absurd timeout_ms used
+// to overflow into a negative deadline and 504 instantly; it must clamp
+// to MaxTimeout and succeed.
+func TestHugeTimeoutMSClampsInsteadOfOverflowing(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := do(t, s, "POST", "/query", queryRequest{Pattern: triangle, TimeoutMS: 9_300_000_000_000_000})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (body: %s)", w.Code, w.Body)
+	}
+}
+
+// TestClientCancelReturns499 pins the cancellation semantics: when the
+// client abandons the request (its context is cancelled rather than the
+// server deadline expiring), the handler reports the non-standard 499.
+func TestClientCancelReturns499(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := doCtx(t, s, ctx, "POST", "/query", queryRequest{Pattern: triangle})
+	if w.Code != StatusClientClosedRequest {
+		t.Fatalf("status = %d, want %d (body: %s)", w.Code, StatusClientClosedRequest, w.Body)
+	}
+}
+
+// TestAdmissionLimitReturns429 fills the admission semaphore and checks
+// that the next query is shed with 429 instead of queueing.
+func TestAdmissionLimitReturns429(t *testing.T) {
+	s := newTestServer(t, Config{MaxConcurrent: 1})
+	s.sem <- struct{}{} // occupy the only execution slot
+	defer func() { <-s.sem }()
+
+	w := do(t, s, "POST", "/query", queryRequest{Pattern: triangle})
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want %d (body: %s)", w.Code, http.StatusTooManyRequests, w.Body)
+	}
+	// Non-executing endpoints must stay available under load shedding.
+	if w := do(t, s, "GET", "/healthz", nil); w.Code != http.StatusOK {
+		t.Errorf("healthz unavailable during admission pressure: %d", w.Code)
+	}
+	st := do(t, s, "GET", "/stats", nil)
+	if !strings.Contains(st.Body.String(), `"rejected":1`) {
+		t.Errorf("stats should count the rejected request: %s", st.Body)
+	}
+}
+
+// TestConcurrentExecuteOnePreparedStatement hammers a single prepared
+// statement from many goroutines through a real HTTP server; run under
+// -race this exercises the registry's locking, the admission semaphore
+// and the compiled plan's concurrent execution.
+func TestConcurrentExecuteOnePreparedStatement(t *testing.T) {
+	s := newTestServer(t, Config{MaxConcurrent: 128})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/prepare", "application/json",
+		strings.NewReader(`{"name":"tri","pattern":"a->b, b->c, a->c"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("prepare: status %d", resp.StatusCode)
+	}
+	want, err := s.cfg.DB.Count(triangle, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines, perG = 8, 5
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Mix modes and worker counts so count, limited match and
+				// parallel runs interleave on the same compiled plan.
+				body := `{"workers":2}`
+				if i%2 == 1 {
+					body = `{"mode":"match","limit":3}`
+				}
+				resp, err := http.Post(ts.URL+"/execute/tri", "application/json", strings.NewReader(body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var qr queryResponse
+				err = json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("goroutine %d: status %d", g, resp.StatusCode)
+					return
+				}
+				if i%2 == 0 && (qr.Count == nil || *qr.Count != want) {
+					errc <- fmt.Errorf("goroutine %d: count %v, want %d", g, qr.Count, want)
+					return
+				}
+				if i%2 == 1 && (qr.Rows == nil || len(*qr.Rows) != 3) {
+					errc <- fmt.Errorf("goroutine %d: rows %v, want 3", g, qr.Rows)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
