@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		dataFile = flag.String("data", "", "edge-list file to load (see internal/graph format)")
+		dataFile = flag.String("data", "", "edge-list file to load, optionally gzip-compressed (see internal/graph format)")
 		dsName   = flag.String("dataset", "", "built-in dataset name (Amazon, Epinions, LiveJournal, Twitter, BerkStan, Google, Human)")
 		scale    = flag.Int("scale", 1, "dataset scale factor")
 		pattern  = flag.String("query", "", "query pattern, e.g. \"a->b, b->c, a->c\"; empty starts an interactive loop")

@@ -1,19 +1,27 @@
 // Command gfserver serves subgraph queries over HTTP: load or generate a
 // graph, build the catalogue once, then answer /query, /prepare,
-// /execute/{name}, /explain, /stats and /healthz requests (see
-// internal/server for the endpoint contracts). Every query runs under a
-// per-request deadline through the ctx-aware execution core, admission
-// is bounded by a semaphore, and SIGINT/SIGTERM trigger a graceful
-// drain.
+// /execute/{name}, /explain, /ingest, /compact, /stats and /healthz
+// requests (see internal/server for the endpoint contracts). Every query
+// runs under a per-request deadline through the ctx-aware execution
+// core, admission is bounded by a semaphore, and SIGINT/SIGTERM trigger
+// a graceful drain.
+//
+// The graph is live: /ingest applies mutation batches (each one becomes
+// a new epoch with snapshot isolation for queries already running) and a
+// background compactor folds the delta overlay into a fresh CSR base
+// once it outgrows -compact-threshold. Edge-list files may be
+// gzip-compressed (detected by magic bytes).
 //
 // Usage:
 //
 //	gfserver -dataset Epinions -addr :8090
-//	gfserver -data graph.txt -timeout 10s -max-concurrent 32
+//	gfserver -data graph.txt.gz -timeout 10s -max-concurrent 32
 //
 //	curl -s localhost:8090/query -d '{"pattern":"a->b, b->c, a->c"}'
 //	curl -s localhost:8090/prepare -d '{"name":"tri","pattern":"a->b, b->c, a->c"}'
 //	curl -s localhost:8090/execute/tri -d '{"workers":4}'
+//	curl -s localhost:8090/ingest -d '{"add_edges":[{"src":1,"dst":2,"label":0}]}'
+//	curl -s -X POST localhost:8090/compact
 package main
 
 import (
@@ -34,7 +42,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":8090", "listen address")
-		dataFile = flag.String("data", "", "edge-list file to load (see internal/graph format)")
+		dataFile = flag.String("data", "", "edge-list file to load, optionally gzip-compressed (see internal/graph format)")
 		dsName   = flag.String("dataset", "", "built-in dataset name (Amazon, Epinions, LiveJournal, Twitter, BerkStan, Google, Human)")
 		scale    = flag.Int("scale", 1, "dataset scale factor")
 		timeout  = flag.Duration("timeout", 30*time.Second, "default per-query execution deadline")
@@ -45,10 +53,11 @@ func main() {
 		catZ     = flag.Int("catz", 1000, "catalogue sample size z")
 		catH     = flag.Int("cath", 3, "catalogue max subquery size h")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
+		compact  = flag.Int("compact-threshold", 0, "delta-overlay mutations before background compaction (0 = default 16384, negative disables)")
 	)
 	flag.Parse()
 
-	opts := &graphflow.Options{CatalogueH: *catH, CatalogueZ: *catZ}
+	opts := &graphflow.Options{CatalogueH: *catH, CatalogueZ: *catZ, CompactThreshold: *compact}
 	var db *graphflow.DB
 	var err error
 	switch {

@@ -3,7 +3,8 @@
 // Combining Binary and Worst-Case Optimal Joins" (PVLDB 12(11), 2019),
 // together with the Graphflow-style evaluation engine it plans for.
 //
-// A DB wraps an immutable directed, labelled graph plus a subgraph
+// A DB wraps a versioned directed, labelled graph — an immutable CSR
+// base plus a mutable delta overlay (internal/live) — and a subgraph
 // catalogue (the optimizer's statistics). Queries are textual patterns:
 //
 //	db, _ := graphflow.NewFromDataset("Epinions", 1, nil)
@@ -20,6 +21,12 @@
 // entry points (Count, Match, Analyze, ...) go through the same machinery
 // backed by a concurrent plan cache keyed by the pattern's canonical
 // form, so repeated ad-hoc queries skip re-optimization automatically.
+//
+// The graph is mutable at runtime: AddVertex/AddEdge/DeleteEdge/Apply
+// publish new epochs with snapshot isolation (queries already running
+// never observe a later batch), plan-cache keys are versioned by epoch,
+// and a background compactor periodically folds the delta overlay into a
+// fresh CSR base.
 package graphflow
 
 import (
@@ -28,6 +35,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"graphflow/internal/adaptive"
@@ -36,6 +45,7 @@ import (
 	"graphflow/internal/datagen"
 	"graphflow/internal/exec"
 	"graphflow/internal/graph"
+	"graphflow/internal/live"
 	"graphflow/internal/optimizer"
 	"graphflow/internal/plan"
 	"graphflow/internal/query"
@@ -58,6 +68,11 @@ type Options struct {
 	// across all goroutines). 0 takes the default of 256; a negative value
 	// disables plan caching entirely.
 	PlanCacheSize int
+	// CompactThreshold is the number of live mutations accumulated in the
+	// delta overlay before the background compactor folds them into a
+	// fresh CSR base. 0 takes the live store's default (16384); a negative
+	// value disables automatic compaction (DB.Compact still works).
+	CompactThreshold int
 }
 
 func (o *Options) withDefaults() Options {
@@ -80,16 +95,28 @@ func (o *Options) withDefaults() Options {
 	return out
 }
 
-// DB is an immutable graph database instance: graph, catalogue,
+// DB is a graph database instance: the live versioned store (immutable
+// CSR base plus mutable delta overlay), per-epoch catalogue statistics,
 // calibrated cost-model weights, and the compiled-plan cache. A DB is
-// safe for concurrent use by multiple goroutines.
+// safe for concurrent use by multiple goroutines: queries read an
+// immutable epoch snapshot, and mutations (AddVertex/AddEdge/DeleteEdge/
+// Apply) publish new epochs without disturbing in-flight queries.
 type DB struct {
-	g      *graph.Graph
-	cat    *catalogue.Catalogue
+	store  *live.DB
+	opts   Options
 	w1, w2 float64
-	// plans caches compiled plans keyed by canonical query form (nil when
-	// caching is disabled).
+	// plans caches compiled plans keyed by canonical query form plus the
+	// epoch it was planned at (nil when caching is disabled), so an epoch
+	// bump naturally invalidates every cached plan: post-mutation lookups
+	// miss and re-plan against fresh statistics.
 	plans *cache.Cache[*preparedPlan]
+
+	// cat is the newest epoch's catalogue, rebuilt lazily on first use
+	// after an epoch bump so stale cost estimates never leak across
+	// epochs.
+	catMu    sync.Mutex
+	cat      *catalogue.Catalogue
+	catEpoch uint64
 }
 
 // QueryOptions tunes one query evaluation.
@@ -149,18 +176,56 @@ type PlanCacheStats struct {
 // newDB builds the catalogue and weights for a finished graph.
 func newDB(g *graph.Graph, opts Options) *DB {
 	db := &DB{
-		g:  g,
-		w1: optimizer.DefaultW1,
-		w2: optimizer.DefaultW2,
+		opts: opts,
+		w1:   optimizer.DefaultW1,
+		w2:   optimizer.DefaultW2,
 	}
+	db.store = live.Open(g, live.Config{
+		CompactThreshold: opts.CompactThreshold,
+		// Epoch-versioned keys mean entries for older epochs can never be
+		// looked up again; dropping them eagerly releases the snapshots
+		// (and pre-compaction CSR bases) they pin instead of waiting for
+		// LRU aging. In-flight queries are unaffected — they hold their
+		// own preparedPlan reference.
+		OnEpoch: func(*live.Snapshot) {
+			if db.plans != nil {
+				db.plans.Clear()
+			}
+		},
+	})
 	if opts.PlanCacheSize > 0 {
 		db.plans = cache.New[*preparedPlan](opts.PlanCacheSize)
 	}
 	db.cat = catalogue.Build(g, catalogue.Config{H: opts.CatalogueH, Z: opts.CatalogueZ, Seed: opts.Seed})
+	db.catEpoch = 0
 	if opts.CalibrateJoinWeights {
 		db.w1, db.w2 = optimizer.Calibrate(g)
 	}
 	return db
+}
+
+// catalogueFor returns the catalogue matching snap's epoch, rebuilding
+// it from the snapshot when the epoch has moved since the last build.
+// The newest epoch's catalogue is cached; requests for older snapshots
+// (a query racing a mutation) get a correct one-off build. The build
+// itself runs outside catMu so one rebuild never stalls every other
+// query's planning — racing planners may build the same epoch twice,
+// trading bounded duplicate work for zero lock-held sampling.
+func (db *DB) catalogueFor(snap *live.Snapshot) *catalogue.Catalogue {
+	db.catMu.Lock()
+	if db.cat != nil && db.catEpoch == snap.Epoch() {
+		cat := db.cat
+		db.catMu.Unlock()
+		return cat
+	}
+	db.catMu.Unlock()
+	cat := catalogue.Build(snap, catalogue.Config{H: db.opts.CatalogueH, Z: db.opts.CatalogueZ, Seed: db.opts.Seed})
+	db.catMu.Lock()
+	if db.cat == nil || snap.Epoch() >= db.catEpoch {
+		db.cat, db.catEpoch = cat, snap.Epoch()
+	}
+	db.catMu.Unlock()
+	return cat
 }
 
 // NewFromEdgeList builds a DB from the textual edge-list format of
@@ -220,31 +285,41 @@ func (b *Builder) Open(opts *Options) (*DB, error) {
 	return newDB(g, opts.withDefaults()), nil
 }
 
-// NumVertices returns the graph's vertex count.
-func (db *DB) NumVertices() int { return db.g.NumVertices() }
+// NumVertices returns the live epoch's vertex count (post-mutation).
+func (db *DB) NumVertices() int { return db.store.Snapshot().NumVertices() }
 
-// NumEdges returns the graph's edge count.
-func (db *DB) NumEdges() int { return db.g.NumEdges() }
+// NumEdges returns the live epoch's edge count (post-mutation).
+func (db *DB) NumEdges() int { return db.store.Snapshot().NumEdges() }
 
 // preparedPlan is the shareable, immutable compiled artifact cached per
-// canonical query form: the canonical query, its optimized plan, and the
-// plan lowered into an executable CompiledPlan. The plan is built over
-// the canonical query, so one cached entry serves every isomorphic
-// spelling of a pattern; per-spelling state (the original vertex names)
-// lives in PreparedQuery instead.
+// (canonical query form, epoch): the canonical query, its optimized
+// plan, the plan lowered into an executable CompiledPlan, and the epoch
+// snapshot it was compiled against. The plan is built over the canonical
+// query, so one cached entry serves every isomorphic spelling of a
+// pattern; per-spelling state (the original vertex names) lives in
+// PreparedQuery instead. Holding the snapshot pins the epoch the
+// compiled plan reads, which is what gives running queries snapshot
+// isolation across concurrent mutations.
 type preparedPlan struct {
 	canon    *query.Graph
 	plan     *plan.Plan
 	compiled *exec.CompiledPlan
+	snap     *live.Snapshot
 }
 
-// preparedFor returns the compiled plan for q (from the cache when
-// possible) plus perm, mapping q's vertex indices to canonical indices.
+// preparedFor returns the compiled plan for q at the current epoch (from
+// the cache when possible) plus perm, mapping q's vertex indices to
+// canonical indices.
 func (db *DB) preparedFor(q *query.Graph, wcoOnly, skipCache bool) (*preparedPlan, []int, error) {
 	canon, perm := q.Canonical()
+	snap := db.store.Snapshot()
 	var key string
 	if db.plans != nil && !skipCache {
-		key = canon.Key()
+		// Versioning the key by epoch makes every mutation batch an
+		// implicit cache-wide invalidation: post-mutation lookups miss and
+		// re-plan against the new epoch's statistics, while entries for
+		// still-running old-epoch queries stay resolvable until evicted.
+		key = canon.Key() + "|e" + strconv.FormatUint(snap.Epoch(), 10)
 		if wcoOnly {
 			// WCO-restricted planning yields different plans; keep the
 			// spaces apart in the cache.
@@ -255,7 +330,7 @@ func (db *DB) preparedFor(q *query.Graph, wcoOnly, skipCache bool) (*preparedPla
 		}
 	}
 	p, err := optimizer.Optimize(canon, optimizer.Options{
-		Catalogue: db.cat,
+		Catalogue: db.catalogueFor(snap),
 		W1:        db.w1,
 		W2:        db.w2,
 		WCOOnly:   wcoOnly,
@@ -263,12 +338,16 @@ func (db *DB) preparedFor(q *query.Graph, wcoOnly, skipCache bool) (*preparedPla
 	if err != nil {
 		return nil, nil, err
 	}
-	cp, err := exec.Compile(db.g, p)
+	cp, err := exec.Compile(snap, p)
 	if err != nil {
 		return nil, nil, err
 	}
-	pp := &preparedPlan{canon: canon, plan: p, compiled: cp}
-	if key != "" {
+	pp := &preparedPlan{canon: canon, plan: p, compiled: cp, snap: snap}
+	// Re-check the epoch before publishing to the cache: if a mutation (or
+	// compaction) landed while we were planning, the epoch hook's Clear has
+	// already run and this entry's key could never be looked up again — a
+	// Put now would just pin snap's whole base CSR until the next Clear.
+	if key != "" && db.store.Epoch() == snap.Epoch() {
 		db.plans.Put(key, pp)
 	}
 	return pp, perm, nil
@@ -288,12 +367,41 @@ func (db *DB) PlanCacheStats() PlanCacheStats {
 // optimized and lowered — and runnable many times. All methods are safe
 // for concurrent use from multiple goroutines: the compiled plan is
 // immutable and every run carries its own mutable state.
+//
+// A PreparedQuery tracks the DB's epoch: each run starts from the
+// current epoch's snapshot, transparently re-planning (through the plan
+// cache) when mutations or compaction have bumped the epoch since the
+// last run. A run in flight keeps the snapshot it started on, so it
+// never observes a mutation applied after it began.
 type PreparedQuery struct {
-	db *DB
-	pp *preparedPlan
+	db      *DB
+	q       *query.Graph
+	wcoOnly bool
+	// skipCache preserves QueryOptions.SkipPlanCache across epoch
+	// re-plans for ad-hoc queries measuring planning overhead.
+	skipCache bool
 	// names maps canonical vertex index to the pattern's original vertex
-	// name, for Match output.
+	// name, for Match output. The canonical form depends only on the
+	// pattern, so names stay valid across epoch re-plans.
 	names []string
+	// cur is the most recently resolved plan; stale entries are replaced
+	// on first use after an epoch bump.
+	cur atomic.Pointer[preparedPlan]
+}
+
+// resolve returns the plan for the current epoch, re-planning if the
+// cached one is stale.
+func (pq *PreparedQuery) resolve() (*preparedPlan, error) {
+	pp := pq.cur.Load()
+	if pp != nil && pp.snap.Epoch() == pq.db.store.Epoch() {
+		return pp, nil
+	}
+	pp, _, err := pq.db.preparedFor(pq.q, pq.wcoOnly, pq.skipCache)
+	if err != nil {
+		return nil, err
+	}
+	pq.cur.Store(pp)
+	return pp, nil
 }
 
 // Prepare compiles the pattern for repeated execution. Planning uses the
@@ -326,7 +434,9 @@ func (db *DB) prepare(pattern string, wcoOnly, skipCache bool) (*PreparedQuery, 
 	for orig, canon := range perm {
 		names[canon] = q.Vertices[orig].Name
 	}
-	return &PreparedQuery{db: db, pp: pp, names: names}, nil
+	pq := &PreparedQuery{db: db, q: q, wcoOnly: wcoOnly, skipCache: skipCache, names: names}
+	pq.cur.Store(pp)
+	return pq, nil
 }
 
 // Count evaluates the prepared query and returns the number of matches.
@@ -344,8 +454,12 @@ func (pq *PreparedQuery) CountStats(opts *QueryOptions) (int64, Stats, error) {
 	if opts != nil {
 		qo = *opts
 	}
-	n, prof, err := pq.db.runCount(pq.pp, qo)
-	return n, statsFrom(pq.pp.plan, prof, n), err
+	pp, err := pq.resolve()
+	if err != nil {
+		return 0, Stats{}, err
+	}
+	n, prof, err := pq.db.runCount(pp, qo)
+	return n, statsFrom(pp.plan, prof, n), err
 }
 
 // Match evaluates the prepared query, invoking fn with each match as a
@@ -359,7 +473,11 @@ func (pq *PreparedQuery) Match(fn func(map[string]uint32) bool, opts *QueryOptio
 	if opts != nil {
 		qo = *opts
 	}
-	layout := pq.pp.plan.Root.Out()
+	pp, err := pq.resolve()
+	if err != nil {
+		return err
+	}
+	layout := pp.plan.Root.Out()
 	names := make([]string, len(layout))
 	for slot, v := range layout {
 		names[slot] = pq.names[v]
@@ -367,7 +485,7 @@ func (pq *PreparedQuery) Match(fn func(map[string]uint32) bool, opts *QueryOptio
 	cfg := exec.RunConfig{Workers: qo.Workers, DisableCache: qo.DisableCache}
 	// delivered needs no synchronisation: RunUntil serialises emit.
 	var delivered int64
-	_, err := pq.pp.compiled.RunUntilCtx(qo.context(), cfg, func(t []graph.VertexID) bool {
+	_, err = pp.compiled.RunUntilCtx(qo.context(), cfg, func(t []graph.VertexID) bool {
 		if qo.Distinct && !allDistinct(t) {
 			return true
 		}
@@ -397,15 +515,18 @@ func (pq *PreparedQuery) MatchCtx(ctx context.Context, fn func(map[string]uint32
 }
 
 // Stats returns the prepared plan's kind and operator tree without
-// running it (the Explain view).
+// running it (the Explain view). It reflects the most recently resolved
+// epoch; a pending re-plan is not forced.
 func (pq *PreparedQuery) Stats() Stats {
-	return Stats{PlanKind: pq.pp.plan.Kind(), Plan: pq.pp.plan.Describe()}
+	pp := pq.cur.Load()
+	return Stats{PlanKind: pp.plan.Kind(), Plan: pp.plan.Describe()}
 }
 
 // PlanKind returns the prepared plan's kind ("wco", "bj" or "hybrid")
 // without rendering the operator tree — cheap enough for per-request
-// serving paths.
-func (pq *PreparedQuery) PlanKind() string { return pq.pp.plan.Kind() }
+// serving paths. Like Stats, it reflects the most recently resolved
+// epoch.
+func (pq *PreparedQuery) PlanKind() string { return pq.cur.Load().plan.Kind() }
 
 // runCount executes a compiled plan under the given options.
 func (db *DB) runCount(pp *preparedPlan, qo QueryOptions) (int64, exec.Profile, error) {
@@ -436,7 +557,9 @@ func (db *DB) runCount(pp *preparedPlan, qo QueryOptions) (int64, exec.Profile, 
 		})
 		return count.Load(), prof, err
 	case qo.Adaptive:
-		ev := &adaptive.Evaluator{Graph: db.g, Catalogue: db.cat, Config: adaptive.Config{Workers: qo.Workers}}
+		// The adaptive evaluator reads the same epoch snapshot the plan was
+		// compiled against, with that epoch's catalogue.
+		ev := &adaptive.Evaluator{Graph: pp.snap, Catalogue: db.catalogueFor(pp.snap), Config: adaptive.Config{Workers: qo.Workers}}
 		if qo.Limit > 0 {
 			// The adaptive evaluator has no native early stop; reaching the
 			// limit cancels a child context, which its amortized polling
@@ -516,8 +639,9 @@ func (db *DB) CountStats(pattern string, opts *QueryOptions) (int64, Stats, erro
 	if err != nil {
 		return 0, Stats{}, err
 	}
-	n, prof, err := db.runCount(pq.pp, qo)
-	return n, statsFrom(pq.pp.plan, prof, n), err
+	pp := pq.cur.Load()
+	n, prof, err := db.runCount(pp, qo)
+	return n, statsFrom(pp.plan, prof, n), err
 }
 
 // allDistinct reports whether the tuple binds pairwise-distinct data
@@ -571,11 +695,12 @@ func (db *DB) Analyze(pattern string) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	ops, prof, err := pq.pp.compiled.Analyze(exec.RunConfig{})
+	pp := pq.cur.Load()
+	ops, prof, err := pp.compiled.Analyze(exec.RunConfig{})
 	if err != nil {
 		return Stats{}, err
 	}
-	st := statsFrom(pq.pp.plan, prof, prof.Matches)
+	st := statsFrom(pp.plan, prof, prof.Matches)
 	st.Plan = ops.Describe()
 	return st, nil
 }
@@ -587,13 +712,153 @@ func (db *DB) EstimateCardinality(pattern string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return db.cat.EstimateCardinality(q), nil
+	return db.catalogueFor(db.store.Snapshot()).EstimateCardinality(q), nil
 }
 
 // GraphStats summarises the stored graph (degree skew and clustering — the
-// structural knobs that drive plan choice in the paper).
+// structural knobs that drive plan choice in the paper). It reflects the
+// live epoch, mutations included.
 func (db *DB) GraphStats() graph.Stats {
-	return db.g.ComputeStats(2000, rand.New(rand.NewSource(7)))
+	return graph.ComputeStatsOf(db.store.Snapshot(), 2000, rand.New(rand.NewSource(7)))
+}
+
+// EdgeOp names one directed labelled edge in a mutation Batch.
+type EdgeOp struct {
+	Src, Dst uint32
+	Label    uint16
+}
+
+// Batch is one atomic group of live mutations. Vertices are appended
+// first, so AddEdges/DeleteEdges may reference vertices created by the
+// same batch.
+type Batch struct {
+	// AddVertices appends one vertex per label; IDs are assigned
+	// sequentially from the current vertex count.
+	AddVertices []uint16
+	AddEdges    []EdgeOp
+	DeleteEdges []EdgeOp
+}
+
+// ApplyResult reports what one mutation batch did.
+type ApplyResult struct {
+	// Epoch is the graph version the batch produced; queries started
+	// afterwards observe it, queries already running do not.
+	Epoch uint64
+	// FirstNewVertex is the ID of the first appended vertex (meaningful
+	// only when AddedVertices > 0; subsequent IDs are consecutive).
+	FirstNewVertex uint32
+	AddedVertices  int
+	// AddedEdges counts edges actually inserted: duplicates and
+	// self-loops are dropped, matching Builder semantics.
+	AddedEdges int
+	// DeletedEdges counts edges actually removed; deleting an absent edge
+	// is a no-op.
+	DeletedEdges int
+	// Vertices and Edges are the post-batch live counts, read atomically
+	// with Epoch so the triple is self-consistent under concurrent
+	// writers.
+	Vertices, Edges int
+}
+
+// Apply runs one mutation batch atomically against the live store:
+// either the whole batch becomes a single new epoch, or (on validation
+// error) nothing changes. In-flight queries keep the snapshot they
+// started on; subsequent queries re-plan against the new epoch's
+// statistics. The background compactor folds the delta overlay into a
+// fresh CSR base once it outgrows Options.CompactThreshold.
+func (db *DB) Apply(b Batch) (ApplyResult, error) {
+	lb := live.Batch{
+		AddEdges:    make([]live.EdgeOp, len(b.AddEdges)),
+		DeleteEdges: make([]live.EdgeOp, len(b.DeleteEdges)),
+	}
+	for _, l := range b.AddVertices {
+		lb.AddVertices = append(lb.AddVertices, graph.Label(l))
+	}
+	for i, e := range b.AddEdges {
+		lb.AddEdges[i] = live.EdgeOp{Src: graph.VertexID(e.Src), Dst: graph.VertexID(e.Dst), Label: graph.Label(e.Label)}
+	}
+	for i, e := range b.DeleteEdges {
+		lb.DeleteEdges[i] = live.EdgeOp{Src: graph.VertexID(e.Src), Dst: graph.VertexID(e.Dst), Label: graph.Label(e.Label)}
+	}
+	res, err := db.store.Apply(lb)
+	if err != nil {
+		return ApplyResult{}, err
+	}
+	return ApplyResult{
+		Epoch:          res.Epoch,
+		FirstNewVertex: uint32(res.FirstNewVertex),
+		AddedVertices:  res.AddedVertices,
+		AddedEdges:     res.AddedEdges,
+		DeletedEdges:   res.DeletedEdges,
+		Vertices:       res.Vertices,
+		Edges:          res.Edges,
+	}, nil
+}
+
+// AddVertex appends a labelled vertex to the live graph and returns its ID.
+func (db *DB) AddVertex(label uint16) (uint32, error) {
+	v, err := db.store.AddVertex(graph.Label(label))
+	return uint32(v), err
+}
+
+// AddEdge inserts a directed labelled edge into the live graph. It
+// reports whether the edge was new (false: duplicate or self-loop, both
+// dropped to preserve Builder semantics).
+//
+// Each call publishes its own epoch, which pays one copy-on-write clone
+// of the overlay's vertex index; for bulk mutation streams prefer
+// Apply, which amortizes that clone (and the plan-cache invalidation)
+// across the whole batch.
+func (db *DB) AddEdge(src, dst uint32, label uint16) (bool, error) {
+	return db.store.AddEdge(graph.VertexID(src), graph.VertexID(dst), graph.Label(label))
+}
+
+// DeleteEdge removes the directed edge src->dst with the given (exact)
+// label from the live graph, reporting whether it existed.
+func (db *DB) DeleteEdge(src, dst uint32, label uint16) (bool, error) {
+	return db.store.DeleteEdge(graph.VertexID(src), graph.VertexID(dst), graph.Label(label))
+}
+
+// Epoch returns the live graph's current version; it advances by one per
+// applied mutation batch and per compaction.
+func (db *DB) Epoch() uint64 { return db.store.Epoch() }
+
+// Compact synchronously folds the delta overlay into a fresh CSR base
+// and bumps the epoch (a no-op on an empty overlay). Automatic
+// background compaction triggers on Options.CompactThreshold; this entry
+// point forces a pass, e.g. before a read-heavy phase.
+func (db *DB) Compact() error { return db.store.Compact() }
+
+// WaitCompaction blocks until any in-flight background compaction pass
+// finishes. Useful in tests and before shutdown.
+func (db *DB) WaitCompaction() { db.store.WaitCompaction() }
+
+// LiveStats is a snapshot of the versioned store's state.
+type LiveStats struct {
+	// Epoch is the current graph version.
+	Epoch uint64
+	// Vertices and Edges are the live (post-mutation) counts.
+	Vertices, Edges int
+	// BaseEdges is the edge count of the immutable CSR under the overlay.
+	BaseEdges int
+	// DeltaOps is the number of overlay mutations since the last
+	// compaction — the metric the compaction trigger watches.
+	DeltaOps int
+	// Compactions counts completed compaction passes.
+	Compactions int64
+}
+
+// LiveStats reports the versioned store's current state.
+func (db *DB) LiveStats() LiveStats {
+	s := db.store.Snapshot()
+	return LiveStats{
+		Epoch:       s.Epoch(),
+		Vertices:    s.NumVertices(),
+		Edges:       s.NumEdges(),
+		BaseEdges:   s.Base().NumEdges(),
+		DeltaOps:    s.DeltaOps(),
+		Compactions: db.store.Compactions(),
+	}
 }
 
 func statsFrom(p *plan.Plan, prof exec.Profile, n int64) Stats {

@@ -46,7 +46,7 @@ func (c Config) withDefaults() Config {
 
 // Evaluator adapts and runs plans against one graph + catalogue pair.
 type Evaluator struct {
-	Graph     *graph.Graph
+	Graph     graph.View
 	Catalogue *catalogue.Catalogue
 	Config    Config
 }
@@ -170,7 +170,7 @@ type desc struct {
 }
 
 type adaptiveChain struct {
-	g       *graph.Graph
+	g       graph.View
 	q       *query.Graph
 	orders  []*ordering
 	width   int // source tuple width
@@ -188,7 +188,7 @@ type adaptiveChain struct {
 // cancelCheckInterval matches the executor's amortized polling cadence.
 const cancelCheckInterval = 4096
 
-func newAdaptiveChain(g *graph.Graph, cat *catalogue.Catalogue, q *query.Graph, source plan.Node, chain []*plan.Extend, cfg Config) (*adaptiveChain, error) {
+func newAdaptiveChain(g graph.View, cat *catalogue.Catalogue, q *query.Graph, source plan.Node, chain []*plan.Extend, cfg Config) (*adaptiveChain, error) {
 	baseMask := plan.CoverMask(source)
 	baseOut := source.Out()
 	var remaining []int

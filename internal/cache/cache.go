@@ -107,6 +107,25 @@ func (c *Cache[V]) Put(key string, val V) {
 	s.mu.Unlock()
 }
 
+// Clear drops every entry, returning how many were removed (counted as
+// evictions). The DB calls it on graph-epoch bumps: epoch-versioned keys
+// mean old entries can never be looked up again, so dropping them
+// eagerly releases the snapshots they pin instead of waiting for LRU
+// aging.
+func (c *Cache[V]) Clear() int {
+	removed := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		removed += s.order.Len()
+		s.entries = make(map[string]*list.Element)
+		s.order.Init()
+		s.mu.Unlock()
+	}
+	c.evictions.Add(int64(removed))
+	return removed
+}
+
 // Len returns the current number of cached entries.
 func (c *Cache[V]) Len() int {
 	n := 0

@@ -23,7 +23,7 @@ const (
 // measuring every one-vertex extension of every pattern with at most H
 // vertices.
 type builder struct {
-	g        *graph.Graph
+	g        graph.View
 	c        *Catalogue
 	rng      *rand.Rand
 	visited  map[string]bool

@@ -112,8 +112,9 @@ func (c *Catalogue) DefaultListSize(dir graph.Direction, el, nl graph.Label) flo
 	return float64(total) / float64(c.NumVertices)
 }
 
-// Build constructs the catalogue for g.
-func Build(g *graph.Graph, cfg Config) *Catalogue {
+// Build constructs the catalogue for g — any graph View, so live
+// snapshots get per-epoch statistics without materialising a CSR.
+func Build(g graph.View, cfg Config) *Catalogue {
 	cfg = cfg.withDefaults()
 	c := &Catalogue{
 		Cfg:         cfg,

@@ -7,11 +7,18 @@
 // edge-at-a-time nested loop over materialised tuples — so agreement
 // across a corpus is strong evidence that the optimizer's plan space,
 // the canonical form and the executor are consistent.
+//
+// The live-mutation harness (RunLiveTrial) extends the comparison to the
+// versioned store: random mutation batches are applied to a live DB and
+// to an implementation-independent Shadow edge set, and after every
+// batch the hybrid and WCO counts on the live snapshot must match the BJ
+// reference on a graph rebuilt from scratch out of the Shadow.
 package difftest
 
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"graphflow"
 	"graphflow/internal/baseline"
@@ -93,6 +100,14 @@ func GenPattern(rng *rand.Rand) *query.Graph {
 // pattern space, and the corpus trades catalogue fidelity for volume —
 // plan *choice* may differ from a production DB, correctness must not.
 func OpenDB(g *graph.Graph) (*graphflow.DB, error) {
+	return OpenLiveDB(g, 0)
+}
+
+// OpenLiveDB is OpenDB with an explicit compaction threshold, for trials
+// that interleave mutations with queries. A small positive threshold
+// races the background compactor against queries and writers; a negative
+// one keeps the overlay growing so overlay reads stay exercised.
+func OpenLiveDB(g *graph.Graph, compactThreshold int) (*graphflow.DB, error) {
 	b := graphflow.NewBuilder(g.NumVertices())
 	for v := 0; v < g.NumVertices(); v++ {
 		b.SetVertexLabel(uint32(v), uint16(g.VertexLabel(graph.VertexID(v))))
@@ -101,7 +116,119 @@ func OpenDB(g *graph.Graph) (*graphflow.DB, error) {
 		b.AddEdge(uint32(src), uint32(dst), uint16(l))
 		return true
 	})
-	return b.Open(&graphflow.Options{CatalogueZ: 100, CatalogueH: 2})
+	return b.Open(&graphflow.Options{CatalogueZ: 100, CatalogueH: 2, CompactThreshold: compactThreshold})
+}
+
+// Shadow is an implementation-independent record of the logical graph a
+// live DB should hold: plain vertex labels and a directed-edge set. The
+// harness applies every mutation batch to both the live DB and the
+// Shadow, then rebuilds a frozen graph from the Shadow to check the live
+// snapshot against a from-scratch build that shares none of the overlay
+// code.
+type Shadow struct {
+	VLabels []graph.Label
+	Edges   map[ShadowEdge]bool
+}
+
+// ShadowEdge is one directed labelled edge of a Shadow.
+type ShadowEdge struct {
+	Src, Dst graph.VertexID
+	Label    graph.Label
+}
+
+// NewShadow records g's logical content.
+func NewShadow(g *graph.Graph) *Shadow {
+	sh := &Shadow{Edges: map[ShadowEdge]bool{}}
+	for v := 0; v < g.NumVertices(); v++ {
+		sh.VLabels = append(sh.VLabels, g.VertexLabel(graph.VertexID(v)))
+	}
+	g.Edges(func(src, dst graph.VertexID, l graph.Label) bool {
+		sh.Edges[ShadowEdge{src, dst, l}] = true
+		return true
+	})
+	return sh
+}
+
+// Apply mirrors the live store's batch semantics: vertices append first,
+// self-loops and duplicates drop, absent deletes are no-ops.
+func (sh *Shadow) Apply(b graphflow.Batch) {
+	for _, l := range b.AddVertices {
+		sh.VLabels = append(sh.VLabels, graph.Label(l))
+	}
+	for _, e := range b.AddEdges {
+		if e.Src == e.Dst {
+			continue
+		}
+		sh.Edges[ShadowEdge{graph.VertexID(e.Src), graph.VertexID(e.Dst), graph.Label(e.Label)}] = true
+	}
+	for _, e := range b.DeleteEdges {
+		delete(sh.Edges, ShadowEdge{graph.VertexID(e.Src), graph.VertexID(e.Dst), graph.Label(e.Label)})
+	}
+}
+
+// Build freezes the shadow into a CSR graph through the ordinary Builder
+// path — the "rebuilt from scratch at the same epoch" reference.
+func (sh *Shadow) Build() *graph.Graph {
+	b := graph.NewBuilder(len(sh.VLabels))
+	for v, l := range sh.VLabels {
+		b.SetVertexLabel(graph.VertexID(v), l)
+	}
+	for e := range sh.Edges {
+		b.AddEdge(e.Src, e.Dst, e.Label)
+	}
+	return b.MustBuild()
+}
+
+// sortedEdges returns the shadow's edges in deterministic order, so
+// delete sampling is reproducible per seed.
+func (sh *Shadow) sortedEdges() []ShadowEdge {
+	out := make([]ShadowEdge, 0, len(sh.Edges))
+	for e := range sh.Edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Label < b.Label
+	})
+	return out
+}
+
+// GenBatch draws a random mutation batch against the shadow's current
+// dimensions: a few vertex appends, edge adds (including duplicates,
+// self-loops and edges to the new vertices) and deletes (mostly existing
+// edges, some absent).
+func GenBatch(rng *rand.Rand, sh *Shadow) graphflow.Batch {
+	var b graphflow.Batch
+	for i := rng.Intn(3); i > 0; i-- {
+		b.AddVertices = append(b.AddVertices, uint16(rng.Intn(3)))
+	}
+	nAfter := len(sh.VLabels) + len(b.AddVertices)
+	for i := 1 + rng.Intn(25); i > 0; i-- {
+		b.AddEdges = append(b.AddEdges, graphflow.EdgeOp{
+			Src:   uint32(rng.Intn(nAfter)),
+			Dst:   uint32(rng.Intn(nAfter)),
+			Label: uint16(rng.Intn(2)),
+		})
+	}
+	existing := sh.sortedEdges()
+	for i := rng.Intn(15); i > 0 && len(existing) > 0; i-- {
+		e := existing[rng.Intn(len(existing))]
+		b.DeleteEdges = append(b.DeleteEdges, graphflow.EdgeOp{Src: uint32(e.Src), Dst: uint32(e.Dst), Label: uint16(e.Label)})
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		b.DeleteEdges = append(b.DeleteEdges, graphflow.EdgeOp{
+			Src:   uint32(rng.Intn(nAfter)),
+			Dst:   uint32(rng.Intn(nAfter)),
+			Label: uint16(rng.Intn(2)),
+		})
+	}
+	return b
 }
 
 // Result is the outcome of one graph/pattern comparison.
@@ -145,4 +272,49 @@ func ComparePair(db *graphflow.DB, g *graph.Graph, q *query.Graph) (Result, erro
 	}
 	res.GotWCO = gotWCO
 	return res, nil
+}
+
+// RunLiveTrial drives one live-mutation trial: a random graph opened as
+// a live DB, then `batches` rounds of (apply random mutation batch,
+// occasionally force compaction, compare a random pattern's hybrid and
+// WCO counts on the live snapshot against the BJ reference on a
+// from-scratch rebuild of the shadow). Each round is one (graph,
+// mutation batch, pattern) triple. Returns per-round results; a Result
+// with Skipped set means the reference blew its budget for that round.
+func RunLiveTrial(seed int64, batches int) ([]Result, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g := GenGraph(seed)
+	// Rotate compaction regimes: racing background compactor, frequent
+	// compaction, and no compaction (pure overlay reads).
+	threshold := []int{10, 100, -1}[rng.Intn(3)]
+	db, err := OpenLiveDB(g, threshold)
+	if err != nil {
+		return nil, fmt.Errorf("seed %d: open live DB: %w", seed, err)
+	}
+	sh := NewShadow(g)
+	var out []Result
+	for i := 0; i < batches; i++ {
+		b := GenBatch(rng, sh)
+		if _, err := db.Apply(b); err != nil {
+			return out, fmt.Errorf("seed %d batch %d: apply: %w", seed, i, err)
+		}
+		sh.Apply(b)
+		if rng.Intn(4) == 0 {
+			if err := db.Compact(); err != nil {
+				return out, fmt.Errorf("seed %d batch %d: compact: %w", seed, i, err)
+			}
+		}
+		rebuilt := sh.Build()
+		if db.NumEdges() != rebuilt.NumEdges() || db.NumVertices() != rebuilt.NumVertices() {
+			return out, fmt.Errorf("seed %d batch %d: live counts V=%d E=%d, rebuild V=%d E=%d",
+				seed, i, db.NumVertices(), db.NumEdges(), rebuilt.NumVertices(), rebuilt.NumEdges())
+		}
+		res, err := ComparePair(db, rebuilt, GenPattern(rng))
+		if err != nil {
+			return out, fmt.Errorf("seed %d batch %d: %w", seed, i, err)
+		}
+		out = append(out, res)
+	}
+	db.WaitCompaction()
+	return out, nil
 }

@@ -3,6 +3,8 @@ package difftest
 import (
 	"math/rand"
 	"testing"
+
+	"graphflow"
 )
 
 // runCorpus checks numGraphs random graphs × patternsPer random patterns
@@ -57,4 +59,114 @@ func TestDifferentialExtended(t *testing.T) {
 		t.Skip("extended differential corpus skipped in -short mode")
 	}
 	runCorpus(t, 5000, 40, 25)
+}
+
+// runLiveCorpus checks numTrials live-mutation trials of batchesPer
+// rounds each: every round is one (graph, mutation batch, pattern)
+// triple whose hybrid and WCO counts on the live snapshot must equal the
+// BJ reference on a from-scratch rebuild of the same logical graph.
+func runLiveCorpus(t *testing.T, firstSeed int64, numTrials, batchesPer int) {
+	t.Helper()
+	checked, skipped := 0, 0
+	for i := 0; i < numTrials; i++ {
+		seed := firstSeed + int64(i)
+		results, err := RunLiveTrial(seed, batchesPer)
+		if err != nil {
+			t.Fatalf("live trial seed %d: %v", seed, err)
+		}
+		for _, res := range results {
+			if res.Skipped {
+				skipped++
+				continue
+			}
+			checked++
+			if res.Got != res.Want {
+				t.Errorf("seed %d: %s plan of %q on live snapshot counted %d, rebuild reference %d",
+					seed, res.PlanKind, res.Pattern, res.Got, res.Want)
+			}
+			if res.GotWCO != res.Want {
+				t.Errorf("seed %d: WCO plan of %q on live snapshot counted %d, rebuild reference %d",
+					seed, res.Pattern, res.GotWCO, res.Want)
+			}
+		}
+	}
+	total := numTrials * batchesPer
+	if skipped > total/2 {
+		t.Errorf("%d/%d live triples skipped on the reference budget; corpus too thin", skipped, total)
+	}
+	t.Logf("live corpus: %d triples checked, %d skipped", checked, skipped)
+}
+
+// TestDifferentialLiveBounded is the always-on mutation corpus.
+func TestDifferentialLiveBounded(t *testing.T) {
+	runLiveCorpus(t, 9000, 12, 2)
+}
+
+// TestDifferentialLiveExtended covers >= 200 (graph, mutation batch,
+// pattern) triples; skipped under -short, run with -race in CI.
+func TestDifferentialLiveExtended(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extended live-mutation corpus skipped in -short mode")
+	}
+	runLiveCorpus(t, 12000, 110, 2)
+}
+
+// TestDifferentialSnapshotIsolation checks that a query started before
+// a mutation batch never observes it: a Match over the asymmetric
+// triangles of a K4 applies a triangle-adding batch from inside its
+// callback, and the enumeration must still deliver exactly the
+// pre-mutation matches while the next query sees the new triangle.
+func TestDifferentialSnapshotIsolation(t *testing.T) {
+	b := graphflow.NewBuilder(4)
+	for i := uint32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(i, j, 0)
+		}
+	}
+	db, err := b.Open(&graphflow.Options{CatalogueZ: 50, CatalogueH: 2, CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tri = "a->b, b->c, a->c"
+	before, err := db.Count(tri, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != 4 {
+		t.Fatalf("K4 asymmetric triangles = %d, want 4", before)
+	}
+
+	rows := int64(0)
+	mutated := false
+	err = db.Match(tri, func(map[string]uint32) bool {
+		rows++
+		if !mutated {
+			mutated = true
+			// Add a disjoint triangle on three fresh vertices mid-query.
+			if _, err := db.Apply(graphflow.Batch{
+				AddVertices: []uint16{0, 0, 0},
+				AddEdges: []graphflow.EdgeOp{
+					{Src: 4, Dst: 5, Label: 0},
+					{Src: 5, Dst: 6, Label: 0},
+					{Src: 4, Dst: 6, Label: 0},
+				},
+			}); err != nil {
+				t.Errorf("mid-query Apply: %v", err)
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != before {
+		t.Fatalf("query running across the batch saw %d matches, want the pre-mutation %d", rows, before)
+	}
+	after, err := db.Count(tri, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before+1 {
+		t.Fatalf("post-mutation count = %d, want %d", after, before+1)
+	}
 }

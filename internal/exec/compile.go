@@ -15,7 +15,7 @@ import (
 // each Run/Count call materialises — so one CompiledPlan may be executed
 // by any number of goroutines simultaneously.
 type CompiledPlan struct {
-	graph *graph.Graph
+	graph graph.View
 	root  plan.Node
 	// pipes lists every pipeline in execution order: hash-join build
 	// pipelines first (each before any pipeline that probes its table),
@@ -70,8 +70,9 @@ func (s *probeSpec) newState(rc *runContext) stageState {
 	return &probeState{spec: s, table: rc.tables[s.op]}
 }
 
-// Compile validates p and lowers it into a CompiledPlan over g.
-func Compile(g *graph.Graph, p *plan.Plan) (*CompiledPlan, error) {
+// Compile validates p and lowers it into a CompiledPlan over g — any
+// graph View: the immutable CSR store or a live snapshot of one epoch.
+func Compile(g graph.View, p *plan.Plan) (*CompiledPlan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -80,7 +81,7 @@ func Compile(g *graph.Graph, p *plan.Plan) (*CompiledPlan, error) {
 
 // CompileNode lowers an arbitrary subplan node (which need not cover the
 // whole query). The adaptive evaluator compiles partial plans this way.
-func CompileNode(g *graph.Graph, root plan.Node) (*CompiledPlan, error) {
+func CompileNode(g graph.View, root plan.Node) (*CompiledPlan, error) {
 	cp := &CompiledPlan{graph: g, root: root}
 	if err := cp.addPipeline(root, nil); err != nil {
 		return nil, err

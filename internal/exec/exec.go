@@ -350,7 +350,7 @@ func (rc *runContext) runPipeline(pipe *compiledPipeline, workers int, isRoot bo
 // Runner executes plans against a graph: the single-shot facade over
 // Compile + CompiledPlan.Run kept for callers that do not reuse plans.
 type Runner struct {
-	Graph *graph.Graph
+	Graph graph.View
 	// Workers is the number of parallel workers; <=1 means sequential.
 	Workers int
 	// DisableCache turns off the E/I intersection cache.

@@ -12,7 +12,7 @@ import (
 // share only the read-only graph, the compiled plan and the run's hash
 // tables.
 type worker struct {
-	g      *graph.Graph
+	g      graph.View
 	rc     *runContext
 	pipe   *compiledPipeline
 	stages []stageState

@@ -282,6 +282,20 @@ func (g *Graph) String() string {
 	return fmt.Sprintf("graph{V=%d E=%d vlabels=%d elabels=%d}", g.n, g.m, g.numVertexLabels, g.numEdgeLabels)
 }
 
+// MergeRuns merges any number of ID-sorted runs into buf (which may be
+// nil) and returns it. Duplicates across runs are preserved, matching the
+// semantics of wildcard Neighbors lookups. The delta overlay uses it to
+// reproduce the base graph's wildcard merge over its per-vertex runs.
+func MergeRuns(runs [][]VertexID, buf []VertexID) []VertexID {
+	switch len(runs) {
+	case 0:
+		return buf[:0]
+	case 1:
+		return append(buf[:0], runs[0]...)
+	}
+	return mergeSortedRuns(runs, buf)
+}
+
 func containsSorted(list []VertexID, x VertexID) bool {
 	i := sort.Search(len(list), func(k int) bool { return list[k] >= x })
 	return i < len(list) && list[i] == x

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"strconv"
@@ -16,7 +17,24 @@ import (
 //
 // Vertices are created implicitly up to the largest ID seen. The format is a
 // superset of the SNAP edge-list format the paper's datasets ship in.
+//
+// Gzip-compressed input is detected by its magic bytes and decompressed
+// transparently, so .txt.gz dataset dumps load without an external gunzip
+// step.
 func LoadEdgeList(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: gzip input: %w", err)
+		}
+		defer zr.Close()
+		return loadEdgeListPlain(zr)
+	}
+	return loadEdgeListPlain(br)
+}
+
+func loadEdgeListPlain(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	type edge struct {

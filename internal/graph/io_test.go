@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"compress/gzip"
 	"strings"
 	"testing"
 )
@@ -67,6 +68,45 @@ func TestEdgeListRoundTrip(t *testing.T) {
 	}
 	if !g2.HasEdge(1, 2, 2) {
 		t.Errorf("edge lost in round trip")
+	}
+}
+
+func TestLoadEdgeListGzip(t *testing.T) {
+	in := "# leading comment\n0 1\n# interleaved comment\n1 2 1\n2 0\n"
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(in)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("LoadEdgeList(gzip): %v", err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("gzip load got %v, want 3 vertices / 3 edges", g)
+	}
+	if !g.HasEdge(1, 2, 1) {
+		t.Error("edge 1->2 label 1 missing after gzip load")
+	}
+	// Plain input whose first bytes coincide with nothing special must be
+	// unaffected by the sniffing path.
+	g2, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("LoadEdgeList(plain): %v", err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Errorf("plain load %d edges, gzip load %d", g2.NumEdges(), g.NumEdges())
+	}
+}
+
+func TestLoadEdgeListTruncatedGzip(t *testing.T) {
+	// A bare gzip magic with no stream behind it must error, not hang or
+	// parse as text.
+	if _, err := LoadEdgeList(bytes.NewReader([]byte{0x1f, 0x8b})); err == nil {
+		t.Error("LoadEdgeList on truncated gzip succeeded, want error")
 	}
 }
 

@@ -26,21 +26,28 @@ type Stats struct {
 // the clustering coefficient (all vertices if sampleVertices <= 0 or larger
 // than the graph).
 func (g *Graph) ComputeStats(sampleVertices int, rng *rand.Rand) Stats {
-	st := Stats{Vertices: g.n, Edges: g.m}
-	st.Out = g.degreeStats(Forward)
-	st.In = g.degreeStats(Backward)
-	st.Clustering = g.SampleClusteringCoefficient(sampleVertices, rng)
+	return ComputeStatsOf(g, sampleVertices, rng)
+}
+
+// ComputeStatsOf is ComputeStats over any View — notably live snapshots,
+// so post-mutation stats reflect the delta overlay, not just the base CSR.
+func ComputeStatsOf(g View, sampleVertices int, rng *rand.Rand) Stats {
+	st := Stats{Vertices: g.NumVertices(), Edges: g.NumEdges()}
+	st.Out = degreeStatsOf(g, Forward)
+	st.In = degreeStatsOf(g, Backward)
+	st.Clustering = SampleClusteringCoefficientOf(g, sampleVertices, rng)
 	return st
 }
 
-func (g *Graph) degreeStats(dir Direction) DegreeStats {
+func degreeStatsOf(g View, dir Direction) DegreeStats {
 	var ds DegreeStats
-	if g.n == 0 {
+	n := g.NumVertices()
+	if n == 0 {
 		return ds
 	}
-	degs := make([]int, g.n)
+	degs := make([]int, n)
 	total := 0
-	for v := 0; v < g.n; v++ {
+	for v := 0; v < n; v++ {
 		var d int
 		if dir == Forward {
 			d = g.OutDegree(VertexID(v))
@@ -53,13 +60,13 @@ func (g *Graph) degreeStats(dir Direction) DegreeStats {
 			ds.Max = d
 		}
 	}
-	ds.Mean = float64(total) / float64(g.n)
+	ds.Mean = float64(total) / float64(n)
 	// nth_element-free percentile: counting since degrees are small ints.
 	counts := make([]int, ds.Max+1)
 	for _, d := range degs {
 		counts[d]++
 	}
-	target := (99 * g.n) / 100
+	target := (99 * n) / 100
 	seen := 0
 	for d, c := range counts {
 		seen += c
@@ -76,11 +83,17 @@ func (g *Graph) degreeStats(dir Direction) DegreeStats {
 // (all if k <= 0 or k >= n). A nil rng means deterministic iteration over
 // the first vertices.
 func (g *Graph) SampleClusteringCoefficient(k int, rng *rand.Rand) float64 {
-	if g.n == 0 {
+	return SampleClusteringCoefficientOf(g, k, rng)
+}
+
+// SampleClusteringCoefficientOf is SampleClusteringCoefficient over any View.
+func SampleClusteringCoefficientOf(g View, k int, rng *rand.Rand) float64 {
+	n := g.NumVertices()
+	if n == 0 {
 		return 0
 	}
-	if k <= 0 || k > g.n {
-		k = g.n
+	if k <= 0 || k > n {
+		k = n
 	}
 	var sum float64
 	counted := 0
@@ -88,11 +101,11 @@ func (g *Graph) SampleClusteringCoefficient(k int, rng *rand.Rand) float64 {
 	for i := 0; i < k; i++ {
 		var v VertexID
 		if rng != nil {
-			v = VertexID(rng.Intn(g.n))
+			v = VertexID(rng.Intn(n))
 		} else {
 			v = VertexID(i)
 		}
-		unbuf = g.undirectedNeighbors(v, unbuf[:0])
+		unbuf = undirectedNeighborsOf(g, v, unbuf[:0])
 		d := len(unbuf)
 		if d < 2 {
 			continue
@@ -115,9 +128,9 @@ func (g *Graph) SampleClusteringCoefficient(k int, rng *rand.Rand) float64 {
 	return sum / float64(counted)
 }
 
-// undirectedNeighbors returns the deduplicated union of v's forward and
+// undirectedNeighborsOf returns the deduplicated union of v's forward and
 // backward neighbours across all labels.
-func (g *Graph) undirectedNeighbors(v VertexID, buf []VertexID) []VertexID {
+func undirectedNeighborsOf(g View, v VertexID, buf []VertexID) []VertexID {
 	buf = buf[:0]
 	seen := make(map[VertexID]struct{})
 	collect := func(list []VertexID) {
@@ -131,7 +144,7 @@ func (g *Graph) undirectedNeighbors(v VertexID, buf []VertexID) []VertexID {
 			}
 		}
 	}
-	collect(g.fwd.segment(v))
-	collect(g.bwd.segment(v))
+	collect(g.Neighbors(v, Forward, WildcardLabel, WildcardLabel, nil))
+	collect(g.Neighbors(v, Backward, WildcardLabel, WildcardLabel, nil))
 	return buf
 }

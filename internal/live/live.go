@@ -1,0 +1,339 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"graphflow/internal/graph"
+)
+
+// DefaultCompactThreshold is the overlay size (mutations since the last
+// base build) at which the background compactor folds the delta into a
+// fresh CSR.
+const DefaultCompactThreshold = 1 << 14
+
+// Config tunes a live DB.
+type Config struct {
+	// CompactThreshold is the overlay mutation count that triggers
+	// background compaction. 0 takes DefaultCompactThreshold; a negative
+	// value disables automatic compaction (Compact still works).
+	CompactThreshold int
+	// OnEpoch, when non-nil, is called after every epoch publication
+	// (mutation batch or compaction) with the new snapshot, outside the
+	// writer lock. The DB layer uses it to drop stale plan-cache entries.
+	OnEpoch func(*Snapshot)
+}
+
+// EdgeOp names one directed labelled edge in a Batch.
+type EdgeOp struct {
+	Src, Dst graph.VertexID
+	Label    graph.Label
+}
+
+// Batch is one atomic group of mutations. Vertices are appended first, so
+// AddEdges/DeleteEdges may reference vertices created by the same batch.
+type Batch struct {
+	// AddVertices appends one vertex per label; IDs are assigned
+	// sequentially from the current vertex count.
+	AddVertices []graph.Label
+	AddEdges    []EdgeOp
+	DeleteEdges []EdgeOp
+}
+
+// ApplyResult reports what one batch did.
+type ApplyResult struct {
+	// Epoch is the snapshot version the batch produced.
+	Epoch uint64
+	// FirstNewVertex is the ID of the first appended vertex (meaningful
+	// only when AddedVertices > 0; subsequent IDs are consecutive).
+	FirstNewVertex graph.VertexID
+	AddedVertices  int
+	// AddedEdges counts edges actually inserted (duplicates and self-loops
+	// are dropped, matching the frozen Builder's semantics).
+	AddedEdges int
+	// DeletedEdges counts edges actually removed (deleting an absent edge
+	// is a no-op).
+	DeletedEdges int
+	// Vertices and Edges are the post-batch live counts, read atomically
+	// with the epoch so the triple is self-consistent even under
+	// concurrent writers.
+	Vertices, Edges int
+}
+
+// DB is the mutable, versioned graph store. Readers obtain an immutable
+// Snapshot with a single atomic load and never block; writers serialise
+// on an internal mutex and publish each batch as a new epoch with an
+// atomic pointer swap.
+type DB struct {
+	mu        sync.Mutex // serialises writers and the compaction swap
+	cur       atomic.Pointer[Snapshot]
+	threshold int
+	onEpoch   func(*Snapshot)
+
+	compacting  atomic.Bool
+	compactions atomic.Int64
+	compactWG   sync.WaitGroup
+}
+
+// Open wraps a frozen base graph in a live DB at epoch 0.
+func Open(base *graph.Graph, cfg Config) *DB {
+	th := cfg.CompactThreshold
+	if th == 0 {
+		th = DefaultCompactThreshold
+	}
+	db := &DB{threshold: th, onEpoch: cfg.OnEpoch}
+	db.cur.Store(newBaseSnapshot(base, 0))
+	return db
+}
+
+// notifyEpoch invokes the epoch hook; callers must not hold db.mu.
+func (db *DB) notifyEpoch(s *Snapshot) {
+	if db.onEpoch != nil {
+		db.onEpoch(s)
+	}
+}
+
+// Snapshot returns the current epoch's immutable view. The caller may
+// hold it for arbitrarily long; later mutations never disturb it.
+func (db *DB) Snapshot() *Snapshot { return db.cur.Load() }
+
+// Epoch returns the current epoch number.
+func (db *DB) Epoch() uint64 { return db.cur.Load().epoch }
+
+// Compactions returns how many compaction passes have completed.
+func (db *DB) Compactions() int64 { return db.compactions.Load() }
+
+// AddVertex appends a vertex with the given label and returns its ID.
+func (db *DB) AddVertex(label graph.Label) (graph.VertexID, error) {
+	res, err := db.Apply(Batch{AddVertices: []graph.Label{label}})
+	if err != nil {
+		return 0, err
+	}
+	return res.FirstNewVertex, nil
+}
+
+// AddEdge inserts the directed edge src->dst with the given label. It
+// reports whether the edge was new (false: duplicate or self-loop, both
+// dropped to preserve the frozen Builder's semantics).
+func (db *DB) AddEdge(src, dst graph.VertexID, label graph.Label) (bool, error) {
+	res, err := db.Apply(Batch{AddEdges: []EdgeOp{{src, dst, label}}})
+	if err != nil {
+		return false, err
+	}
+	return res.AddedEdges > 0, nil
+}
+
+// DeleteEdge removes the directed edge src->dst with the given (exact)
+// label, reporting whether it existed.
+func (db *DB) DeleteEdge(src, dst graph.VertexID, label graph.Label) (bool, error) {
+	res, err := db.Apply(Batch{DeleteEdges: []EdgeOp{{src, dst, label}}})
+	if err != nil {
+		return false, err
+	}
+	return res.DeletedEdges > 0, nil
+}
+
+// Apply runs one batch atomically: either the whole batch is published as
+// a single new epoch, or (on validation error) nothing changes. A batch
+// whose operations are all no-ops (duplicate adds, self-loops, absent
+// deletes) publishes nothing: the graph is logically unchanged, so
+// cached plans and catalogue statistics stay valid. In-flight readers
+// keep their snapshot.
+func (db *DB) Apply(b Batch) (ApplyResult, error) {
+	db.mu.Lock()
+	s := db.cur.Load()
+	ns, res, err := applyBatch(s, b)
+	if err != nil {
+		db.mu.Unlock()
+		return ApplyResult{}, err
+	}
+	published := ns != s && (res.AddedVertices > 0 || res.AddedEdges > 0 || res.DeletedEdges > 0)
+	if published {
+		db.cur.Store(ns)
+	}
+	cur := db.cur.Load()
+	res.Epoch = cur.epoch
+	res.Vertices = cur.NumVertices()
+	res.Edges = cur.NumEdges()
+	db.mu.Unlock()
+	if published {
+		db.notifyEpoch(cur)
+	}
+	db.maybeCompact()
+	return res, nil
+}
+
+// applyBatch builds the next epoch's snapshot from s without publishing it.
+func applyBatch(s *Snapshot, b Batch) (*Snapshot, ApplyResult, error) {
+	var res ApplyResult
+	nAfter := s.NumVertices() + len(b.AddVertices)
+	for _, l := range b.AddVertices {
+		if l == graph.WildcardLabel {
+			return nil, res, fmt.Errorf("live: vertex uses reserved wildcard label")
+		}
+	}
+	for _, e := range b.AddEdges {
+		if e.Label == graph.WildcardLabel {
+			return nil, res, fmt.Errorf("live: edge (%d->%d) uses reserved wildcard label", e.Src, e.Dst)
+		}
+		if int(e.Src) >= nAfter || int(e.Dst) >= nAfter {
+			return nil, res, fmt.Errorf("live: edge (%d->%d) references vertex beyond %d", e.Src, e.Dst, nAfter-1)
+		}
+	}
+	for _, e := range b.DeleteEdges {
+		if e.Label == graph.WildcardLabel {
+			return nil, res, fmt.Errorf("live: delete (%d->%d) uses reserved wildcard label", e.Src, e.Dst)
+		}
+		if int(e.Src) >= nAfter || int(e.Dst) >= nAfter {
+			return nil, res, fmt.Errorf("live: delete (%d->%d) references vertex beyond %d", e.Src, e.Dst, nAfter-1)
+		}
+	}
+	if len(b.AddVertices) == 0 && len(b.AddEdges) == 0 && len(b.DeleteEdges) == 0 {
+		return s, res, nil
+	}
+
+	ns := s.clone()
+	if len(b.AddVertices) > 0 {
+		res.FirstNewVertex = graph.VertexID(ns.NumVertices())
+		res.AddedVertices = len(b.AddVertices)
+		for _, l := range b.AddVertices {
+			ns.extra = append(ns.extra, l)
+			if int(l)+1 > ns.numVertexLabels {
+				ns.numVertexLabels = int(l) + 1
+			}
+		}
+	}
+	// touched tracks which adjacencies are already private to ns, so a
+	// batch touching the same vertex repeatedly clones it once.
+	touchedF := map[graph.VertexID]bool{}
+	touchedB := map[graph.VertexID]bool{}
+	for _, e := range b.AddEdges {
+		if e.Src == e.Dst {
+			continue // self-loops dropped: subgraph queries bind distinct vertices
+		}
+		if ns.HasEdge(e.Src, e.Dst, e.Label) {
+			continue
+		}
+		ns.materialize(graph.Forward, e.Src, touchedF).insert(e.Label, ns.VertexLabel(e.Dst), e.Dst)
+		ns.materialize(graph.Backward, e.Dst, touchedB).insert(e.Label, ns.VertexLabel(e.Src), e.Src)
+		ns.m++
+		ns.deltaOps++
+		if int(e.Label)+1 > ns.numEdgeLabels {
+			ns.numEdgeLabels = int(e.Label) + 1
+		}
+		res.AddedEdges++
+	}
+	for _, e := range b.DeleteEdges {
+		if !ns.HasEdge(e.Src, e.Dst, e.Label) {
+			continue
+		}
+		ns.materialize(graph.Forward, e.Src, touchedF).remove(e.Label, ns.VertexLabel(e.Dst), e.Dst)
+		ns.materialize(graph.Backward, e.Dst, touchedB).remove(e.Label, ns.VertexLabel(e.Src), e.Src)
+		ns.m--
+		ns.deltaOps++
+		res.DeletedEdges++
+	}
+	return ns, res, nil
+}
+
+// materialize returns a private (mutable) vadj for v in dir, cloning the
+// published overlay entry or materialising the base adjacency on first
+// touch.
+func (s *Snapshot) materialize(dir graph.Direction, v graph.VertexID, touched map[graph.VertexID]bool) *vadj {
+	ov := s.overlay(dir)
+	if touched[v] {
+		return ov[v]
+	}
+	var a *vadj
+	switch {
+	case ov[v] != nil:
+		a = ov[v].clone()
+	case int(v) < s.nBase:
+		a = fromPartitions(s.base, v, dir)
+	default:
+		a = &vadj{}
+	}
+	ov[v] = a
+	touched[v] = true
+	return a
+}
+
+// maybeCompact kicks off a background compaction pass when the overlay
+// has outgrown the threshold and no pass is already running.
+func (db *DB) maybeCompact() {
+	if db.threshold <= 0 {
+		return
+	}
+	if db.cur.Load().deltaOps < db.threshold {
+		return
+	}
+	if !db.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	db.compactWG.Add(1)
+	go func() {
+		defer db.compactWG.Done()
+		defer db.compacting.Store(false)
+		// The overlay only grows until a compaction lands, so an error here
+		// (impossible for overlays built through Apply, which validates)
+		// just leaves the delta in place for the next trigger.
+		_ = db.compactOnce()
+	}()
+}
+
+// Compact folds the current overlay into a fresh CSR base synchronously
+// and bumps the epoch. A no-op when the overlay is empty.
+func (db *DB) Compact() error { return db.compactOnce() }
+
+// WaitCompaction blocks until any in-flight background compaction pass
+// finishes — a test and shutdown aid.
+func (db *DB) WaitCompaction() { db.compactWG.Wait() }
+
+// compactOnce rebuilds the base CSR from the current snapshot. The
+// rebuild runs without the writer lock (queries and writers proceed);
+// the swap retries if a writer published a new epoch mid-rebuild, and
+// after repeated conflicts rebuilds once more under the lock so the pass
+// terminates even under a sustained write load.
+func (db *DB) compactOnce() error {
+	for tries := 0; ; tries++ {
+		s := db.cur.Load()
+		if s.deltaOps == 0 && len(s.extra) == 0 {
+			return nil
+		}
+		g, err := Rebuild(s)
+		if err != nil {
+			return err
+		}
+		db.mu.Lock()
+		if db.cur.Load() == s {
+			ns := newBaseSnapshot(g, s.epoch+1)
+			db.cur.Store(ns)
+			db.mu.Unlock()
+			db.compactions.Add(1)
+			db.notifyEpoch(ns)
+			return nil
+		}
+		if tries >= 2 {
+			s = db.cur.Load()
+			if s.deltaOps == 0 && len(s.extra) == 0 {
+				// A concurrent pass already landed; publishing a rebuild of
+				// an empty overlay would bump the epoch for no logical change.
+				db.mu.Unlock()
+				return nil
+			}
+			g, err = Rebuild(s)
+			if err != nil {
+				db.mu.Unlock()
+				return err
+			}
+			ns := newBaseSnapshot(g, s.epoch+1)
+			db.cur.Store(ns)
+			db.mu.Unlock()
+			db.compactions.Add(1)
+			db.notifyEpoch(ns)
+			return nil
+		}
+		db.mu.Unlock()
+	}
+}

@@ -1,0 +1,427 @@
+// Package live is the versioned storage subsystem over the immutable CSR
+// store: a mutable delta overlay (per-vertex sorted adjacency rebuilt
+// copy-on-write for mutated vertices, plus appended vertices) layered on
+// a frozen graph.Graph base, exposed through epoch-stamped Snapshots that
+// satisfy graph.View. Compiled plans run unmodified against a Snapshot:
+// every read keeps the base layout's sorted-adjacency invariants, so the
+// executor's Intersect/IntersectK kernels and the WCO extenders work on
+// overlay vertices exactly as they do on base vertices.
+//
+// Writers go through DB (AddVertex/AddEdge/DeleteEdge/Apply); each batch
+// publishes a fresh Snapshot with an atomic pointer swap, so in-flight
+// queries keep the epoch they started on (snapshot isolation) and readers
+// never take a lock. A background compactor folds the overlay into a new
+// CSR base once it exceeds a size threshold.
+package live
+
+import (
+	"graphflow/internal/graph"
+)
+
+// vadj is one mutated vertex's fully materialised adjacency in one
+// direction: the same (edge label, neighbour label, ID)-sorted layout as
+// the base CSR, but private to the vertex. Partition i spans
+// nbrs[pStart[i]:end] where end is pStart[i+1] (or len(nbrs) for the
+// last). A vadj is immutable once its snapshot is published.
+type vadj struct {
+	nbrs   []graph.VertexID
+	pE, pN []graph.Label
+	pStart []int
+}
+
+// clone deep-copies the adjacency so a new epoch can modify it without
+// disturbing published snapshots.
+func (a *vadj) clone() *vadj {
+	return &vadj{
+		nbrs:   append([]graph.VertexID(nil), a.nbrs...),
+		pE:     append([]graph.Label(nil), a.pE...),
+		pN:     append([]graph.Label(nil), a.pN...),
+		pStart: append([]int(nil), a.pStart...),
+	}
+}
+
+// end returns the exclusive end of partition i.
+func (a *vadj) end(i int) int {
+	if i+1 < len(a.pStart) {
+		return a.pStart[i+1]
+	}
+	return len(a.nbrs)
+}
+
+// findPartition returns the directory index whose (eLabel, nLabel) is the
+// first >= the given pair, and whether it matches exactly.
+func (a *vadj) findPartition(e, nl graph.Label) (int, bool) {
+	lo, hi := 0, len(a.pE)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.pE[mid] < e || (a.pE[mid] == e && a.pN[mid] < nl) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(a.pE) && a.pE[lo] == e && a.pN[lo] == nl
+}
+
+// neighbors mirrors Graph.Neighbors over the private layout.
+func (a *vadj) neighbors(e, nl graph.Label, buf []graph.VertexID) []graph.VertexID {
+	if e != graph.WildcardLabel && nl != graph.WildcardLabel {
+		if i, ok := a.findPartition(e, nl); ok {
+			return a.nbrs[a.pStart[i]:a.end(i)]
+		}
+		return buf[:0]
+	}
+	var runs [][]graph.VertexID
+	for i := range a.pE {
+		if e != graph.WildcardLabel && a.pE[i] != e {
+			continue
+		}
+		if nl != graph.WildcardLabel && a.pN[i] != nl {
+			continue
+		}
+		if s, en := a.pStart[i], a.end(i); s < en {
+			runs = append(runs, a.nbrs[s:en])
+		}
+	}
+	switch len(runs) {
+	case 0:
+		return buf[:0]
+	case 1:
+		return runs[0]
+	}
+	return graph.MergeRuns(runs, buf)
+}
+
+// degree mirrors Graph.Degree.
+func (a *vadj) degree(e, nl graph.Label) int {
+	if e != graph.WildcardLabel && nl != graph.WildcardLabel {
+		if i, ok := a.findPartition(e, nl); ok {
+			return a.end(i) - a.pStart[i]
+		}
+		return 0
+	}
+	total := 0
+	for i := range a.pE {
+		if e != graph.WildcardLabel && a.pE[i] != e {
+			continue
+		}
+		if nl != graph.WildcardLabel && a.pN[i] != nl {
+			continue
+		}
+		total += a.end(i) - a.pStart[i]
+	}
+	return total
+}
+
+// lowerBound returns the first index in nbrs[lo:hi) whose value is >= x
+// (hi if none) — the shared kernel of contains/insert/remove.
+func (a *vadj) lowerBound(lo, hi int, x graph.VertexID) int {
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.nbrs[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// contains reports whether partition i holds x, by binary search.
+func (a *vadj) contains(i int, x graph.VertexID) bool {
+	k := a.lowerBound(a.pStart[i], a.end(i), x)
+	return k < a.end(i) && a.nbrs[k] == x
+}
+
+// hasEdge reports whether the (e, nl) partition holds dst; e may be
+// WildcardLabel (nl is the destination's fixed vertex label).
+func (a *vadj) hasEdge(e, nl graph.Label, dst graph.VertexID) bool {
+	if e != graph.WildcardLabel {
+		i, ok := a.findPartition(e, nl)
+		return ok && a.contains(i, dst)
+	}
+	for i := range a.pE {
+		if a.pN[i] == nl && a.contains(i, dst) {
+			return true
+		}
+	}
+	return false
+}
+
+// edges calls fn for every (src, nbr, eLabel) triple in directory order,
+// returning false if fn stopped the iteration.
+func (a *vadj) edges(src graph.VertexID, fn graph.EdgeFunc) bool {
+	for i := range a.pE {
+		el := a.pE[i]
+		for _, dst := range a.nbrs[a.pStart[i]:a.end(i)] {
+			if !fn(src, dst, el) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// insert adds (e, nl, x) keeping the sorted layout; false if already
+// present. Only called on private (cloned, unpublished) adjacencies.
+func (a *vadj) insert(e, nl graph.Label, x graph.VertexID) bool {
+	i, ok := a.findPartition(e, nl)
+	var pos int
+	if ok {
+		pos = a.lowerBound(a.pStart[i], a.end(i), x)
+		if pos < a.end(i) && a.nbrs[pos] == x {
+			return false
+		}
+	} else {
+		// New partition directory entry at i; its run starts where the next
+		// partition currently starts (or at the end).
+		if i < len(a.pStart) {
+			pos = a.pStart[i]
+		} else {
+			pos = len(a.nbrs)
+		}
+		a.pE = append(a.pE, 0)
+		copy(a.pE[i+1:], a.pE[i:])
+		a.pE[i] = e
+		a.pN = append(a.pN, 0)
+		copy(a.pN[i+1:], a.pN[i:])
+		a.pN[i] = nl
+		a.pStart = append(a.pStart, 0)
+		copy(a.pStart[i+1:], a.pStart[i:])
+		a.pStart[i] = pos
+	}
+	a.nbrs = append(a.nbrs, 0)
+	copy(a.nbrs[pos+1:], a.nbrs[pos:])
+	a.nbrs[pos] = x
+	for j := i + 1; j < len(a.pStart); j++ {
+		a.pStart[j]++
+	}
+	return true
+}
+
+// remove deletes (e, nl, x); false if absent. Only called on private
+// adjacencies.
+func (a *vadj) remove(e, nl graph.Label, x graph.VertexID) bool {
+	i, ok := a.findPartition(e, nl)
+	if !ok {
+		return false
+	}
+	k := a.lowerBound(a.pStart[i], a.end(i), x)
+	if k >= a.end(i) || a.nbrs[k] != x {
+		return false
+	}
+	a.nbrs = append(a.nbrs[:k], a.nbrs[k+1:]...)
+	for j := i + 1; j < len(a.pStart); j++ {
+		a.pStart[j]--
+	}
+	if a.pStart[i] == a.end(i) {
+		a.pE = append(a.pE[:i], a.pE[i+1:]...)
+		a.pN = append(a.pN[:i], a.pN[i+1:]...)
+		a.pStart = append(a.pStart[:i], a.pStart[i+1:]...)
+	}
+	return true
+}
+
+// fromPartitions materialises a base vertex's adjacency into a private vadj.
+func fromPartitions(g *graph.Graph, v graph.VertexID, dir graph.Direction) *vadj {
+	a := &vadj{}
+	g.Partitions(v, dir, func(e, nl graph.Label, nbrs []graph.VertexID) bool {
+		a.pE = append(a.pE, e)
+		a.pN = append(a.pN, nl)
+		a.pStart = append(a.pStart, len(a.nbrs))
+		a.nbrs = append(a.nbrs, nbrs...)
+		return true
+	})
+	return a
+}
+
+// Snapshot is one consistent epoch of the live graph: the immutable base
+// CSR plus the overlay of mutated and appended vertices. It satisfies
+// graph.View, is immutable after publication, and is safe for unbounded
+// concurrent reads — queries compiled against a Snapshot observe exactly
+// its epoch regardless of later mutations.
+type Snapshot struct {
+	base  *graph.Graph
+	epoch uint64
+	nBase int
+	// extra holds the labels of vertices appended past the base; vertex
+	// nBase+i carries extra[i].
+	extra []graph.Label
+	// fwd/bwd map mutated vertices to their private adjacency. A missing
+	// entry means the base's adjacency (or empty, for appended vertices).
+	fwd, bwd map[graph.VertexID]*vadj
+	m        int // live directed edge count
+	deltaOps int // overlay mutations since the base was built
+	numVertexLabels, numEdgeLabels int
+}
+
+var _ graph.View = (*Snapshot)(nil)
+
+func newBaseSnapshot(g *graph.Graph, epoch uint64) *Snapshot {
+	return &Snapshot{
+		base:            g,
+		epoch:           epoch,
+		nBase:           g.NumVertices(),
+		fwd:             map[graph.VertexID]*vadj{},
+		bwd:             map[graph.VertexID]*vadj{},
+		m:               g.NumEdges(),
+		numVertexLabels: g.NumVertexLabels(),
+		numEdgeLabels:   g.NumEdgeLabels(),
+	}
+}
+
+// clone starts the next epoch: scalar state is copied, the overlay maps
+// are shallow-copied (vadj values are cloned lazily on first touch).
+func (s *Snapshot) clone() *Snapshot {
+	ns := *s
+	ns.epoch = s.epoch + 1
+	ns.extra = append([]graph.Label(nil), s.extra...)
+	ns.fwd = make(map[graph.VertexID]*vadj, len(s.fwd))
+	for v, a := range s.fwd {
+		ns.fwd[v] = a
+	}
+	ns.bwd = make(map[graph.VertexID]*vadj, len(s.bwd))
+	for v, a := range s.bwd {
+		ns.bwd[v] = a
+	}
+	return &ns
+}
+
+// Epoch returns the snapshot's version number; it increases by one per
+// applied mutation batch and per compaction.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Base returns the immutable CSR under the overlay.
+func (s *Snapshot) Base() *graph.Graph { return s.base }
+
+// DeltaOps returns the number of overlay mutations applied since the base
+// was last (re)built — the compaction trigger metric.
+func (s *Snapshot) DeltaOps() int { return s.deltaOps }
+
+// NumVertices implements graph.View.
+func (s *Snapshot) NumVertices() int { return s.nBase + len(s.extra) }
+
+// NumEdges implements graph.View: the live (post-mutation) edge count.
+func (s *Snapshot) NumEdges() int { return s.m }
+
+// NumVertexLabels implements graph.View.
+func (s *Snapshot) NumVertexLabels() int { return s.numVertexLabels }
+
+// NumEdgeLabels implements graph.View.
+func (s *Snapshot) NumEdgeLabels() int { return s.numEdgeLabels }
+
+// VertexLabel implements graph.View.
+func (s *Snapshot) VertexLabel(v graph.VertexID) graph.Label {
+	if int(v) < s.nBase {
+		return s.base.VertexLabel(v)
+	}
+	return s.extra[int(v)-s.nBase]
+}
+
+func (s *Snapshot) overlay(dir graph.Direction) map[graph.VertexID]*vadj {
+	if dir == graph.Forward {
+		return s.fwd
+	}
+	return s.bwd
+}
+
+// Neighbors implements graph.View. Vertices without overlay entries read
+// straight from the base CSR (the common case after compaction), so
+// unmutated regions pay one map lookup over the frozen store.
+func (s *Snapshot) Neighbors(v graph.VertexID, dir graph.Direction, e, nl graph.Label, buf []graph.VertexID) []graph.VertexID {
+	if a := s.overlay(dir)[v]; a != nil {
+		return a.neighbors(e, nl, buf)
+	}
+	if int(v) < s.nBase {
+		return s.base.Neighbors(v, dir, e, nl, buf)
+	}
+	return buf[:0]
+}
+
+// Degree implements graph.View.
+func (s *Snapshot) Degree(v graph.VertexID, dir graph.Direction, e, nl graph.Label) int {
+	if a := s.overlay(dir)[v]; a != nil {
+		return a.degree(e, nl)
+	}
+	if int(v) < s.nBase {
+		return s.base.Degree(v, dir, e, nl)
+	}
+	return 0
+}
+
+// OutDegree implements graph.View.
+func (s *Snapshot) OutDegree(v graph.VertexID) int {
+	if a := s.fwd[v]; a != nil {
+		return len(a.nbrs)
+	}
+	if int(v) < s.nBase {
+		return s.base.OutDegree(v)
+	}
+	return 0
+}
+
+// InDegree implements graph.View.
+func (s *Snapshot) InDegree(v graph.VertexID) int {
+	if a := s.bwd[v]; a != nil {
+		return len(a.nbrs)
+	}
+	if int(v) < s.nBase {
+		return s.base.InDegree(v)
+	}
+	return 0
+}
+
+// HasEdge implements graph.View.
+func (s *Snapshot) HasEdge(src, dst graph.VertexID, e graph.Label) bool {
+	if a := s.fwd[src]; a != nil {
+		return a.hasEdge(e, s.VertexLabel(dst), dst)
+	}
+	if int(src) < s.nBase && int(dst) < s.nBase {
+		return s.base.HasEdge(src, dst, e)
+	}
+	// A vertex without an overlay entry has no edges beyond the base, and
+	// the base cannot reference appended vertices.
+	return false
+}
+
+// Edges implements graph.View.
+func (s *Snapshot) Edges(fn graph.EdgeFunc) {
+	n := s.NumVertices()
+	stopped := false
+	wrap := func(src, dst graph.VertexID, l graph.Label) bool {
+		if !fn(src, dst, l) {
+			stopped = true
+			return false
+		}
+		return true
+	}
+	for v := 0; v < n && !stopped; v++ {
+		s.EdgesOf(graph.VertexID(v), wrap)
+	}
+}
+
+// EdgesOf implements graph.View.
+func (s *Snapshot) EdgesOf(src graph.VertexID, fn graph.EdgeFunc) {
+	if a := s.fwd[src]; a != nil {
+		a.edges(src, fn)
+		return
+	}
+	if int(src) < s.nBase {
+		s.base.EdgesOf(src, fn)
+	}
+}
+
+// Rebuild materialises the snapshot's logical graph as a fresh immutable
+// CSR — the compaction step, also used by tests to cross-check overlay
+// reads against a from-scratch build.
+func Rebuild(s *Snapshot) (*graph.Graph, error) {
+	b := graph.NewBuilder(s.NumVertices())
+	for v := 0; v < s.NumVertices(); v++ {
+		b.SetVertexLabel(graph.VertexID(v), s.VertexLabel(graph.VertexID(v)))
+	}
+	s.Edges(func(src, dst graph.VertexID, l graph.Label) bool {
+		b.AddEdge(src, dst, l)
+		return true
+	})
+	return b.Build()
+}

@@ -13,8 +13,14 @@
 //	POST /execute/{name}   run a previously prepared statement
 //	DELETE /prepare/{name} drop a prepared statement
 //	GET/POST /explain      optimizer plan without executing
-//	GET /stats             graph, plan-cache, prepared and request counters
+//	POST /ingest           apply one mutation batch (vertices, edge adds/deletes)
+//	POST /compact          force a compaction of the delta overlay
+//	GET /stats             graph, epoch, plan-cache, prepared and request counters
 //	GET /healthz           liveness probe
+//
+// Mutations go through the DB's live store: each /ingest batch becomes
+// one new epoch, queries already executing keep their snapshot, and
+// later queries transparently re-plan against the mutated graph.
 package server
 
 import (
@@ -91,7 +97,7 @@ type Server struct {
 	mu       sync.RWMutex
 	prepared map[string]*graphflow.PreparedQuery
 
-	served, rejected, deadlined atomic.Int64
+	served, rejected, deadlined, ingested atomic.Int64
 }
 
 // New builds a Server over cfg.DB.
@@ -111,6 +117,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("DELETE /prepare/{name}", s.handleUnprepare)
 	mux.HandleFunc("POST /execute/{name}", s.handleExecute)
 	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("POST /compact", s.handleCompact)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
@@ -446,10 +454,105 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, explainResponse{PlanKind: st.PlanKind, Plan: st.Plan, Estimated: est})
 }
 
+// ingestEdge is the JSON form of one directed labelled edge.
+type ingestEdge struct {
+	Src   uint32 `json:"src"`
+	Dst   uint32 `json:"dst"`
+	Label uint16 `json:"label"`
+}
+
+// ingestRequest is the body of /ingest: one mutation batch, applied
+// atomically as a single new epoch. Edges may reference vertices added
+// by the same batch (IDs are assigned sequentially from the current
+// vertex count).
+type ingestRequest struct {
+	AddVertices []uint16     `json:"add_vertices"`
+	AddEdges    []ingestEdge `json:"add_edges"`
+	DeleteEdges []ingestEdge `json:"delete_edges"`
+}
+
+type ingestResponse struct {
+	Epoch          uint64 `json:"epoch"`
+	FirstNewVertex uint32 `json:"first_new_vertex,omitempty"`
+	AddedVertices  int    `json:"added_vertices"`
+	AddedEdges     int    `json:"added_edges"`
+	DeletedEdges   int    `json:"deleted_edges"`
+	Vertices       int    `json:"vertices"`
+	Edges          int    `json:"edges"`
+}
+
+// handleIngest applies one mutation batch. Ingest work runs inside the
+// admission semaphore like queries: overlay rebuilding for hot vertices
+// is CPU-bound work the limit must cover.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.AddVertices) == 0 && len(req.AddEdges) == 0 && len(req.DeleteEdges) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch: provide add_vertices, add_edges or delete_edges")
+		return
+	}
+	if !s.admit(w) {
+		return
+	}
+	b := graphflow.Batch{AddVertices: req.AddVertices}
+	for _, e := range req.AddEdges {
+		b.AddEdges = append(b.AddEdges, graphflow.EdgeOp{Src: e.Src, Dst: e.Dst, Label: e.Label})
+	}
+	for _, e := range req.DeleteEdges {
+		b.DeleteEdges = append(b.DeleteEdges, graphflow.EdgeOp{Src: e.Src, Dst: e.Dst, Label: e.Label})
+	}
+	res, err := s.cfg.DB.Apply(b)
+	s.release()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad batch: %v", err)
+		return
+	}
+	s.ingested.Add(1)
+	// Counts come from the ApplyResult, read atomically with the epoch —
+	// re-reading the DB here could observe a concurrent later batch.
+	writeJSON(w, http.StatusOK, ingestResponse{
+		Epoch:          res.Epoch,
+		FirstNewVertex: res.FirstNewVertex,
+		AddedVertices:  res.AddedVertices,
+		AddedEdges:     res.AddedEdges,
+		DeletedEdges:   res.DeletedEdges,
+		Vertices:       res.Vertices,
+		Edges:          res.Edges,
+	})
+}
+
+type compactResponse struct {
+	Epoch     uint64 `json:"epoch"`
+	BaseEdges int    `json:"base_edges"`
+	DeltaOps  int    `json:"delta_ops"`
+}
+
+// handleCompact forces a synchronous compaction pass.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w) {
+		return
+	}
+	err := s.cfg.DB.Compact()
+	s.release()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "compaction failed: %v", err)
+		return
+	}
+	ls := s.cfg.DB.LiveStats()
+	writeJSON(w, http.StatusOK, compactResponse{Epoch: ls.Epoch, BaseEdges: ls.BaseEdges, DeltaOps: ls.DeltaOps})
+}
+
 type statsResponse struct {
 	Graph struct {
-		Vertices int `json:"vertices"`
-		Edges    int `json:"edges"`
+		Vertices    int    `json:"vertices"`
+		Edges       int    `json:"edges"`
+		Epoch       uint64 `json:"epoch"`
+		BaseEdges   int    `json:"base_edges"`
+		DeltaOps    int    `json:"delta_ops"`
+		Compactions int64  `json:"compactions"`
+		Ingested    int64  `json:"ingested_batches"`
 	} `json:"graph"`
 	PlanCache struct {
 		Hits      int64 `json:"hits"`
@@ -468,8 +571,14 @@ type statsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var resp statsResponse
-	resp.Graph.Vertices = s.cfg.DB.NumVertices()
-	resp.Graph.Edges = s.cfg.DB.NumEdges()
+	ls := s.cfg.DB.LiveStats()
+	resp.Graph.Vertices = ls.Vertices
+	resp.Graph.Edges = ls.Edges
+	resp.Graph.Epoch = ls.Epoch
+	resp.Graph.BaseEdges = ls.BaseEdges
+	resp.Graph.DeltaOps = ls.DeltaOps
+	resp.Graph.Compactions = ls.Compactions
+	resp.Graph.Ingested = s.ingested.Load()
 	pc := s.cfg.DB.PlanCacheStats()
 	resp.PlanCache.Hits = pc.Hits
 	resp.PlanCache.Misses = pc.Misses

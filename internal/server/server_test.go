@@ -331,3 +331,139 @@ func TestConcurrentExecuteOnePreparedStatement(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// ingestDB builds a small private DB for mutation tests — the shared DB
+// must stay frozen so other tests' counts are stable.
+func ingestDB(t *testing.T) *graphflow.DB {
+	t.Helper()
+	b := graphflow.NewBuilder(4)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 0)
+	db, err := b.Open(&graphflow.Options{CatalogueZ: 50, CatalogueH: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestIngestAppliesBatchAndBumpsEpoch(t *testing.T) {
+	db := ingestDB(t)
+	s := newTestServer(t, Config{DB: db})
+
+	// Close the triangle 0->1->2 with 2->0, plus a new vertex wired in.
+	w := do(t, s, http.MethodPost, "/ingest", map[string]any{
+		"add_vertices": []uint16{0},
+		"add_edges": []map[string]any{
+			{"src": 2, "dst": 0, "label": 0},
+			{"src": 0, "dst": 4, "label": 0},
+		},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("/ingest = %d: %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Epoch         uint64 `json:"epoch"`
+		AddedVertices int    `json:"added_vertices"`
+		AddedEdges    int    `json:"added_edges"`
+		Vertices      int    `json:"vertices"`
+		Edges         int    `json:"edges"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch != 1 || resp.AddedVertices != 1 || resp.AddedEdges != 2 {
+		t.Fatalf("ingest response %+v", resp)
+	}
+	if resp.Vertices != 5 || resp.Edges != 4 {
+		t.Fatalf("live counts %d/%d, want 5/4", resp.Vertices, resp.Edges)
+	}
+
+	// The cycle query must now see the ingested edge.
+	w = do(t, s, http.MethodPost, "/query", map[string]any{"pattern": "a->b, b->c, c->a"})
+	if w.Code != http.StatusOK {
+		t.Fatalf("/query = %d: %s", w.Code, w.Body.String())
+	}
+	var q struct {
+		Count *int64 `json:"count"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Count == nil || *q.Count != 3 {
+		t.Fatalf("cycle count after ingest = %v, want 3 (one per rotation)", q.Count)
+	}
+}
+
+func TestIngestDeleteEdges(t *testing.T) {
+	db := ingestDB(t)
+	s := newTestServer(t, Config{DB: db})
+	w := do(t, s, http.MethodPost, "/ingest", map[string]any{
+		"delete_edges": []map[string]any{{"src": 0, "dst": 1, "label": 0}},
+	})
+	if w.Code != http.StatusOK {
+		t.Fatalf("/ingest = %d: %s", w.Code, w.Body.String())
+	}
+	if db.NumEdges() != 1 {
+		t.Fatalf("edges after delete = %d, want 1", db.NumEdges())
+	}
+}
+
+func TestIngestRejectsBadBatches(t *testing.T) {
+	db := ingestDB(t)
+	s := newTestServer(t, Config{DB: db})
+	epoch := db.Epoch()
+	cases := []any{
+		"{}", // empty batch
+		map[string]any{"add_edges": []map[string]any{{"src": 0, "dst": 999, "label": 0}}},
+		"not json",
+	}
+	for i, body := range cases {
+		if w := do(t, s, http.MethodPost, "/ingest", body); w.Code != http.StatusBadRequest {
+			t.Errorf("case %d: /ingest = %d, want 400: %s", i, w.Code, w.Body.String())
+		}
+	}
+	if db.Epoch() != epoch {
+		t.Fatalf("rejected batches moved the epoch: %d -> %d", epoch, db.Epoch())
+	}
+}
+
+func TestCompactEndpointAndStatsEpoch(t *testing.T) {
+	db := ingestDB(t)
+	s := newTestServer(t, Config{DB: db})
+	do(t, s, http.MethodPost, "/ingest", map[string]any{
+		"add_edges": []map[string]any{{"src": 2, "dst": 3, "label": 0}},
+	})
+
+	var st struct {
+		Graph struct {
+			Epoch     uint64 `json:"epoch"`
+			DeltaOps  int    `json:"delta_ops"`
+			BaseEdges int    `json:"base_edges"`
+			Edges     int    `json:"edges"`
+			Ingested  int64  `json:"ingested_batches"`
+		} `json:"graph"`
+	}
+	w := do(t, s, http.MethodGet, "/stats", nil)
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Graph.Epoch != 1 || st.Graph.DeltaOps != 1 || st.Graph.Ingested != 1 {
+		t.Fatalf("stats after ingest: %+v", st.Graph)
+	}
+
+	w = do(t, s, http.MethodPost, "/compact", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/compact = %d: %s", w.Code, w.Body.String())
+	}
+	var c struct {
+		Epoch     uint64 `json:"epoch"`
+		BaseEdges int    `json:"base_edges"`
+		DeltaOps  int    `json:"delta_ops"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Epoch != 2 || c.DeltaOps != 0 || c.BaseEdges != 3 {
+		t.Fatalf("compact response %+v", c)
+	}
+}

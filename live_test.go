@@ -1,0 +1,200 @@
+package graphflow
+
+import (
+	"sync"
+	"testing"
+)
+
+const triPattern = "a->b, b->c, a->c"
+
+// TestMutationsChangeCounts drives the public mutation API end to end:
+// live counts, query results and stats all track the current epoch.
+func TestMutationsChangeCounts(t *testing.T) {
+	db := tinyDB(t)
+	if n, _ := db.Count(triPattern, nil); n != 1 {
+		t.Fatalf("seed triangle count = %d, want 1", n)
+	}
+	v0, e0 := db.NumVertices(), db.NumEdges()
+
+	// Close a second triangle 2->3->4 with 2->4.
+	added, err := db.AddEdge(2, 4, 0)
+	if err != nil || !added {
+		t.Fatalf("AddEdge: added=%v err=%v", added, err)
+	}
+	if db.NumEdges() != e0+1 {
+		t.Fatalf("NumEdges = %d after add, want %d (live epoch, not frozen base)", db.NumEdges(), e0+1)
+	}
+	if st := db.GraphStats(); st.Edges != e0+1 || st.Vertices != v0 {
+		t.Fatalf("GraphStats reports V=%d E=%d, want V=%d E=%d", st.Vertices, st.Edges, v0, e0+1)
+	}
+	if n, _ := db.Count(triPattern, nil); n != 2 {
+		t.Fatalf("triangle count after add = %d, want 2", n)
+	}
+
+	// Remove the original triangle's closing edge.
+	deleted, err := db.DeleteEdge(0, 2, 0)
+	if err != nil || !deleted {
+		t.Fatalf("DeleteEdge: deleted=%v err=%v", deleted, err)
+	}
+	if n, _ := db.Count(triPattern, nil); n != 1 {
+		t.Fatalf("triangle count after delete = %d, want 1", n)
+	}
+
+	// A batch wiring a new vertex into a third triangle.
+	res, err := db.Apply(Batch{
+		AddVertices: []uint16{0},
+		AddEdges:    []EdgeOp{{Src: 4, Dst: 5, Label: 0}, {Src: 3, Dst: 5, Label: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AddedVertices != 1 || res.FirstNewVertex != 5 || res.AddedEdges != 2 {
+		t.Fatalf("Apply result %+v", res)
+	}
+	if n, _ := db.Count(triPattern, nil); n != 2 {
+		t.Fatalf("triangle count after batch = %d, want 2", n)
+	}
+	ls := db.LiveStats()
+	if ls.Epoch != 3 || ls.Vertices != 6 || ls.DeltaOps == 0 {
+		t.Fatalf("LiveStats %+v", ls)
+	}
+}
+
+// TestPlanCacheEpochInvalidation checks that an epoch bump invalidates
+// cached plans: the same pattern misses the plan cache again after a
+// mutation, and hits again once the epoch is stable.
+func TestPlanCacheEpochInvalidation(t *testing.T) {
+	db := tinyDB(t)
+	if _, err := db.Count(triPattern, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := db.PlanCacheStats()
+	if st.Misses == 0 {
+		t.Fatalf("first count did not miss the plan cache: %+v", st)
+	}
+	baseMisses, baseHits := st.Misses, st.Hits
+
+	if _, err := db.Count(triPattern, nil); err != nil {
+		t.Fatal(err)
+	}
+	st = db.PlanCacheStats()
+	if st.Hits != baseHits+1 || st.Misses != baseMisses {
+		t.Fatalf("stable-epoch recount should hit: %+v (base hits %d misses %d)", st, baseHits, baseMisses)
+	}
+
+	if _, err := db.AddEdge(4, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Count(triPattern, nil); err != nil {
+		t.Fatal(err)
+	}
+	st = db.PlanCacheStats()
+	if st.Misses != baseMisses+1 {
+		t.Fatalf("post-mutation count should miss (epoch-versioned key): %+v", st)
+	}
+}
+
+// TestPreparedReplansAfterCompaction checks the prepared-query lifecycle
+// across epochs: a PreparedQuery keeps working through mutations and
+// compaction, re-planning transparently, and PlanCacheStats shows the
+// invalidation as fresh misses.
+func TestPreparedReplansAfterCompaction(t *testing.T) {
+	db := tinyDB(t)
+	pq, err := db.Prepare(triPattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := pq.Count(nil); n != 1 {
+		t.Fatalf("prepared count = %d, want 1", n)
+	}
+	missesBefore := db.PlanCacheStats().Misses
+
+	if _, err := db.AddEdge(2, 4, 0); err != nil { // second triangle 2->3->4, 2->4... needs 3->4 (present)
+		t.Fatal(err)
+	}
+	epochBeforeCompact := db.Epoch()
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if db.Epoch() != epochBeforeCompact+1 {
+		t.Fatalf("compaction did not bump the epoch: %d -> %d", epochBeforeCompact, db.Epoch())
+	}
+	if db.LiveStats().DeltaOps != 0 {
+		t.Fatalf("overlay not folded: %+v", db.LiveStats())
+	}
+
+	// The same prepared query must re-plan against the compacted epoch
+	// and see the new triangle.
+	if n, _ := pq.Count(nil); n != 2 {
+		t.Fatalf("prepared count after compaction = %d, want 2", n)
+	}
+	if misses := db.PlanCacheStats().Misses; misses != missesBefore+1 {
+		t.Fatalf("re-plan after compaction should register one plan-cache miss: %d -> %d", missesBefore, misses)
+	}
+	// Stable epoch again: the prepared query reuses its resolved plan
+	// without further cache traffic.
+	statsBefore := db.PlanCacheStats()
+	if n, _ := pq.Count(nil); n != 2 {
+		t.Fatal("prepared recount diverged")
+	}
+	if st := db.PlanCacheStats(); st != statsBefore {
+		t.Fatalf("stable-epoch prepared recount touched the cache: %+v -> %+v", statsBefore, st)
+	}
+}
+
+// TestConcurrentPreparedAcrossEpochs runs one PreparedQuery from many
+// goroutines while a writer mutates and compacts — the -race exercise
+// for the epoch-tracking resolve path. Every observed count must be a
+// value the graph logically held at some epoch (1..3 triangles).
+func TestConcurrentPreparedAcrossEpochs(t *testing.T) {
+	db := tinyDB(t)
+	pq, err := db.Prepare(triPattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n, err := pq.Count(nil)
+				if err != nil {
+					t.Errorf("prepared count: %v", err)
+					return
+				}
+				if n < 1 || n > 3 {
+					t.Errorf("count %d outside any epoch's value", n)
+					return
+				}
+			}
+		}()
+	}
+	writerOps := []Batch{
+		{AddEdges: []EdgeOp{{Src: 2, Dst: 4, Label: 0}}},                                               // +triangle 2->3->4
+		{AddVertices: []uint16{0}, AddEdges: []EdgeOp{{Src: 4, Dst: 5, Label: 0}, {Src: 3, Dst: 5, Label: 0}}}, // +triangle 3->4->5
+		{DeleteEdges: []EdgeOp{{Src: 2, Dst: 4, Label: 0}}},
+	}
+	for i, b := range writerOps {
+		if _, err := db.Apply(b); err != nil {
+			t.Fatalf("writer batch %d: %v", i, err)
+		}
+		if i == 1 {
+			if err := db.Compact(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	db.WaitCompaction()
+	if n, _ := pq.Count(nil); n != 2 {
+		t.Fatalf("final count = %d, want 2", n)
+	}
+}
