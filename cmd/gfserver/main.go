@@ -54,10 +54,11 @@ func main() {
 		catH     = flag.Int("cath", 3, "catalogue max subquery size h")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 		compact  = flag.Int("compact-threshold", 0, "delta-overlay mutations before background compaction (0 = default 16384, negative disables)")
+		hubTh    = flag.Int("hub-threshold", 0, "adjacency-partition size that gets a bitset hub index for degree-adaptive intersections (0 = default 256, negative disables)")
 	)
 	flag.Parse()
 
-	opts := &graphflow.Options{CatalogueH: *catH, CatalogueZ: *catZ, CompactThreshold: *compact}
+	opts := &graphflow.Options{CatalogueH: *catH, CatalogueZ: *catZ, CompactThreshold: *compact, HubDegreeThreshold: *hubTh}
 	var db *graphflow.DB
 	var err error
 	switch {

@@ -73,6 +73,16 @@ type Options struct {
 	// fresh CSR base. 0 takes the live store's default (16384); a negative
 	// value disables automatic compaction (DB.Compact still works).
 	CompactThreshold int
+	// HubDegreeThreshold is the adjacency-partition size at which the
+	// store materialises a uint64 bitset index alongside the sorted run,
+	// enabling the degree-adaptive intersection kernels (bitset probe and
+	// word-AND) on hub vertices. 0 takes the graph package's default
+	// (256); a negative value disables bitset indexing entirely (every
+	// intersection runs on the sorted merge/gallop kernels). Each indexed
+	// partition costs up to ceil(V/8) bytes — less when its neighbour IDs
+	// cluster, since bitsets are range-compressed to the partition's ID
+	// span; LiveStats.BitsetIndexBytes reports the actual total.
+	HubDegreeThreshold int
 }
 
 func (o *Options) withDefaults() Options {
@@ -159,8 +169,19 @@ type Stats struct {
 	Intermediate int64
 	ICost        int64
 	CacheHits    int64
-	PlanKind     string // "wco", "bj" or "hybrid"
-	Plan         string // operator tree, one operator per line
+	// KernelMerge, KernelGallop, KernelBitsetProbe and KernelBitsetAnd
+	// count intersection-kernel dispatches by kind: how often the
+	// degree-adaptive engine merged two sorted runs, galloped a short run
+	// into a long one, probed a hub's bitset index, or word-ANDed two
+	// bitsets. ICost stays the representation-oblivious Equation 1
+	// metric, so comparing the two shows the work the bitset kernels
+	// short-circuited.
+	KernelMerge       int64
+	KernelGallop      int64
+	KernelBitsetProbe int64
+	KernelBitsetAnd   int64
+	PlanKind          string // "wco", "bj" or "hybrid"
+	Plan              string // operator tree, one operator per line
 }
 
 // PlanCacheStats is a snapshot of the DB's compiled-plan cache counters.
@@ -180,8 +201,17 @@ func newDB(g *graph.Graph, opts Options) *DB {
 		w1:   optimizer.DefaultW1,
 		w2:   optimizer.DefaultW2,
 	}
+	if opts.HubDegreeThreshold != 0 && opts.HubDegreeThreshold != g.HubThreshold() {
+		// Graphs from paths that could not thread the knob into their
+		// builder (edge-list loads, datasets) arrive indexed at the
+		// default threshold; re-index once before the store is shared. A
+		// graph already indexed at the requested threshold (Builder.Open
+		// threads the knob and skips this entirely) is left alone.
+		g.RebuildHubIndex(opts.HubDegreeThreshold)
+	}
 	db.store = live.Open(g, live.Config{
 		CompactThreshold: opts.CompactThreshold,
+		HubThreshold:     opts.HubDegreeThreshold,
 		// Epoch-versioned keys mean entries for older epochs can never be
 		// looked up again; dropping them eagerly releases the snapshots
 		// (and pre-compaction CSR bases) they pin instead of waiting for
@@ -278,11 +308,15 @@ func (b *Builder) AddEdge(src, dst uint32, label uint16) {
 
 // Open freezes the graph and builds the DB.
 func (b *Builder) Open(opts *Options) (*DB, error) {
+	o := opts.withDefaults()
+	// Build the hub index once, at the configured threshold, instead of
+	// indexing at the default and re-indexing in newDB.
+	b.b.SetHubThreshold(o.HubDegreeThreshold)
 	g, err := b.b.Build()
 	if err != nil {
 		return nil, err
 	}
-	return newDB(g, opts.withDefaults()), nil
+	return newDB(g, o), nil
 }
 
 // NumVertices returns the live epoch's vertex count (post-mutation).
@@ -330,10 +364,11 @@ func (db *DB) preparedFor(q *query.Graph, wcoOnly, skipCache bool) (*preparedPla
 		}
 	}
 	p, err := optimizer.Optimize(canon, optimizer.Options{
-		Catalogue: db.catalogueFor(snap),
-		W1:        db.w1,
-		W2:        db.w2,
-		WCOOnly:   wcoOnly,
+		Catalogue:    db.catalogueFor(snap),
+		W1:           db.w1,
+		W2:           db.w2,
+		WCOOnly:      wcoOnly,
+		HubThreshold: db.opts.HubDegreeThreshold,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -559,7 +594,11 @@ func (db *DB) runCount(pp *preparedPlan, qo QueryOptions) (int64, exec.Profile, 
 	case qo.Adaptive:
 		// The adaptive evaluator reads the same epoch snapshot the plan was
 		// compiled against, with that epoch's catalogue.
-		ev := &adaptive.Evaluator{Graph: pp.snap, Catalogue: db.catalogueFor(pp.snap), Config: adaptive.Config{Workers: qo.Workers}}
+		ev := &adaptive.Evaluator{
+			Graph:     pp.snap,
+			Catalogue: db.catalogueFor(pp.snap),
+			Config:    adaptive.Config{Workers: qo.Workers, HubThreshold: db.opts.HubDegreeThreshold},
+		}
 		if qo.Limit > 0 {
 			// The adaptive evaluator has no native early stop; reaching the
 			// limit cancels a child context, which its amortized polling
@@ -846,28 +885,45 @@ type LiveStats struct {
 	DeltaOps int
 	// Compactions counts completed compaction passes.
 	Compactions int64
+	// HubThreshold is the effective hub-index partition-size floor of the
+	// current base CSR (negative when bitset indexing is disabled).
+	HubThreshold int
+	// HubPartitions is the number of bitset-indexed adjacency partitions
+	// in the current base CSR (overlay vertices are unindexed until the
+	// next compaction).
+	HubPartitions int
+	// BitsetIndexBytes is the memory held by the hub bitset indexes.
+	BitsetIndexBytes int64
 }
 
 // LiveStats reports the versioned store's current state.
 func (db *DB) LiveStats() LiveStats {
 	s := db.store.Snapshot()
+	hub := s.Base().HubIndexStats()
 	return LiveStats{
-		Epoch:       s.Epoch(),
-		Vertices:    s.NumVertices(),
-		Edges:       s.NumEdges(),
-		BaseEdges:   s.Base().NumEdges(),
-		DeltaOps:    s.DeltaOps(),
-		Compactions: db.store.Compactions(),
+		Epoch:            s.Epoch(),
+		Vertices:         s.NumVertices(),
+		Edges:            s.NumEdges(),
+		BaseEdges:        s.Base().NumEdges(),
+		DeltaOps:         s.DeltaOps(),
+		Compactions:      db.store.Compactions(),
+		HubThreshold:     hub.Threshold,
+		HubPartitions:    hub.Partitions,
+		BitsetIndexBytes: hub.Bytes,
 	}
 }
 
 func statsFrom(p *plan.Plan, prof exec.Profile, n int64) Stats {
 	return Stats{
-		Matches:      n,
-		Intermediate: prof.Intermediate,
-		ICost:        prof.ICost,
-		CacheHits:    prof.CacheHits,
-		PlanKind:     p.Kind(),
-		Plan:         p.Describe(),
+		Matches:           n,
+		Intermediate:      prof.Intermediate,
+		ICost:             prof.ICost,
+		CacheHits:         prof.CacheHits,
+		KernelMerge:       prof.Kernels.Merge,
+		KernelGallop:      prof.Kernels.Gallop,
+		KernelBitsetProbe: prof.Kernels.BitsetProbe,
+		KernelBitsetAnd:   prof.Kernels.BitsetAnd,
+		PlanKind:          p.Kind(),
+		Plan:              p.Describe(),
 	}
 }

@@ -32,6 +32,11 @@ type Config struct {
 	MaxOrderings int
 	// Workers parallelises the non-adapted source pipeline.
 	Workers int
+	// HubThreshold is the store's hub bitset indexing knob (0 takes
+	// graph.DefaultHubThreshold, negative means no indexes); the
+	// re-estimation rule prices candidate orderings with it so adaptation
+	// and the executor agree on what an intersection costs.
+	HubThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +137,8 @@ func (e *Evaluator) RunCtx(ctx context.Context, p *plan.Plan, emit func([]graph.
 	// intermediate here.
 	prof.Intermediate += prof.Matches
 	prof.Matches = 0
+	ad.profile.Kernels.Add(ad.it.Counters)
+	ad.it.Counters = graph.KernelCounters{}
 	prof.Add(ad.profile)
 	if err != nil {
 		return prof, err
@@ -155,6 +162,7 @@ type step struct {
 	targetLabel graph.Label
 	descs       []desc
 	estSizes    []float64 // catalogue average list sizes per desc
+	estICost    float64   // EffectiveICost(estSizes) under the hub threshold
 	estMu       float64
 	// Per-step intersection cache.
 	cacheKey   []graph.VertexID
@@ -170,12 +178,22 @@ type desc struct {
 }
 
 type adaptiveChain struct {
-	g       graph.View
-	q       *query.Graph
-	orders  []*ordering
-	width   int // source tuple width
-	tuple   []graph.VertexID
-	lists   [][]graph.VertexID
+	g      graph.View
+	q      *query.Graph
+	orders []*ordering
+	width  int // source tuple width
+	tuple  []graph.VertexID
+	lists  [][]graph.VertexID
+	bits   []*graph.Bitset
+	// it is the degree-adaptive intersection engine shared by every
+	// ordering's steps; its kernel counters merge into the profile when
+	// the run finishes.
+	it           graph.Intersector
+	actualSizes  []float64
+	hubThreshold int
+	// nWords is the graph's bitset word count, for the bitset-candidate
+	// pre-check (mirrors the executor's E/I stage).
+	nWords  int
 	profile exec.Profile
 	// ctx, when non-nil, bounds the chain's own extension work; cancelled
 	// short-circuits runStep so in-flight recursion unwinds quickly and
@@ -195,7 +213,10 @@ func newAdaptiveChain(g graph.View, cat *catalogue.Catalogue, q *query.Graph, so
 	for _, ext := range chain {
 		remaining = append(remaining, ext.TargetVertex)
 	}
-	ad := &adaptiveChain{g: g, q: q, width: len(baseOut)}
+	ad := &adaptiveChain{
+		g: g, q: q, width: len(baseOut), hubThreshold: cfg.HubThreshold,
+		nWords: (g.NumVertices() + 63) / 64,
+	}
 
 	// Enumerate connected orderings of the remaining vertices.
 	var orderings [][]int
@@ -252,6 +273,7 @@ func newAdaptiveChain(g graph.View, cat *catalogue.Catalogue, q *query.Graph, so
 			}
 			sizes, mu, _ := cat.ExtensionStats(base, extEdges, st.targetLabel)
 			st.estSizes = sizes
+			st.estICost = catalogue.EffectiveICost(sizes, cfg.HubThreshold)
 			st.estMu = mu
 			o.steps = append(o.steps, st)
 			slotOf[v] = width
@@ -286,25 +308,25 @@ func (ad *adaptiveChain) process(t []graph.VertexID, emit func([]graph.VertexID)
 // (Example 6.2); later steps keep catalogue estimates.
 func (ad *adaptiveChain) reestimate(o *ordering, t []graph.VertexID) float64 {
 	first := &o.steps[0]
-	actualSum, muScale := 0.0, 1.0
+	muScale := 1.0
+	ad.actualSizes = ad.actualSizes[:0]
 	for i, d := range first.descs {
 		actual := float64(ad.g.Degree(t[d.slot], d.dir, d.label, first.targetLabel))
-		actualSum += actual
+		ad.actualSizes = append(ad.actualSizes, actual)
 		if est := first.estSizes[i]; est > 0 {
 			muScale *= actual / est
 		} else if actual == 0 {
 			muScale = 0
 		}
 	}
-	cost := actualSum
+	// The first step is priced from the tuple's actual list sizes, the
+	// later ones from the catalogue averages — both through the
+	// hub-aware effective i-cost the executor's kernels realise.
+	cost := catalogue.EffectiveICost(ad.actualSizes, ad.hubThreshold)
 	card := first.estMu * muScale
 	for s := 1; s < len(o.steps); s++ {
 		st := &o.steps[s]
-		sum := 0.0
-		for _, es := range st.estSizes {
-			sum += es
-		}
-		cost += card * sum
+		cost += card * st.estICost
 		card *= st.estMu
 	}
 	return cost
@@ -358,7 +380,19 @@ func (ad *adaptiveChain) runStep(o *ordering, s int, emit func([]graph.VertexID)
 		if len(ad.lists) == 1 {
 			st.cacheBuf = append(st.cacheBuf[:0], ad.lists[0]...)
 		} else {
-			st.cacheBuf, st.scratch = graph.IntersectK(ad.lists, st.cacheBuf[:0], st.scratch)
+			// Fetch hub bitsets only for the lists the shared pre-filter
+			// says could win a bitset kernel.
+			ad.bits = ad.bits[:0]
+			if floor, ok := graph.BitsetFetchFloor(ad.lists, ad.nWords); ok {
+				for i, d := range st.descs {
+					var bs *graph.Bitset
+					if len(ad.lists[i]) >= floor {
+						bs = ad.g.NeighborBitset(ad.tuple[d.slot], d.dir, d.label, st.targetLabel)
+					}
+					ad.bits = append(ad.bits, bs)
+				}
+			}
+			st.cacheBuf, st.scratch = ad.it.IntersectK(ad.lists, ad.bits, st.cacheBuf[:0], st.scratch)
 		}
 		st.cacheValid = true
 		ext = st.cacheBuf

@@ -175,6 +175,7 @@ func (b *builder) measure(pattern *query.Graph, edges []query.Edge, tl graph.Lab
 	recurse := target+1 <= b.c.Cfg.H
 
 	lists := make([][]graph.VertexID, len(edges))
+	var it graph.Intersector
 	var out, scratch []graph.VertexID
 	for _, inst := range instances {
 		for i, e := range edges {
@@ -191,7 +192,7 @@ func (b *builder) measure(pattern *query.Graph, edges []query.Edge, tl graph.Lab
 				anyList = true
 			}
 		}
-		out, scratch = graph.IntersectK(lists, out, scratch)
+		out, scratch = it.IntersectK(lists, nil, out, scratch)
 		totalExt += len(out)
 		if recurse && len(out) > 0 && len(newInstances) < b.c.Cfg.MaxInstances {
 			for _, w := range out {

@@ -61,6 +61,66 @@ func TestDifferentialExtended(t *testing.T) {
 	runCorpus(t, 5000, 40, 25)
 }
 
+// TestDifferentialHubThresholds runs the random (graph, pattern) corpus
+// with the hub bitset threshold forced to its two extremes — 1, indexing
+// every adjacency partition so all eligible intersections dispatch to
+// the bitset probe/AND kernels, and -1, indexing none so everything
+// stays on the sorted merge/gallop kernels — and requires the two
+// engines (hybrid and WCO-restricted plans on each) to agree with each
+// other and with the BJ reference. Any representation-dependent
+// divergence in the degree-adaptive engine shows up as a count mismatch.
+func TestDifferentialHubThresholds(t *testing.T) {
+	numGraphs, patternsPer := 6, 8
+	skipped := 0
+	for gi := 0; gi < numGraphs; gi++ {
+		seed := int64(20000 + gi)
+		g := GenGraph(seed)
+		dbAll, err := OpenDBHub(g, 1)
+		if err != nil {
+			t.Fatalf("graph seed %d (all hubs): %v", seed, err)
+		}
+		dbNone, err := OpenDBHub(g, -1)
+		if err != nil {
+			t.Fatalf("graph seed %d (no hubs): %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed * 104729))
+		for pi := 0; pi < patternsPer; pi++ {
+			q := GenPattern(rng)
+			resAll, err := ComparePair(dbAll, g, q)
+			if err != nil {
+				t.Fatalf("graph seed %d pattern %d (all hubs): %v", seed, pi, err)
+			}
+			resNone, err := ComparePair(dbNone, g, q)
+			if err != nil {
+				t.Fatalf("graph seed %d pattern %d (no hubs): %v", seed, pi, err)
+			}
+			if resAll.Skipped || resNone.Skipped {
+				skipped++
+				continue
+			}
+			for _, c := range []struct {
+				name string
+				got  int64
+			}{
+				{"all-hubs hybrid", resAll.Got},
+				{"all-hubs WCO", resAll.GotWCO},
+				{"no-hubs hybrid", resNone.Got},
+				{"no-hubs WCO", resNone.GotWCO},
+			} {
+				if c.got != resAll.Want {
+					t.Errorf("graph seed %d: %s count of %q = %d, BJ reference %d",
+						seed, c.name, resAll.Pattern, c.got, resAll.Want)
+				}
+			}
+		}
+	}
+	total := numGraphs * patternsPer
+	if skipped > total/2 {
+		t.Errorf("%d/%d pairs skipped on the reference budget; corpus too thin", skipped, total)
+	}
+	t.Logf("hub-threshold corpus: %d pairs, %d skipped", total-skipped, skipped)
+}
+
 // runLiveCorpus checks numTrials live-mutation trials of batchesPer
 // rounds each: every round is one (graph, mutation batch, pattern)
 // triple whose hybrid and WCO counts on the live snapshot must equal the

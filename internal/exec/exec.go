@@ -47,6 +47,13 @@ type Profile struct {
 	// HashedTuples and ProbedTuples count hash-join build and probe work
 	// (the n1/n2 of the paper's hash-join cost model).
 	HashedTuples, ProbedTuples int64
+	// Kernels tallies intersection-kernel dispatches by kind (merge,
+	// gallop, bitset probe, bitset AND) across every E/I operator: the
+	// observability surface of the degree-adaptive intersection engine.
+	// ICost stays the representation-oblivious Equation 1 metric, so the
+	// two together show how much of the nominal i-cost the bitset kernels
+	// short-circuited.
+	Kernels graph.KernelCounters
 }
 
 // Add accumulates other into p.
@@ -57,6 +64,7 @@ func (p *Profile) Add(other Profile) {
 	p.CacheHits += other.CacheHits
 	p.HashedTuples += other.HashedTuples
 	p.ProbedTuples += other.ProbedTuples
+	p.Kernels.Add(other.Kernels)
 }
 
 // RunConfig carries the per-run execution knobs. The zero value is a

@@ -34,6 +34,9 @@ type worker struct {
 	// reaches zero, so the hot extend/probe loops pay one integer
 	// decrement per tuple.
 	cancelCountdown int
+	// nWords is the graph's bitset word count ((V+63)/64): the cost of a
+	// word-AND, precomputed for the bitset-candidate check in E/I stages.
+	nWords int
 }
 
 // cancelCheckInterval is the number of produced tuples between context
@@ -55,6 +58,7 @@ func newWorker(rc *runContext, pipe *compiledPipeline, isRoot bool, emit func([]
 		emit: emit, stopped: stopped,
 		countFast:       rc.cfg.FastCount && emit == nil,
 		cancelCountdown: cancelCheckInterval,
+		nWords:          (rc.cp.graph.NumVertices() + 63) / 64,
 	}
 	for _, spec := range pipe.stages {
 		w.stages = append(w.stages, spec.newState(rc))
@@ -154,9 +158,15 @@ func (w *worker) pollCancel() {
 	}
 }
 
-// finish flushes per-operator counters into the run's analysis collector,
-// if one is attached.
+// finish flushes per-operator counters into the worker's profile and the
+// run's analysis collector, if one is attached.
 func (w *worker) finish() {
+	for _, s := range w.stages {
+		if st, ok := s.(*extendState); ok {
+			w.profile.Kernels.Add(st.it.Counters)
+			st.it.Counters = graph.KernelCounters{}
+		}
+	}
 	nc := w.rc.analyze
 	if nc == nil {
 		return
@@ -187,6 +197,13 @@ type extendState struct {
 	cacheBuf   []graph.VertexID // owns the cached extension set (flat array)
 	scratch    []graph.VertexID
 	lists      [][]graph.VertexID
+	bits       []*graph.Bitset
+
+	// it is the degree-adaptive k-way intersection engine. It owns the
+	// shortest-first ordering scratch (previously allocated per call
+	// inside graph.IntersectK) and the per-kernel dispatch counters, so
+	// the E/I hot path runs allocation-free after warm-up.
+	it graph.Intersector
 
 	// Per-operator analysis counters (collected by worker.finish).
 	outTuples, icost, hits int64
@@ -235,7 +252,21 @@ func (s *extendState) extensionSet(w *worker) []graph.VertexID {
 	if len(s.lists) == 1 {
 		ext = s.lists[0]
 	} else {
-		ext, s.scratch = graph.IntersectK(s.lists, s.cacheBuf[:0], s.scratch)
+		// Multiway extension: fetch hub bitset indexes only for the lists
+		// the shared pre-filter says could win a bitset kernel. Extensions
+		// over ordinary-degree vertices (and dead ends with an empty list)
+		// pay nothing for the index's existence.
+		s.bits = s.bits[:0]
+		if floor, ok := graph.BitsetFetchFloor(s.lists, w.nWords); ok {
+			for i, d := range descs {
+				var bs *graph.Bitset
+				if len(s.lists[i]) >= floor {
+					bs = w.g.NeighborBitset(w.tuple[d.TupleIdx], d.Dir, d.EdgeLabel, op.TargetLabel)
+				}
+				s.bits = append(s.bits, bs)
+			}
+		}
+		ext, s.scratch = s.it.IntersectK(s.lists, s.bits, s.cacheBuf[:0], s.scratch)
 	}
 	if s.useCache {
 		if len(s.lists) == 1 {

@@ -8,8 +8,9 @@ import (
 // Builder accumulates vertices and edges and produces an immutable Graph.
 // The zero value is not usable; call NewBuilder.
 type Builder struct {
-	vLabels []Label
-	edges   []edgeRec
+	vLabels      []Label
+	edges        []edgeRec
+	hubThreshold int
 }
 
 type edgeRec struct {
@@ -39,6 +40,13 @@ func (b *Builder) AddVertex(label Label) VertexID {
 // SetVertexLabel assigns a label to an existing vertex.
 func (b *Builder) SetVertexLabel(v VertexID, label Label) {
 	b.vLabels[v] = label
+}
+
+// SetHubThreshold sets the partition size at which Build materialises a
+// bitset adjacency index alongside the sorted run (0 takes
+// DefaultHubThreshold; negative disables hub indexing).
+func (b *Builder) SetHubThreshold(t int) {
+	b.hubThreshold = t
 }
 
 // AddEdge records the directed edge src->dst with the given edge label.
@@ -88,6 +96,7 @@ func (b *Builder) Build() (*Graph, error) {
 	}
 	g.fwd, g.m = buildAdjacency(edges, g.vLabels, n, false)
 	g.bwd, _ = buildAdjacency(edges, g.vLabels, n, true)
+	g.buildHubIndex(b.hubThreshold)
 	return g, nil
 }
 

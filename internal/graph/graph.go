@@ -67,6 +67,13 @@ type adjacency struct {
 	pELabel []Label
 	pNLabel []Label
 	pStart  []int
+
+	// pBitset, when non-nil, aligns with the partition directory: entry i
+	// is the bitset index of partition i, materialised at build time for
+	// hub partitions at or above the graph's hub threshold (nil for the
+	// rest). The sorted run stays canonical; the bitset is a secondary
+	// representation the degree-adaptive intersection kernels dispatch on.
+	pBitset []*Bitset
 }
 
 // Graph is an immutable directed graph with vertex and edge labels.
@@ -79,6 +86,10 @@ type Graph struct {
 
 	numVertexLabels int // 1 + max vertex label
 	numEdgeLabels   int // 1 + max edge label
+
+	// hubThreshold is the effective partition-size floor of the hub bitset
+	// index (resolved; negative when indexing is disabled).
+	hubThreshold int
 }
 
 // NumVertices returns the number of vertices.
@@ -110,9 +121,9 @@ func (a *adjacency) segment(v VertexID) []VertexID {
 	return a.nbrs[a.offsets[v]:a.offsets[v+1]]
 }
 
-// partitionRange returns the [start, end) bounds in a.nbrs of the partition
-// of v matching (eLabel, nLabel) exactly, or (0, 0) if absent.
-func (a *adjacency) partitionRange(v VertexID, eLabel, nLabel Label) (int, int) {
+// findPartition returns the directory index of v's partition matching
+// (eLabel, nLabel) exactly, and whether one exists.
+func (a *adjacency) findPartition(v VertexID, eLabel, nLabel Label) (int, bool) {
 	lo, hi := int(a.pOff[v]), int(a.pOff[v+1])
 	// Binary search the partition directory on (eLabel, nLabel).
 	i := sort.Search(hi-lo, func(k int) bool {
@@ -123,11 +134,21 @@ func (a *adjacency) partitionRange(v VertexID, eLabel, nLabel Label) (int, int) 
 		return a.pNLabel[p] >= nLabel
 	}) + lo
 	if i >= hi || a.pELabel[i] != eLabel || a.pNLabel[i] != nLabel {
+		return 0, false
+	}
+	return i, true
+}
+
+// partitionRange returns the [start, end) bounds in a.nbrs of the partition
+// of v matching (eLabel, nLabel) exactly, or (0, 0) if absent.
+func (a *adjacency) partitionRange(v VertexID, eLabel, nLabel Label) (int, int) {
+	i, ok := a.findPartition(v, eLabel, nLabel)
+	if !ok {
 		return 0, 0
 	}
 	start := a.pStart[i]
 	end := a.offsets[v+1]
-	if i+1 < hi {
+	if i+1 < int(a.pOff[v+1]) {
 		end = a.pStart[i+1]
 	}
 	return start, end
@@ -173,6 +194,93 @@ func (g *Graph) Neighbors(v VertexID, dir Direction, eLabel, nLabel Label, buf [
 		return runs[0]
 	}
 	return mergeSortedRuns(runs, buf)
+}
+
+// NeighborBitset returns the bitset index of the exact (eLabel, nLabel)
+// partition of v in direction dir, or nil when the partition is below
+// the hub threshold, indexing is disabled, or either label is a
+// wildcard (wildcard lookups merge several partitions, whose union
+// carries duplicate semantics a bitset cannot represent).
+func (g *Graph) NeighborBitset(v VertexID, dir Direction, eLabel, nLabel Label) *Bitset {
+	a := g.adj(dir)
+	if a.pBitset == nil || eLabel == WildcardLabel || nLabel == WildcardLabel {
+		return nil
+	}
+	i, ok := a.findPartition(v, eLabel, nLabel)
+	if !ok {
+		return nil
+	}
+	return a.pBitset[i]
+}
+
+// buildHubIndex materialises bitsets for every partition at or above the
+// resolved threshold, in both directions.
+func (g *Graph) buildHubIndex(threshold int) {
+	th := resolveHubThreshold(threshold)
+	g.hubThreshold = th
+	g.fwd.buildHubIndex(th)
+	g.bwd.buildHubIndex(th)
+}
+
+func (a *adjacency) buildHubIndex(th int) {
+	a.pBitset = nil
+	if th < 0 {
+		return
+	}
+	// Partition ends are globally pStart[i+1] (segments tile nbrs, and an
+	// owner's last partition ends exactly where the next non-empty owner's
+	// first partition starts) or len(nbrs) for the final partition.
+	for i := range a.pStart {
+		end := len(a.nbrs)
+		if i+1 < len(a.pStart) {
+			end = a.pStart[i+1]
+		}
+		if end-a.pStart[i] >= th {
+			if a.pBitset == nil {
+				a.pBitset = make([]*Bitset, len(a.pStart))
+			}
+			a.pBitset[i] = NewBitsetFromSorted(a.nbrs[a.pStart[i]:end])
+		}
+	}
+}
+
+// RebuildHubIndex replaces the hub bitset index with one built at the
+// given threshold (0 takes DefaultHubThreshold, negative disables). It
+// mutates the otherwise-immutable graph and is NOT safe to run
+// concurrently with readers: call it before the graph is shared (the DB
+// layer does so at open time, before the store is published).
+func (g *Graph) RebuildHubIndex(threshold int) {
+	g.buildHubIndex(threshold)
+}
+
+// HubStats summarises the hub bitset index of one graph.
+type HubStats struct {
+	// Threshold is the effective partition-size floor (negative when
+	// indexing is disabled).
+	Threshold int
+	// Partitions is the number of indexed partitions across both
+	// directions.
+	Partitions int
+	// Bytes is the memory held by the bitset words.
+	Bytes int64
+}
+
+// HubThreshold returns the effective hub-index partition-size floor the
+// graph was built with (negative when indexing is disabled).
+func (g *Graph) HubThreshold() int { return g.hubThreshold }
+
+// HubIndexStats reports the hub bitset index's size and memory.
+func (g *Graph) HubIndexStats() HubStats {
+	st := HubStats{Threshold: g.hubThreshold}
+	for _, a := range []*adjacency{&g.fwd, &g.bwd} {
+		for _, b := range a.pBitset {
+			if b != nil {
+				st.Partitions++
+				st.Bytes += int64(b.WordLen()) * 8
+			}
+		}
+	}
+	return st
 }
 
 // Degree returns the size of the (eLabel, nLabel) partition of v in

@@ -2,9 +2,39 @@ package graph
 
 import "sort"
 
-// gallopThreshold is the size ratio beyond which Intersect switches from
-// in-tandem merging to galloping (exponential) search into the longer list.
+// gallopThreshold is the size ratio beyond which the sorted-array kernel
+// switches from in-tandem merging to galloping (exponential) search into
+// the longer list.
 const gallopThreshold = 32
+
+// BitsetProbeRatio is the size ratio beyond which probing the longer
+// list's bitset index (when one exists) beats scanning it: the probe
+// kernel pays one random word load per short-list element, the merge
+// kernel pays a sequential pass over both lists. Exported so E/I
+// operators can pre-filter which descriptors are worth a bitset lookup.
+const BitsetProbeRatio = 4
+
+// KernelCounters tallies intersection-kernel dispatches by kind. The
+// engine picks a kernel per pairwise intersection, so one k-way E/I call
+// can increment several counters.
+type KernelCounters struct {
+	// Merge counts in-tandem sorted-merge intersections.
+	Merge int64
+	// Gallop counts galloping (exponential search) intersections.
+	Gallop int64
+	// BitsetProbe counts short-list probes into a hub bitset index.
+	BitsetProbe int64
+	// BitsetAnd counts word-wise ANDs of two hub bitset indexes.
+	BitsetAnd int64
+}
+
+// Add accumulates other into c.
+func (c *KernelCounters) Add(other KernelCounters) {
+	c.Merge += other.Merge
+	c.Gallop += other.Gallop
+	c.BitsetProbe += other.BitsetProbe
+	c.BitsetAnd += other.BitsetAnd
+}
 
 // Intersect writes the sorted intersection of the ID-sorted lists a and b
 // into out (which is truncated first and may be nil) and returns it.
@@ -13,15 +43,23 @@ const gallopThreshold = 32
 // list is much longer than the other it gallops into the longer list, which
 // matters on skewed adjacency lists.
 func Intersect(a, b, out []VertexID) []VertexID {
+	r, _ := intersectSorted(a, b, out)
+	return r
+}
+
+// intersectSorted is Intersect reporting whether the galloping variant
+// ran (false: in-tandem merge), so callers can attribute kernel counters
+// without a second length comparison.
+func intersectSorted(a, b, out []VertexID) ([]VertexID, bool) {
 	out = out[:0]
 	if len(a) == 0 || len(b) == 0 {
-		return out
+		return out, false
 	}
 	if len(a) > len(b) {
 		a, b = b, a
 	}
 	if len(b) >= gallopThreshold*len(a) {
-		return gallopIntersect(a, b, out)
+		return gallopIntersect(a, b, out), true
 	}
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -37,7 +75,7 @@ func Intersect(a, b, out []VertexID) []VertexID {
 			j++
 		}
 	}
-	return out
+	return out, false
 }
 
 // gallopIntersect intersects a short list into a much longer one.
@@ -69,11 +107,86 @@ func gallopIntersect(short, long, out []VertexID) []VertexID {
 	return out
 }
 
-// IntersectK intersects any number of ID-sorted lists using iterative 2-way
-// intersections, shortest-first, as the paper's E/I operator does. It writes
-// the result into out and returns it; scratch is reused between calls (pass
-// nil on first use and keep the returned scratch).
-func IntersectK(lists [][]VertexID, out, scratch []VertexID) (result, newScratch []VertexID) {
+// listRef pairs one adjacency run with its optional bitset index inside
+// an Intersector's reusable ordering scratch.
+type listRef struct {
+	list []VertexID
+	bits *Bitset
+}
+
+// Intersector is the degree-adaptive k-way intersection engine plus the
+// per-caller scratch it needs to run allocation-free: the shortest-first
+// ordering of list headers that IntersectK previously allocated per call
+// now lives here, owned by the E/I stage state (one Intersector per
+// worker stage, reused across every tuple). Kernel dispatches are
+// tallied in Counters. An Intersector is not safe for concurrent use;
+// the zero value is ready.
+type Intersector struct {
+	// Counters tallies kernel dispatches; callers flush and reset it when
+	// aggregating profiles.
+	Counters KernelCounters
+	refs     []listRef
+}
+
+// intersectPair intersects the two smallest refs into out, dispatching
+// on representation: word-AND when both sides are indexed and dense
+// enough that scanning every word beats walking the short list, a bitset
+// probe when the long side is indexed and much longer, and the sorted
+// merge/gallop kernel otherwise.
+func (it *Intersector) intersectPair(a, b listRef, out []VertexID) []VertexID {
+	la, lb := len(a.list), len(b.list)
+	if la > lb {
+		a, b = b, a
+		la, lb = lb, la
+	}
+	if la == 0 {
+		return out[:0]
+	}
+	switch {
+	case a.bits != nil && b.bits != nil && 2*andSpan(a.bits, b.bits) <= la+lb:
+		// Dense enough that scanning the span overlap beats walking the
+		// lists; a zero overlap proves emptiness without reading a word.
+		it.Counters.BitsetAnd++
+		return IntersectBitsets(a.bits, b.bits, out)
+	case b.bits != nil && lb >= BitsetProbeRatio*la:
+		it.Counters.BitsetProbe++
+		return IntersectBitset(a.list, b.bits, out)
+	default:
+		r, galloped := intersectSorted(a.list, b.list, out)
+		if galloped {
+			it.Counters.Gallop++
+		} else {
+			it.Counters.Merge++
+		}
+		return r
+	}
+}
+
+// intersectInto intersects the running result r with ref, writing into
+// out. r is a plain sorted list (intermediate results lose their index),
+// so only the probe and sorted kernels apply.
+func (it *Intersector) intersectInto(r []VertexID, ref listRef, out []VertexID) []VertexID {
+	if ref.bits != nil && len(ref.list) >= BitsetProbeRatio*len(r) {
+		it.Counters.BitsetProbe++
+		return IntersectBitset(r, ref.bits, out)
+	}
+	res, galloped := intersectSorted(r, ref.list, out)
+	if galloped {
+		it.Counters.Gallop++
+	} else {
+		it.Counters.Merge++
+	}
+	return res
+}
+
+// IntersectK intersects any number of ID-sorted lists, shortest-first,
+// picking a kernel per pairwise step from the lists' sizes and available
+// bitset indexes. bits, when non-nil, must align with lists (nil entries
+// mean no index). The result is written into out, ping-ponging with
+// scratch between steps exactly like the package-level IntersectK; the
+// caller keeps both returned buffers. After warm-up the call performs no
+// allocations.
+func (it *Intersector) IntersectK(lists [][]VertexID, bits []*Bitset, out, scratch []VertexID) (result, newScratch []VertexID) {
 	switch len(lists) {
 	case 0:
 		return out[:0], scratch
@@ -81,15 +194,44 @@ func IntersectK(lists [][]VertexID, out, scratch []VertexID) (result, newScratch
 		out = append(out[:0], lists[0]...)
 		return out, scratch
 	}
-	// Order shortest first to bound intermediate sizes.
-	ordered := make([][]VertexID, len(lists))
-	copy(ordered, lists)
-	sort.Slice(ordered, func(i, j int) bool { return len(ordered[i]) < len(ordered[j]) })
+	// Order shortest first to bound intermediate sizes. Insertion sort:
+	// descriptor counts are tiny and sort.Slice would allocate its
+	// closure on every call.
+	// bits may be shorter than lists (callers pass an empty slice when
+	// the pre-filter proves no index can help); missing entries mean no
+	// index.
+	it.refs = it.refs[:0]
+	for i, l := range lists {
+		ref := listRef{list: l}
+		if i < len(bits) {
+			ref.bits = bits[i]
+		}
+		it.refs = append(it.refs, ref)
+	}
+	refs := it.refs
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0 && len(refs[j].list) < len(refs[j-1].list); j-- {
+			refs[j], refs[j-1] = refs[j-1], refs[j]
+		}
+	}
 
-	out = Intersect(ordered[0], ordered[1], out)
-	for i := 2; i < len(ordered) && len(out) > 0; i++ {
-		scratch = Intersect(out, ordered[i], scratch)
+	out = it.intersectPair(refs[0], refs[1], out)
+	for i := 2; i < len(refs) && len(out) > 0; i++ {
+		scratch = it.intersectInto(out, refs[i], scratch)
 		out, scratch = scratch, out
 	}
 	return out, scratch
+}
+
+// IntersectK intersects any number of ID-sorted lists using iterative 2-way
+// intersections, shortest-first, as the paper's E/I operator does. It writes
+// the result into out and returns it; scratch is reused between calls (pass
+// nil on first use and keep the returned scratch).
+//
+// This entry point allocates a fresh ordering scratch per call; hot
+// paths hold an Intersector instead, which also enables the bitset
+// kernels over hub-indexed lists.
+func IntersectK(lists [][]VertexID, out, scratch []VertexID) (result, newScratch []VertexID) {
+	var it Intersector
+	return it.IntersectK(lists, nil, out, scratch)
 }

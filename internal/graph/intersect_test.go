@@ -1,0 +1,256 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveIntersect is the quadratic-free reference: a map-membership fold
+// sharing no code with any production kernel.
+func naiveIntersect(lists ...[]VertexID) []VertexID {
+	if len(lists) == 0 {
+		return nil
+	}
+	out := []VertexID{}
+	for _, x := range lists[0] {
+		in := true
+		for _, l := range lists[1:] {
+			found := false
+			for _, y := range l {
+				if y == x {
+					found = true
+					break
+				}
+			}
+			if !found {
+				in = false
+				break
+			}
+		}
+		if in {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func equalIDs(a, b []VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAllKernels runs every applicable kernel on (a, b) and compares
+// each against the naive reference: the sorted merge/gallop entry point,
+// the bitset probe in both orientations, the word-AND, and the
+// Intersector dispatcher under every bitset-availability combination.
+func checkAllKernels(t *testing.T, a, b []VertexID) {
+	t.Helper()
+	want := naiveIntersect(a, b)
+	if got := Intersect(a, b, nil); !equalIDs(got, want) {
+		t.Fatalf("Intersect(%v, %v) = %v, want %v", a, b, got, want)
+	}
+	ba, bb := NewBitsetFromSorted(a), NewBitsetFromSorted(b)
+	if got := IntersectBitset(a, bb, nil); !equalIDs(got, want) {
+		t.Fatalf("IntersectBitset(%v, bits(%v)) = %v, want %v", a, b, got, want)
+	}
+	if got := IntersectBitset(b, ba, nil); !equalIDs(got, want) {
+		t.Fatalf("IntersectBitset(%v, bits(%v)) = %v, want %v", b, a, got, want)
+	}
+	if got := IntersectBitsets(ba, bb, nil); !equalIDs(got, want) {
+		t.Fatalf("IntersectBitsets(%v, %v) = %v, want %v", a, b, got, want)
+	}
+	var it Intersector
+	for _, bits := range [][]*Bitset{nil, {nil, nil}, {ba, nil}, {nil, bb}, {ba, bb}} {
+		got, _ := it.IntersectK([][]VertexID{a, b}, bits, nil, nil)
+		if !equalIDs(got, want) {
+			t.Fatalf("Intersector.IntersectK(%v, %v, bits=%v) = %v, want %v", a, b, bits, got, want)
+		}
+	}
+}
+
+// TestIntersectExhaustiveSmallPairs checks every kernel against the
+// naive reference over ALL pairs of sorted lists drawn from the universe
+// {0..7}: 256 x 256 subset pairs, every representation combination.
+func TestIntersectExhaustiveSmallPairs(t *testing.T) {
+	subsets := make([][]VertexID, 256)
+	for m := 0; m < 256; m++ {
+		s := []VertexID{}
+		for v := 0; v < 8; v++ {
+			if m&(1<<v) != 0 {
+				s = append(s, VertexID(v))
+			}
+		}
+		subsets[m] = s
+	}
+	for _, a := range subsets {
+		for _, b := range subsets {
+			checkAllKernels(t, a, b)
+		}
+	}
+}
+
+// randomSortedList draws a strictly increasing list of the given length.
+func randomSortedList(rng *rand.Rand, length, maxGap int) []VertexID {
+	out := make([]VertexID, 0, length)
+	v := VertexID(0)
+	for i := 0; i < length; i++ {
+		v += VertexID(1 + rng.Intn(maxGap))
+		out = append(out, v)
+	}
+	return out
+}
+
+// TestIntersectGallopBoundary sweeps list-size ratios across the
+// gallopThreshold switch point (and the BitsetProbeRatio one), checking
+// the kernels against the reference exactly where dispatch flips.
+func TestIntersectGallopBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ratios := []int{
+		1, 2,
+		BitsetProbeRatio - 1, BitsetProbeRatio, BitsetProbeRatio + 1,
+		gallopThreshold - 1, gallopThreshold, gallopThreshold + 1, 3 * gallopThreshold,
+	}
+	for _, shortLen := range []int{1, 2, 3, 7} {
+		for _, ratio := range ratios {
+			for trial := 0; trial < 8; trial++ {
+				a := randomSortedList(rng, shortLen, 6)
+				b := randomSortedList(rng, shortLen*ratio, 3)
+				checkAllKernels(t, a, b)
+			}
+		}
+	}
+}
+
+// TestIntersectKDifferential fuzzes the k-way engine: random list
+// counts, skewed random sizes, and random per-list bitset availability
+// must all reproduce the naive reference.
+func TestIntersectKDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var it Intersector
+	var out, scratch []VertexID
+	for trial := 0; trial < 300; trial++ {
+		k := 2 + rng.Intn(4)
+		lists := make([][]VertexID, k)
+		for i := range lists {
+			length := 1 + rng.Intn(40)
+			if rng.Intn(3) == 0 { // skewed hub list
+				length = 100 + rng.Intn(400)
+			}
+			lists[i] = randomSortedList(rng, length, 4)
+		}
+		bits := make([]*Bitset, k)
+		for i := range bits {
+			if rng.Intn(2) == 0 {
+				bits[i] = NewBitsetFromSorted(lists[i])
+			}
+		}
+		want := naiveIntersect(lists...)
+		out, scratch = it.IntersectK(lists, bits, out, scratch)
+		if !equalIDs(out, want) {
+			t.Fatalf("trial %d: IntersectK(k=%d) = %v, want %v", trial, k, out, want)
+		}
+		// The compatibility wrapper (no bitsets) must agree too.
+		got, _ := IntersectK(lists, nil, nil)
+		if !equalIDs(got, want) {
+			t.Fatalf("trial %d: wrapper IntersectK = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// TestBitsetBeyondUniverse checks that probing IDs past the bitset's
+// universe — live-overlay vertices appended after a base was frozen —
+// reports absent instead of reading out of bounds.
+func TestBitsetBeyondUniverse(t *testing.T) {
+	b := NewBitsetFromSorted([]VertexID{1, 3})
+	if b.Contains(VertexID(1000)) {
+		t.Fatal("Contains(1000) on a 4-vertex universe = true")
+	}
+	got := IntersectBitset([]VertexID{1, 64, 1000}, b, nil)
+	if !equalIDs(got, []VertexID{1}) {
+		t.Fatalf("IntersectBitset beyond universe = %v, want [1]", got)
+	}
+}
+
+// TestIntersectorZeroAllocs asserts the E/I hot path's contract: after
+// warm-up (AllocsPerRun runs the body once before measuring), a k-way
+// intersection performs zero allocations on both the sorted-list and the
+// bitset-kernel paths.
+func TestIntersectorZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lists := [][]VertexID{
+		randomSortedList(rng, 900, 3),
+		randomSortedList(rng, 40, 60),
+		randomSortedList(rng, 700, 4),
+	}
+	bits := []*Bitset{NewBitsetFromSorted(lists[0]), nil, NewBitsetFromSorted(lists[2])}
+	var it Intersector
+	var out, scratch []VertexID
+	if allocs := testing.AllocsPerRun(100, func() {
+		out, scratch = it.IntersectK(lists, nil, out, scratch)
+	}); allocs != 0 {
+		t.Errorf("sorted-path IntersectK allocates %.1f per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		out, scratch = it.IntersectK(lists, bits, out, scratch)
+	}); allocs != 0 {
+		t.Errorf("bitset-path IntersectK allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// decodeFuzzList turns fuzz bytes into a strictly increasing ID list:
+// each byte is a positive delta, capped at 256 elements so bitset
+// universes stay small.
+func decodeFuzzList(data []byte) []VertexID {
+	if len(data) > 256 {
+		data = data[:256]
+	}
+	out := make([]VertexID, 0, len(data))
+	v := VertexID(0)
+	for _, d := range data {
+		v += VertexID(d) + 1
+		out = append(out, v)
+	}
+	return out
+}
+
+// FuzzIntersect cross-checks every intersection kernel against the naive
+// reference on fuzzer-chosen sorted lists, including the k-way engine
+// over three lists with full bitset availability.
+func FuzzIntersect(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1, 2, 3}, []byte{2, 2, 2})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, []byte{7})
+	f.Add([]byte{5, 1, 9, 1, 1, 30}, []byte{1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, ad, bd []byte) {
+		a, b := decodeFuzzList(ad), decodeFuzzList(bd)
+		want := naiveIntersect(a, b)
+		if got := Intersect(a, b, nil); !equalIDs(got, want) {
+			t.Fatalf("Intersect = %v, want %v", got, want)
+		}
+		ba, bb := NewBitsetFromSorted(a), NewBitsetFromSorted(b)
+		if got := IntersectBitset(a, bb, nil); !equalIDs(got, want) {
+			t.Fatalf("IntersectBitset = %v, want %v", got, want)
+		}
+		if got := IntersectBitsets(ba, bb, nil); !equalIDs(got, want) {
+			t.Fatalf("IntersectBitsets = %v, want %v", got, want)
+		}
+		var it Intersector
+		for _, bits := range [][]*Bitset{nil, {ba, bb}, {nil, bb}} {
+			if got, _ := it.IntersectK([][]VertexID{a, b}, bits, nil, nil); !equalIDs(got, want) {
+				t.Fatalf("IntersectK(bits=%v) = %v, want %v", bits, got, want)
+			}
+		}
+		// Three-way: a ∩ b ∩ a must equal a ∩ b.
+		three := [][]VertexID{a, b, a}
+		if got, _ := it.IntersectK(three, []*Bitset{ba, bb, ba}, nil, nil); !equalIDs(got, want) {
+			t.Fatalf("IntersectK(a,b,a) = %v, want %v", got, want)
+		}
+	})
+}

@@ -19,6 +19,11 @@ type Config struct {
 	// background compaction. 0 takes DefaultCompactThreshold; a negative
 	// value disables automatic compaction (Compact still works).
 	CompactThreshold int
+	// HubThreshold is the adjacency-partition size at which compaction
+	// rebuilds materialise hub bitset indexes in the fresh CSR base (0
+	// takes graph.DefaultHubThreshold; negative disables indexing). It
+	// should match the threshold the initial base was built with.
+	HubThreshold int
 	// OnEpoch, when non-nil, is called after every epoch publication
 	// (mutation batch or compaction) with the new snapshot, outside the
 	// writer lock. The DB layer uses it to drop stale plan-cache entries.
@@ -83,7 +88,9 @@ func Open(base *graph.Graph, cfg Config) *DB {
 		th = DefaultCompactThreshold
 	}
 	db := &DB{threshold: th, onEpoch: cfg.OnEpoch}
-	db.cur.Store(newBaseSnapshot(base, 0))
+	s := newBaseSnapshot(base, 0)
+	s.hubThreshold = cfg.HubThreshold
+	db.cur.Store(s)
 	return db
 }
 
@@ -308,6 +315,7 @@ func (db *DB) compactOnce() error {
 		db.mu.Lock()
 		if db.cur.Load() == s {
 			ns := newBaseSnapshot(g, s.epoch+1)
+			ns.hubThreshold = s.hubThreshold
 			db.cur.Store(ns)
 			db.mu.Unlock()
 			db.compactions.Add(1)
@@ -328,6 +336,7 @@ func (db *DB) compactOnce() error {
 				return err
 			}
 			ns := newBaseSnapshot(g, s.epoch+1)
+			ns.hubThreshold = s.hubThreshold
 			db.cur.Store(ns)
 			db.mu.Unlock()
 			db.compactions.Add(1)

@@ -249,10 +249,13 @@ type Snapshot struct {
 	extra []graph.Label
 	// fwd/bwd map mutated vertices to their private adjacency. A missing
 	// entry means the base's adjacency (or empty, for appended vertices).
-	fwd, bwd map[graph.VertexID]*vadj
-	m        int // live directed edge count
-	deltaOps int // overlay mutations since the base was built
+	fwd, bwd                       map[graph.VertexID]*vadj
+	m                              int // live directed edge count
+	deltaOps                       int // overlay mutations since the base was built
 	numVertexLabels, numEdgeLabels int
+	// hubThreshold is the hub bitset indexing knob carried from the store's
+	// Config so compaction rebuilds index their fresh base the same way.
+	hubThreshold int
 }
 
 var _ graph.View = (*Snapshot)(nil)
@@ -338,6 +341,20 @@ func (s *Snapshot) Neighbors(v graph.VertexID, dir graph.Direction, e, nl graph.
 	return buf[:0]
 }
 
+// NeighborBitset implements graph.View: vertices whose adjacency is
+// served by the base CSR expose its hub bitset index; overlay-resident
+// (mutated or appended) vertices return nil and fall back to the sorted
+// kernels until the next compaction folds them into a fresh indexed
+// base. Base bitsets never contain appended vertices, and Bitset.Contains
+// reports IDs beyond the base universe as absent, so probing overlay IDs
+// into a base bitset is safe.
+func (s *Snapshot) NeighborBitset(v graph.VertexID, dir graph.Direction, e, nl graph.Label) *graph.Bitset {
+	if s.overlay(dir)[v] != nil || int(v) >= s.nBase {
+		return nil
+	}
+	return s.base.NeighborBitset(v, dir, e, nl)
+}
+
 // Degree implements graph.View.
 func (s *Snapshot) Degree(v graph.VertexID, dir graph.Direction, e, nl graph.Label) int {
 	if a := s.overlay(dir)[v]; a != nil {
@@ -413,9 +430,12 @@ func (s *Snapshot) EdgesOf(src graph.VertexID, fn graph.EdgeFunc) {
 
 // Rebuild materialises the snapshot's logical graph as a fresh immutable
 // CSR — the compaction step, also used by tests to cross-check overlay
-// reads against a from-scratch build.
+// reads against a from-scratch build. The rebuilt base carries a hub
+// bitset index at the store's configured threshold, so overlay vertices
+// regain their fast-intersection representation at every compaction.
 func Rebuild(s *Snapshot) (*graph.Graph, error) {
 	b := graph.NewBuilder(s.NumVertices())
+	b.SetHubThreshold(s.hubThreshold)
 	for v := 0; v < s.NumVertices(); v++ {
 		b.SetVertexLabel(graph.VertexID(v), s.VertexLabel(graph.VertexID(v)))
 	}

@@ -144,11 +144,7 @@ func (c *context) extendCost(childMask query.Mask, v int, childPlan plan.Node) f
 			}
 		}
 	}
-	total := 0.0
-	for _, s := range st.sizes {
-		total += s
-	}
-	return mult * total
+	return mult * catalogue.EffectiveICost(st.sizes, c.opts.HubThreshold)
 }
 
 // joinCost returns the cost of hash-joining build and probe subqueries

@@ -18,11 +18,7 @@ func (c *context) chainExtendCost(prefixMask query.Mask, v, lastAdded int) float
 	if !c.opts.CacheOblivious && !anchorsTouch(st.edges, v, lastAdded) {
 		mult = c.cardinality(prefixMask &^ query.Bit(lastAdded))
 	}
-	total := 0.0
-	for _, s := range st.sizes {
-		total += s
-	}
-	return mult * total
+	return mult * catalogue.EffectiveICost(st.sizes, c.opts.HubThreshold)
 }
 
 // enumerateWCOBest walks every query vertex ordering with connected

@@ -98,6 +98,12 @@ type Server struct {
 	prepared map[string]*graphflow.PreparedQuery
 
 	served, rejected, deadlined, ingested atomic.Int64
+
+	// Per-kernel intersection dispatch totals accumulated across served
+	// count-mode queries (match mode streams rows and does not report
+	// per-run statistics), surfaced by /stats as the serving-layer view
+	// of the degree-adaptive intersection engine.
+	kernelMerge, kernelGallop, kernelBitsetProbe, kernelBitsetAnd atomic.Int64
 }
 
 // New builds a Server over cfg.DB.
@@ -155,7 +161,19 @@ type queryResponse struct {
 	Rows      *[]map[string]uint32 `json:"rows,omitempty"`
 	Truncated bool                 `json:"truncated,omitempty"`
 	PlanKind  string               `json:"plan_kind,omitempty"`
-	ElapsedMS float64              `json:"elapsed_ms"`
+	// Kernels reports the intersection-kernel dispatch counts of this
+	// run (count mode only): merge, gallop, bitset_probe, bitset_and.
+	Kernels   *kernelCounts `json:"kernels,omitempty"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+}
+
+// kernelCounts is the JSON shape of per-kernel intersection dispatch
+// counters.
+type kernelCounts struct {
+	Merge       int64 `json:"merge"`
+	Gallop      int64 `json:"gallop"`
+	BitsetProbe int64 `json:"bitset_probe"`
+	BitsetAnd   int64 `json:"bitset_and"`
 }
 
 type errorResponse struct {
@@ -263,11 +281,23 @@ func (s *Server) execute(r *http.Request, pq *graphflow.PreparedQuery, req *quer
 	resp := queryResponse{PlanKind: pq.PlanKind()}
 	switch req.Mode {
 	case "", "count":
-		n, err := pq.CountCtx(ctx, s.queryOptions(req))
+		opts := s.queryOptions(req)
+		opts.Context = ctx
+		n, st, err := pq.CountStats(opts)
 		if err != nil {
 			return resp, err
 		}
 		resp.Count = &n
+		resp.Kernels = &kernelCounts{
+			Merge:       st.KernelMerge,
+			Gallop:      st.KernelGallop,
+			BitsetProbe: st.KernelBitsetProbe,
+			BitsetAnd:   st.KernelBitsetAnd,
+		}
+		s.kernelMerge.Add(st.KernelMerge)
+		s.kernelGallop.Add(st.KernelGallop)
+		s.kernelBitsetProbe.Add(st.KernelBitsetProbe)
+		s.kernelBitsetAnd.Add(st.KernelBitsetAnd)
 	case "match":
 		opts := s.queryOptions(req)
 		rowCap := int64(s.cfg.MaxRows)
@@ -553,7 +583,15 @@ type statsResponse struct {
 		DeltaOps    int    `json:"delta_ops"`
 		Compactions int64  `json:"compactions"`
 		Ingested    int64  `json:"ingested_batches"`
+		// Hub bitset index of the current base CSR: the partition-size
+		// floor, how many partitions are indexed, and the bytes they hold.
+		HubThreshold     int   `json:"hub_threshold"`
+		HubPartitions    int   `json:"hub_partitions"`
+		BitsetIndexBytes int64 `json:"bitset_index_bytes"`
 	} `json:"graph"`
+	// Kernels totals intersection-kernel dispatches across served
+	// count-mode queries.
+	Kernels   kernelCounts `json:"kernels"`
 	PlanCache struct {
 		Hits      int64 `json:"hits"`
 		Misses    int64 `json:"misses"`
@@ -579,6 +617,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Graph.DeltaOps = ls.DeltaOps
 	resp.Graph.Compactions = ls.Compactions
 	resp.Graph.Ingested = s.ingested.Load()
+	resp.Graph.HubThreshold = ls.HubThreshold
+	resp.Graph.HubPartitions = ls.HubPartitions
+	resp.Graph.BitsetIndexBytes = ls.BitsetIndexBytes
+	resp.Kernels = kernelCounts{
+		Merge:       s.kernelMerge.Load(),
+		Gallop:      s.kernelGallop.Load(),
+		BitsetProbe: s.kernelBitsetProbe.Load(),
+		BitsetAnd:   s.kernelBitsetAnd.Load(),
+	}
 	pc := s.cfg.DB.PlanCacheStats()
 	resp.PlanCache.Hits = pc.Hits
 	resp.PlanCache.Misses = pc.Misses

@@ -177,7 +177,7 @@ func TestConcurrentPreparedAcrossEpochs(t *testing.T) {
 		}()
 	}
 	writerOps := []Batch{
-		{AddEdges: []EdgeOp{{Src: 2, Dst: 4, Label: 0}}},                                               // +triangle 2->3->4
+		{AddEdges: []EdgeOp{{Src: 2, Dst: 4, Label: 0}}},                                                       // +triangle 2->3->4
 		{AddVertices: []uint16{0}, AddEdges: []EdgeOp{{Src: 4, Dst: 5, Label: 0}, {Src: 3, Dst: 5, Label: 0}}}, // +triangle 3->4->5
 		{DeleteEdges: []EdgeOp{{Src: 2, Dst: 4, Label: 0}}},
 	}
