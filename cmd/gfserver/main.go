@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only by -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,6 +56,8 @@ func main() {
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 		compact  = flag.Int("compact-threshold", 0, "delta-overlay mutations before background compaction (0 = default 16384, negative disables)")
 		hubTh    = flag.Int("hub-threshold", 0, "adjacency-partition size that gets a bitset hub index for degree-adaptive intersections (0 = default 256, negative disables)")
+		batchSz  = flag.Int("batch-size", 0, "vectorized executor batch rows (0 = engine default 1024, negative = tuple-at-a-time oracle engine)")
+		debug    = flag.String("debug-addr", "", "optional listener for net/http/pprof, e.g. localhost:6060 (disabled when empty; keep it on a loopback or otherwise private address)")
 	)
 	flag.Parse()
 
@@ -87,9 +90,27 @@ func main() {
 		MaxConcurrent:  *maxConc,
 		MaxRows:        *maxRows,
 		MaxWorkers:     *maxWork,
+		BatchSize:      *batchSz,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// The pprof listener is separate from the query listener on purpose:
+	// profiles of the vectorized batch path can be captured in production
+	// without exposing /debug/pprof to query traffic.
+	if *debug != "" {
+		go func() {
+			dsrv := &http.Server{
+				Addr:              *debug,
+				Handler:           http.DefaultServeMux,
+				ReadHeaderTimeout: 10 * time.Second,
+			}
+			log.Printf("pprof debug listener on %s", *debug)
+			if err := dsrv.ListenAndServe(); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{

@@ -161,6 +161,12 @@ type QueryOptions struct {
 	// forcing a fresh parse/optimize/compile. Used to measure planning
 	// overhead; leave false otherwise.
 	SkipPlanCache bool
+	// BatchSize is the row capacity of the columnar tuple batches the
+	// vectorized executor pushes through its pipelines. 0 takes the
+	// engine default (1024). A negative value selects the legacy
+	// tuple-at-a-time engine — kept as the differential-testing oracle;
+	// production queries should leave this at 0.
+	BatchSize int
 }
 
 // Stats reports what one evaluation did.
@@ -180,8 +186,14 @@ type Stats struct {
 	KernelGallop      int64
 	KernelBitsetProbe int64
 	KernelBitsetAnd   int64
-	PlanKind          string // "wco", "bj" or "hybrid"
-	Plan              string // operator tree, one operator per line
+	// ScanBatches, ExtendBatches and ProbeBatches count the columnar
+	// batches each stage kind of the vectorized engine dispatched (all
+	// zero under the tuple-at-a-time oracle, BatchSize < 0).
+	ScanBatches   int64
+	ExtendBatches int64
+	ProbeBatches  int64
+	PlanKind      string // "wco", "bj" or "hybrid"
+	Plan          string // operator tree, one operator per line
 }
 
 // PlanCacheStats is a snapshot of the DB's compiled-plan cache counters.
@@ -517,7 +529,7 @@ func (pq *PreparedQuery) Match(fn func(map[string]uint32) bool, opts *QueryOptio
 	for slot, v := range layout {
 		names[slot] = pq.names[v]
 	}
-	cfg := exec.RunConfig{Workers: qo.Workers, DisableCache: qo.DisableCache}
+	cfg := qo.execConfig()
 	// delivered needs no synchronisation: RunUntil serialises emit.
 	var delivered int64
 	_, err = pp.compiled.RunUntilCtx(qo.context(), cfg, func(t []graph.VertexID) bool {
@@ -563,10 +575,23 @@ func (pq *PreparedQuery) Stats() Stats {
 // epoch.
 func (pq *PreparedQuery) PlanKind() string { return pq.cur.Load().plan.Kind() }
 
+// execConfig maps the per-query knobs onto the executor's RunConfig:
+// the vectorized engine by default, the tuple-at-a-time oracle when
+// BatchSize is negative.
+func (qo *QueryOptions) execConfig() exec.RunConfig {
+	cfg := exec.RunConfig{Workers: qo.Workers, DisableCache: qo.DisableCache}
+	if qo.BatchSize < 0 {
+		cfg.TupleAtATime = true
+	} else {
+		cfg.BatchSize = qo.BatchSize
+	}
+	return cfg
+}
+
 // runCount executes a compiled plan under the given options.
 func (db *DB) runCount(pp *preparedPlan, qo QueryOptions) (int64, exec.Profile, error) {
 	ctx := qo.context()
-	cfg := exec.RunConfig{Workers: qo.Workers, DisableCache: qo.DisableCache}
+	cfg := qo.execConfig()
 	switch {
 	case qo.Distinct:
 		if qo.Limit > 0 {
@@ -597,7 +622,11 @@ func (db *DB) runCount(pp *preparedPlan, qo QueryOptions) (int64, exec.Profile, 
 		ev := &adaptive.Evaluator{
 			Graph:     pp.snap,
 			Catalogue: db.catalogueFor(pp.snap),
-			Config:    adaptive.Config{Workers: qo.Workers, HubThreshold: db.opts.HubDegreeThreshold},
+			Config: adaptive.Config{
+				Workers:      qo.Workers,
+				HubThreshold: db.opts.HubDegreeThreshold,
+				BatchSize:    qo.BatchSize,
+			},
 		}
 		if qo.Limit > 0 {
 			// The adaptive evaluator has no native early stop; reaching the
@@ -923,6 +952,9 @@ func statsFrom(p *plan.Plan, prof exec.Profile, n int64) Stats {
 		KernelGallop:      prof.Kernels.Gallop,
 		KernelBitsetProbe: prof.Kernels.BitsetProbe,
 		KernelBitsetAnd:   prof.Kernels.BitsetAnd,
+		ScanBatches:       prof.Batches.Scan,
+		ExtendBatches:     prof.Batches.Extend,
+		ProbeBatches:      prof.Batches.Probe,
 		PlanKind:          p.Kind(),
 		Plan:              p.Describe(),
 	}

@@ -37,6 +37,15 @@ type Config struct {
 	// re-estimation rule prices candidate orderings with it so adaptation
 	// and the executor agree on what an intersection costs.
 	HubThreshold int
+	// BatchSize is the number of source tuples buffered per adaptive
+	// batch. Ordering re-estimation runs once per distinct route-key run
+	// within a batch (consecutive tuples that agree on every slot any
+	// candidate ordering's first step reads — their re-estimates are
+	// provably identical) instead of once per tuple, mirroring the
+	// executor's batch-boundary amortization. 0 takes
+	// exec.DefaultBatchSize; values below 1 clamp to 1 (per-tuple
+	// re-estimation, the pre-vectorization behavior).
+	BatchSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -45,6 +54,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = 1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = exec.DefaultBatchSize
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = 1
 	}
 	return c
 }
@@ -126,11 +141,14 @@ func (e *Evaluator) RunCtx(ctx context.Context, p *plan.Plan, emit func([]graph.
 	}
 	ad.ctx = ctx
 	// Drive the source; adaptation is stateful per ordering, so the source
-	// must feed tuples sequentially.
+	// must feed tuples sequentially. Tuples buffer into a columnar batch
+	// and the chain consumes it at batch boundaries.
 	srcRunner := &exec.Runner{Graph: e.Graph, Workers: cfg.Workers}
 	prof, err := srcRunner.RunSubplanCtx(ctx, source, func(t []graph.VertexID) {
 		ad.process(t, emit)
 	})
+	// Drain the tail batch (a no-op when cancelled).
+	ad.flush(emit)
 	// Merge the chain's counters before returning so cancellation still
 	// reports the partial profile (matching the executor's contract).
 	// Source outputs were counted as Matches by RunSubplan; they are
@@ -185,6 +203,16 @@ type adaptiveChain struct {
 	tuple  []graph.VertexID
 	lists  [][]graph.VertexID
 	bits   []*graph.Bitset
+	// Source-tuple batching: tuples accumulate row-major (stride width)
+	// and the chain drains them per batch, re-picking the ordering only
+	// at route-key run boundaries.
+	batchCap   int
+	batchBuf   []graph.VertexID
+	batchRows  int
+	routeSlots []int // union of every ordering's first-step descriptor slots
+	lastKey    []graph.VertexID
+	lastValid  bool
+	lastBest   int
 	// it is the degree-adaptive intersection engine shared by every
 	// ordering's steps; its kernel counters merge into the profile when
 	// the run finishes.
@@ -215,7 +243,8 @@ func newAdaptiveChain(g graph.View, cat *catalogue.Catalogue, q *query.Graph, so
 	}
 	ad := &adaptiveChain{
 		g: g, q: q, width: len(baseOut), hubThreshold: cfg.HubThreshold,
-		nWords: (g.NumVertices() + 63) / 64,
+		nWords:   (g.NumVertices() + 63) / 64,
+		batchCap: cfg.BatchSize,
 	}
 
 	// Enumerate connected orderings of the remaining vertices.
@@ -282,24 +311,82 @@ func newAdaptiveChain(g graph.View, cat *catalogue.Catalogue, q *query.Graph, so
 		}
 		ad.orders = append(ad.orders, o)
 	}
+	// routeSlots is every tuple slot any ordering's first step reads: two
+	// tuples agreeing on all of them re-estimate identically, so a run of
+	// them shares one re-estimation (and one routing decision).
+	seen := map[int]bool{}
+	for _, o := range ad.orders {
+		for _, d := range o.steps[0].descs {
+			if !seen[d.slot] {
+				seen[d.slot] = true
+				ad.routeSlots = append(ad.routeSlots, d.slot)
+			}
+		}
+	}
 	return ad, nil
 }
 
-// process routes one source tuple to the ordering with the lowest
-// re-estimated cost and runs it through that ordering's chain.
+// process buffers one source tuple, draining the batch when it fills.
 func (ad *adaptiveChain) process(t []graph.VertexID, emit func([]graph.VertexID)) {
 	if ad.cancelled {
 		return
 	}
-	best, bestCost := 0, math.Inf(1)
-	for i, o := range ad.orders {
-		c := ad.reestimate(o, t)
-		if c < bestCost {
-			best, bestCost = i, c
+	ad.batchBuf = append(ad.batchBuf, t...)
+	ad.batchRows++
+	if ad.batchRows >= ad.batchCap {
+		ad.flush(emit)
+	}
+}
+
+// sameRoute reports whether t agrees with the previous routing key on
+// every route slot.
+func (ad *adaptiveChain) sameRoute(t []graph.VertexID) bool {
+	for i, s := range ad.routeSlots {
+		if ad.lastKey[i] != t[s] {
+			return false
 		}
 	}
-	ad.tuple = append(ad.tuple[:0], t...)
-	ad.runStep(ad.orders[best], 0, emit)
+	return true
+}
+
+// flush drains the buffered source batch through the chain: the
+// candidate orderings are re-estimated once per distinct route-key run
+// (Example 6.2's rule, amortized across the run), the batch is the
+// cancellation poll granularity, and each tuple then flows through the
+// chosen ordering's own operator chain.
+func (ad *adaptiveChain) flush(emit func([]graph.VertexID)) {
+	rows := ad.batchRows
+	ad.batchRows = 0
+	if rows == 0 || ad.cancelled {
+		ad.batchBuf = ad.batchBuf[:0]
+		return
+	}
+	if ad.ctx != nil && ad.ctx.Err() != nil {
+		ad.cancelled = true
+		ad.batchBuf = ad.batchBuf[:0]
+		return
+	}
+	w := ad.width
+	for r := 0; r < rows && !ad.cancelled; r++ {
+		t := ad.batchBuf[r*w : (r+1)*w]
+		if !ad.lastValid || !ad.sameRoute(t) {
+			best, bestCost := 0, math.Inf(1)
+			for i, o := range ad.orders {
+				if c := ad.reestimate(o, t); c < bestCost {
+					best, bestCost = i, c
+				}
+			}
+			ad.lastBest = best
+			ad.lastKey = ad.lastKey[:0]
+			for _, s := range ad.routeSlots {
+				ad.lastKey = append(ad.lastKey, t[s])
+			}
+			ad.lastValid = true
+		}
+		ad.tuple = append(ad.tuple[:0], t...)
+		ad.runStep(ad.orders[ad.lastBest], 0, emit)
+	}
+	ad.batchBuf = ad.batchBuf[:0]
 }
 
 // reestimate recomputes the ordering's i-cost for this tuple: the first

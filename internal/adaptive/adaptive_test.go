@@ -168,3 +168,25 @@ func TestAdaptiveEmitLayoutDocumented(t *testing.T) {
 		t.Errorf("emitted %d, want %d", n, query.RefCount(g, q))
 	}
 }
+
+// TestAdaptiveBatchSizesAgree checks that batch-boundary re-estimation
+// is routing-only: every batch size (including the per-tuple legacy
+// cadence) must produce the same counts as the fixed executor.
+func TestAdaptiveBatchSizesAgree(t *testing.T) {
+	q := query.Q4()
+	p := fixedWCO(t, q, []int{1, 2, 0, 3})
+	want, _, err := (&exec.Runner{Graph: testG}).Count(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []int{-1, 1, 3, 64, 1024} {
+		ev := &Evaluator{Graph: testG, Catalogue: testCat, Config: Config{BatchSize: bs}}
+		got, _, err := ev.Count(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("batch size %d: adaptive count = %d, fixed = %d", bs, got, want)
+		}
+	}
+}

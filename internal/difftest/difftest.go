@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"graphflow"
 	"graphflow/internal/baseline"
@@ -248,6 +249,95 @@ func GenBatch(rng *rand.Rand, sh *Shadow) graphflow.Batch {
 		})
 	}
 	return b
+}
+
+// BatchSizes is the matrix the vectorized engine is differentially
+// tested at: single-row batches (maximum flush pressure), an odd size
+// that never divides fan-outs evenly, a mid size, and the engine
+// default.
+var BatchSizes = []int{1, 3, 64, 1024}
+
+// maxRowCollect bounds how many result tuples CompareBatchMatrix
+// materialises for set comparison; beyond it only counts are compared
+// (the corpus's reference budget keeps most entries well below this).
+const maxRowCollect = 30_000
+
+// collectRows enumerates every match of pattern at the given batch size
+// as deterministic row strings, sorted.
+func collectRows(db *graphflow.DB, pattern string, batchSize int) ([]string, error) {
+	var names []string
+	var rows []string
+	err := db.Match(pattern, func(m map[string]uint32) bool {
+		if names == nil {
+			for k := range m {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+		}
+		var sb strings.Builder
+		for _, k := range names {
+			fmt.Fprintf(&sb, "%s=%d;", k, m[k])
+		}
+		rows = append(rows, sb.String())
+		return true
+	}, &graphflow.QueryOptions{BatchSize: batchSize})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(rows)
+	return rows, nil
+}
+
+// CompareBatchMatrix evaluates q on db under the tuple-at-a-time oracle
+// (BatchSize < 0) and at every entry of BatchSizes, requiring identical
+// counts (sequential and Workers=4) and identical sorted tuple sets.
+// Any engine divergence — scan fill, run-grouped intersection, grouped
+// probe, flush/limit accounting, morsel scheduling — surfaces as an
+// error naming the batch size.
+func CompareBatchMatrix(db *graphflow.DB, q *query.Graph) error {
+	pattern := q.String()
+	want, err := db.Count(pattern, &graphflow.QueryOptions{BatchSize: -1})
+	if err != nil {
+		return fmt.Errorf("oracle count of %q: %w", pattern, err)
+	}
+	var wantRows []string
+	if want <= maxRowCollect {
+		if wantRows, err = collectRows(db, pattern, -1); err != nil {
+			return fmt.Errorf("oracle rows of %q: %w", pattern, err)
+		}
+	}
+	for _, bs := range BatchSizes {
+		got, err := db.Count(pattern, &graphflow.QueryOptions{BatchSize: bs})
+		if err != nil {
+			return fmt.Errorf("batch %d count of %q: %w", bs, pattern, err)
+		}
+		if got != want {
+			return fmt.Errorf("batch %d count of %q = %d, oracle %d", bs, pattern, got, want)
+		}
+		gotPar, err := db.Count(pattern, &graphflow.QueryOptions{BatchSize: bs, Workers: 4})
+		if err != nil {
+			return fmt.Errorf("batch %d parallel count of %q: %w", bs, pattern, err)
+		}
+		if gotPar != want {
+			return fmt.Errorf("batch %d parallel count of %q = %d, oracle %d", bs, pattern, gotPar, want)
+		}
+		if wantRows == nil {
+			continue
+		}
+		rows, err := collectRows(db, pattern, bs)
+		if err != nil {
+			return fmt.Errorf("batch %d rows of %q: %w", bs, pattern, err)
+		}
+		if len(rows) != len(wantRows) {
+			return fmt.Errorf("batch %d of %q: %d rows, oracle %d", bs, pattern, len(rows), len(wantRows))
+		}
+		for i := range rows {
+			if rows[i] != wantRows[i] {
+				return fmt.Errorf("batch %d of %q: row %d = %s, oracle %s", bs, pattern, i, rows[i], wantRows[i])
+			}
+		}
+	}
+	return nil
 }
 
 // Result is the outcome of one graph/pattern comparison.

@@ -230,3 +230,86 @@ func TestDifferentialSnapshotIsolation(t *testing.T) {
 		t.Fatalf("post-mutation count = %d, want %d", after, before+1)
 	}
 }
+
+// TestDifferentialBatchSizes runs the random (graph, pattern) corpus
+// through the batch-size matrix: every entry must produce identical
+// counts (sequential and parallel) and identical sorted tuple sets at
+// batch sizes {1, 3, 64, 1024} and under the tuple-at-a-time oracle.
+func TestDifferentialBatchSizes(t *testing.T) {
+	numGraphs, patternsPer := 6, 8
+	if testing.Short() {
+		numGraphs, patternsPer = 3, 5
+	}
+	for gi := 0; gi < numGraphs; gi++ {
+		seed := int64(30000 + gi)
+		g := GenGraph(seed)
+		db, err := OpenDB(g)
+		if err != nil {
+			t.Fatalf("graph seed %d: %v", seed, err)
+		}
+		rng := rand.New(rand.NewSource(seed * 31337))
+		for pi := 0; pi < patternsPer; pi++ {
+			if err := CompareBatchMatrix(db, GenPattern(rng)); err != nil {
+				t.Errorf("graph seed %d pattern %d: %v", seed, pi, err)
+			}
+		}
+	}
+}
+
+// TestDifferentialBatchLimits is the Limit/RunUntil cap regression: at
+// every batch size (and the oracle), with Workers > 1, Count with a
+// Limit and Match with a Limit must deliver exactly the capped number of
+// results — never limit±overshoot from racing batch flushes.
+func TestDifferentialBatchLimits(t *testing.T) {
+	const pattern = "a->b, b->c, a->c"
+	// Deterministically pick the first corpus graph with enough matches
+	// for the caps to bite.
+	var db *graphflow.DB
+	var full int64
+	for seed := int64(424242); seed < 424262; seed++ {
+		g := GenGraph(seed)
+		d, err := OpenDB(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := d.Count(pattern, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n >= 20 {
+			db, full = d, n
+			break
+		}
+	}
+	if db == nil {
+		t.Fatal("no corpus graph with >= 20 triangles in seed window")
+	}
+	sizes := append([]int{-1}, BatchSizes...)
+	for _, bs := range sizes {
+		for _, limit := range []int64{1, 5, full - 1, full + 50} {
+			wantN := limit
+			if limit > full {
+				wantN = full
+			}
+			opts := &graphflow.QueryOptions{BatchSize: bs, Workers: 4, Limit: limit}
+			n, err := db.Count(pattern, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != wantN {
+				t.Errorf("bs=%d limit=%d: Count = %d, want %d", bs, limit, n, wantN)
+			}
+			delivered := int64(0)
+			err = db.Match(pattern, func(map[string]uint32) bool {
+				delivered++
+				return true
+			}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if delivered != wantN {
+				t.Errorf("bs=%d limit=%d: Match delivered %d rows, want %d", bs, limit, delivered, wantN)
+			}
+		}
+	}
+}

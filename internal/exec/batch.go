@@ -1,0 +1,521 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"graphflow/internal/graph"
+)
+
+// This file is the vectorized execution engine: tuples flow through the
+// pipeline as columnar batches (struct-of-arrays, one column per bound
+// query vertex) instead of one at a time, so the per-tuple costs of the
+// oracle engine — an interface dispatch plus a next() closure per stage
+// per tuple — are paid once per batch and the inner loops become plain
+// column sweeps. The scan fills edge batches straight from adjacency
+// runs, E/I stages intersect once per distinct prefix run within a batch
+// (the intersection cache makes equal-key runs contiguous cache hits),
+// hash probes group equal keys into one lookup, and the cancellation
+// poll and match accounting move to batch granularity with exact row
+// counts. The tuple-at-a-time path (worker.runRange/runStage) is kept as
+// the differential-test oracle behind RunConfig.TupleAtATime.
+
+// DefaultBatchSize is the row capacity of one columnar tuple batch when
+// RunConfig.BatchSize is zero. 1024 rows keeps a 6-wide batch (the
+// deepest common pipelines) within L2 while amortizing dispatch to
+// nothing.
+const DefaultBatchSize = 1024
+
+// Morsel scheduling constants: the scan's vertex domain is handed to
+// workers in small morsels through an atomic cursor (instead of the old
+// fixed n/(workers*8) chunks), and a scan vertex whose adjacency run is
+// hub-sized has its edges split into sub-morsels other workers can steal,
+// so one hub no longer pins its whole extension subtree on one worker.
+const (
+	// morselVertices is the scan-range morsel size.
+	morselVertices = 1024
+	// hubSplitDegree is the adjacency length at which a scan vertex's
+	// edge list is split across workers.
+	hubSplitDegree = 4096
+	// hubChunkEdges is the edge count of one split hub morsel.
+	hubChunkEdges = 2048
+)
+
+// BatchCounters counts columnar batches dispatched by each stage kind —
+// the observability surface of the vectorized engine (surfaced per query
+// and aggregated in gfserver's /stats).
+type BatchCounters struct {
+	// Scan counts edge batches filled by scan stages.
+	Scan int64
+	// Extend counts output batches produced by E/I stages.
+	Extend int64
+	// Probe counts output batches produced by hash-probe stages.
+	Probe int64
+}
+
+// Add accumulates other into c.
+func (c *BatchCounters) Add(other BatchCounters) {
+	c.Scan += other.Scan
+	c.Extend += other.Extend
+	c.Probe += other.Probe
+}
+
+// tupleBatch is a columnar block of tuples: cols[s][r] is slot s of row
+// r. Columns share one row count; capacity is fixed at construction and
+// rows are appended column-wise, so steady-state refills never allocate.
+type tupleBatch struct {
+	cols [][]graph.VertexID
+	n    int
+}
+
+func newTupleBatch(width, capacity int) *tupleBatch {
+	b := &tupleBatch{cols: make([][]graph.VertexID, width)}
+	for i := range b.cols {
+		b.cols[i] = make([]graph.VertexID, 0, capacity)
+	}
+	return b
+}
+
+// clear resets the batch to zero rows, keeping column capacity.
+func (b *tupleBatch) clear() {
+	for i := range b.cols {
+		b.cols[i] = b.cols[i][:0]
+	}
+	b.n = 0
+}
+
+// appendFill appends k copies of v to dst.
+func appendFill(dst []graph.VertexID, v graph.VertexID, k int) []graph.VertexID {
+	for i := 0; i < k; i++ {
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// batchStage is the per-run mutable state of one operator in the
+// vectorized engine.
+type batchStage interface {
+	// pushBatch processes every row of in, dispatching full output
+	// batches downstream as they fill; a partial output batch is retained
+	// across calls (flush sends it).
+	pushBatch(w *worker, in *tupleBatch)
+	// flush dispatches the retained partial output batch downstream.
+	flush(w *worker)
+	// outWidth is the stage's output tuple width.
+	outWidth() int
+}
+
+// dispatchBatch hands a produced batch to stage i (len(bstages) is the
+// sink). Every produced row at every stage flows through here — the
+// batch-granular counterpart of countOutput: exact row accounting for
+// the profile plus the amortized cancellation poll.
+func (w *worker) dispatchBatch(i int, b *tupleBatch) {
+	if b.n == 0 {
+		return
+	}
+	sink := i == len(w.bstages)
+	// Sink rows delivered to an emit callback are counted per row just
+	// before their emit call (in sinkBatch), so a profile observed after
+	// early termination never includes rows emit was not offered.
+	if !sink || w.emit == nil {
+		if w.isRoot && sink {
+			w.profile.Matches += int64(b.n)
+		} else {
+			w.profile.Intermediate += int64(b.n)
+		}
+	}
+	w.cancelCountdown -= b.n
+	if w.cancelCountdown <= 0 {
+		w.pollCancel()
+	}
+	if sink {
+		w.sinkBatch(b)
+		return
+	}
+	w.bstages[i].pushBatch(w, b)
+}
+
+// sinkBatch delivers final tuples to emit, row-at-a-time (the emit
+// contract is a flat tuple). A false return unwinds via stopRun exactly
+// like the oracle. With no emit the rows were already counted by
+// dispatchBatch.
+func (w *worker) sinkBatch(b *tupleBatch) {
+	if w.emit == nil {
+		return
+	}
+	width := len(b.cols)
+	if cap(w.tuple) < width {
+		w.tuple = make([]graph.VertexID, width)
+	}
+	t := w.tuple[:width]
+	w.tuple = t
+	root := w.isRoot
+	for r := 0; r < b.n; r++ {
+		if root {
+			w.profile.Matches++
+		} else {
+			w.profile.Intermediate++
+		}
+		for c := 0; c < width; c++ {
+			t[c] = b.cols[c][r]
+		}
+		if !w.emit(t) {
+			panic(stopRun{})
+		}
+	}
+}
+
+// flushBatches drains every retained partial batch down the pipeline in
+// stage order (upstream residue first, so downstream flushes see it).
+// Called once per worker after its last morsel.
+func (w *worker) flushBatches() {
+	if w.scanBatch != nil && w.scanBatch.n > 0 {
+		w.profile.Batches.Scan++
+		w.dispatchBatch(0, w.scanBatch)
+		w.scanBatch.clear()
+	}
+	for _, s := range w.bstages {
+		s.flush(w)
+	}
+}
+
+// runBatchRange is the vectorized scan: it fills columnar edge batches
+// directly from the adjacency runs of vertices [start, end) and drives
+// each full batch through the stage chain. Hub-sized adjacency runs are
+// split into morsels for sibling workers when a queue is attached.
+func (w *worker) runBatchRange(start, end int) {
+	scan := w.pipe.scan
+	srcLabel := scan.SrcLabel
+	for v := start; v < end; v++ {
+		if w.stopped.Load() {
+			return
+		}
+		src := graph.VertexID(v)
+		if w.g.VertexLabel(src) != srcLabel {
+			continue
+		}
+		nbrs := w.scanReader.Read(w.g, src, graph.Forward, scan.EdgeLabel, scan.DstLabel)
+		if len(nbrs) == 0 {
+			continue
+		}
+		w.scanOut += int64(len(nbrs))
+		if w.mq != nil && len(nbrs) >= hubSplitDegree {
+			// Wildcard lookups live in the scan reader's buffer, which the
+			// next Read clobbers; exact-label runs alias immutable storage
+			// and can be shared across workers without a copy.
+			needCopy := scan.EdgeLabel == graph.WildcardLabel || scan.DstLabel == graph.WildcardLabel
+			w.mq.pushHubs(src, nbrs[hubChunkEdges:], needCopy)
+			nbrs = nbrs[:hubChunkEdges]
+		}
+		w.fillEdges(src, nbrs)
+	}
+}
+
+// fillEdges appends (src, nbr) rows to the scan batch, dispatching the
+// batch downstream every time it fills.
+func (w *worker) fillEdges(src graph.VertexID, nbrs []graph.VertexID) {
+	b := w.scanBatch
+	off := 0
+	for off < len(nbrs) {
+		k := len(nbrs) - off
+		if space := w.batchSize - b.n; k > space {
+			k = space
+		}
+		b.cols[0] = appendFill(b.cols[0], src, k)
+		b.cols[1] = append(b.cols[1], nbrs[off:off+k]...)
+		b.n += k
+		off += k
+		if b.n >= w.batchSize {
+			w.profile.Batches.Scan++
+			w.dispatchBatch(0, b)
+			b.clear()
+		}
+	}
+}
+
+// batchExtendState is the vectorized E/I operator: one intersection per
+// distinct descriptor-key run (served through the shared extendState
+// cache), then a bulk columnar fan-out of the extension set.
+type batchExtendState struct {
+	es   extendState
+	idx  int
+	out  *tupleBatch
+	vals []graph.VertexID
+}
+
+func (s *batchExtendState) outWidth() int { return len(s.out.cols) }
+
+// sameRun reports whether row r of in presents the same descriptor
+// vertices as row r-1 — the contiguous-prefix-run probe of the sorted
+// batch. Rows inside a run reuse the previous extension set without
+// touching the cache machinery at all (the reuse is still attributed as
+// a cache hit, matching the oracle's accounting exactly).
+func (s *batchExtendState) sameRun(in *tupleBatch, r int) bool {
+	for _, d := range s.es.spec.op.Descriptors {
+		col := in.cols[d.TupleIdx]
+		if col[r] != col[r-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// extFor returns row r's extension set: prev when the batch run
+// continues (attributed as a cache hit), a fresh (possibly cache-served)
+// intersection otherwise. runs is false when the cache is disabled —
+// Table 3's "Cache Off" recomputes per row, exactly like the oracle.
+func (s *batchExtendState) extFor(w *worker, in *tupleBatch, r int, runs bool, prev []graph.VertexID) []graph.VertexID {
+	if runs && r > 0 && s.sameRun(in, r) {
+		w.profile.CacheHits++
+		s.es.hits++
+		return prev
+	}
+	s.vals = s.vals[:0]
+	for _, d := range s.es.spec.op.Descriptors {
+		s.vals = append(s.vals, in.cols[d.TupleIdx][r])
+	}
+	return s.es.extensionSetFor(w, s.vals)
+}
+
+func (s *batchExtendState) pushBatch(w *worker, in *tupleBatch) {
+	width := len(in.cols)
+	runs := s.es.useCache
+	if w.countFast && w.isRoot && s.idx == len(w.bstages)-1 {
+		// Factorized counting (Section 10): the last extension's Cartesian
+		// product is counted, not enumerated.
+		var ext []graph.VertexID
+		for r := 0; r < in.n; r++ {
+			ext = s.extFor(w, in, r, runs, ext)
+			w.profile.Matches += int64(len(ext))
+		}
+		return
+	}
+	var ext []graph.VertexID
+	for r := 0; r < in.n; r++ {
+		ext = s.extFor(w, in, r, runs, ext)
+		s.es.outTuples += int64(len(ext))
+		off := 0
+		for off < len(ext) {
+			k := len(ext) - off
+			if space := w.batchSize - s.out.n; k > space {
+				k = space
+			}
+			for c := 0; c < width; c++ {
+				s.out.cols[c] = appendFill(s.out.cols[c], in.cols[c][r], k)
+			}
+			s.out.cols[width] = append(s.out.cols[width], ext[off:off+k]...)
+			s.out.n += k
+			off += k
+			if s.out.n >= w.batchSize {
+				w.profile.Batches.Extend++
+				w.dispatchBatch(s.idx+1, s.out)
+				s.out.clear()
+			}
+		}
+	}
+}
+
+func (s *batchExtendState) flush(w *worker) {
+	if s.out.n > 0 {
+		w.profile.Batches.Extend++
+		w.dispatchBatch(s.idx+1, s.out)
+		s.out.clear()
+	}
+}
+
+// batchProbeState is the vectorized hash-probe: consecutive rows with
+// equal join-key values share one table lookup (sorted batches make key
+// runs contiguous), and matching build rows fan out column-wise.
+type batchProbeState struct {
+	ps  probeState
+	idx int
+	out *tupleBatch
+
+	key      []graph.VertexID
+	keyValid bool
+	rows     [][]graph.VertexID
+}
+
+func (s *batchProbeState) outWidth() int { return len(s.out.cols) }
+
+func (s *batchProbeState) pushBatch(w *worker, in *tupleBatch) {
+	slots := s.ps.spec.probeSlots
+	appendIdx := s.ps.spec.appendIdx
+	width := len(in.cols)
+	for r := 0; r < in.n; r++ {
+		// probes stays a per-input-row counter (like the oracle's), so
+		// Analyze's per-node numbers are engine- and batch-size-
+		// independent; the grouped lookup below is purely an optimization.
+		w.profile.ProbedTuples++
+		s.ps.probes++
+		same := s.keyValid
+		if same {
+			for i, sl := range slots {
+				if s.key[i] != in.cols[sl][r] {
+					same = false
+					break
+				}
+			}
+		}
+		if !same {
+			s.key = s.key[:0]
+			for _, sl := range slots {
+				s.key = append(s.key, in.cols[sl][r])
+			}
+			s.rows = s.ps.table.lookupKey(s.key)
+			s.keyValid = true
+		}
+		if len(s.rows) == 0 {
+			continue
+		}
+		s.ps.outTuples += int64(len(s.rows))
+		// Column-major fan-out: replicate the probe-side prefix with bulk
+		// fills and splice each build column in one pass, chunked at batch
+		// capacity.
+		off := 0
+		for off < len(s.rows) {
+			k := len(s.rows) - off
+			if space := w.batchSize - s.out.n; k > space {
+				k = space
+			}
+			for c := 0; c < width; c++ {
+				s.out.cols[c] = appendFill(s.out.cols[c], in.cols[c][r], k)
+			}
+			for j, bi := range appendIdx {
+				col := s.out.cols[width+j]
+				for t := off; t < off+k; t++ {
+					col = append(col, s.rows[t][bi])
+				}
+				s.out.cols[width+j] = col
+			}
+			s.out.n += k
+			off += k
+			if s.out.n >= w.batchSize {
+				w.profile.Batches.Probe++
+				w.dispatchBatch(s.idx+1, s.out)
+				s.out.clear()
+			}
+		}
+	}
+}
+
+func (s *batchProbeState) flush(w *worker) {
+	if s.out.n > 0 {
+		w.profile.Batches.Probe++
+		w.dispatchBatch(s.idx+1, s.out)
+		s.out.clear()
+	}
+}
+
+// hubMorsel is one stolen slice of a hub vertex's scan adjacency.
+type hubMorsel struct {
+	src  graph.VertexID
+	nbrs []graph.VertexID
+}
+
+// morselQueue is the shared scan scheduler of one parallel pipeline run:
+// an atomic cursor deals vertex-range morsels, and a mutex-guarded side
+// queue holds split hub morsels (rare, hub vertices only). scanning
+// tracks workers currently inside a vertex range — they may still
+// enqueue hubs, so the queue is only exhausted when it is empty AND no
+// range is being scanned.
+type morselQueue struct {
+	n      int
+	cursor atomic.Int64
+
+	mu   sync.Mutex
+	hubs []hubMorsel
+
+	scanning atomic.Int64
+}
+
+func newMorselQueue(n int) *morselQueue { return &morselQueue{n: n} }
+
+// nextRange deals the next vertex-range morsel.
+func (q *morselQueue) nextRange() (int, int, bool) {
+	start := int(q.cursor.Add(morselVertices)) - morselVertices
+	if start >= q.n {
+		return 0, 0, false
+	}
+	end := start + morselVertices
+	if end > q.n {
+		end = q.n
+	}
+	return start, end, true
+}
+
+// pushHubs splits nbrs into hubChunkEdges-sized morsels and enqueues
+// them. When needCopy is set the slices are copied out of the caller's
+// reusable buffer; otherwise they alias immutable graph storage.
+func (q *morselQueue) pushHubs(src graph.VertexID, nbrs []graph.VertexID, needCopy bool) {
+	if needCopy {
+		nbrs = append([]graph.VertexID(nil), nbrs...)
+	}
+	q.mu.Lock()
+	for off := 0; off < len(nbrs); off += hubChunkEdges {
+		end := off + hubChunkEdges
+		if end > len(nbrs) {
+			end = len(nbrs)
+		}
+		q.hubs = append(q.hubs, hubMorsel{src: src, nbrs: nbrs[off:end]})
+	}
+	q.mu.Unlock()
+}
+
+// popHub steals one pending hub morsel.
+func (q *morselQueue) popHub() (hubMorsel, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.hubs) == 0 {
+		return hubMorsel{}, false
+	}
+	hm := q.hubs[len(q.hubs)-1]
+	q.hubs = q.hubs[:len(q.hubs)-1]
+	return hm, true
+}
+
+// drained reports whether no morsel of either kind remains and no
+// scanning worker can still produce one.
+func (q *morselQueue) drained() bool {
+	if q.scanning.Load() != 0 {
+		return false
+	}
+	q.mu.Lock()
+	empty := len(q.hubs) == 0
+	q.mu.Unlock()
+	return empty
+}
+
+// runWorkerLoop is one parallel worker's schedule: steal split hub
+// morsels first (they represent the skewed work), then deal vertex
+// ranges from the cursor, and exit only when the queue is fully drained.
+func (w *worker) runWorkerLoop(q *morselQueue) {
+	for !w.stopped.Load() {
+		if hm, ok := q.popHub(); ok {
+			w.recovered(func() { w.fillEdges(hm.src, hm.nbrs) })
+			continue
+		}
+		// scanning is raised BEFORE the cursor advances: a sibling whose
+		// own nextRange came up empty can then only observe scanning == 0
+		// if this worker had not yet claimed a range either — so it can
+		// never conclude "drained" while a range that may still enqueue
+		// hub morsels is in flight.
+		q.scanning.Add(1)
+		if start, end, ok := q.nextRange(); ok {
+			w.runRecovered(start, end)
+			q.scanning.Add(-1)
+			continue
+		}
+		q.scanning.Add(-1)
+		if q.drained() {
+			break
+		}
+		// A sibling is still scanning and may enqueue hub morsels; yield
+		// rather than spin hard.
+		runtime.Gosched()
+	}
+	if w.scanBatch != nil && !w.stopped.Load() {
+		w.recovered(w.flushBatches)
+	}
+}

@@ -1,0 +1,414 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"graphflow/internal/datagen"
+	"graphflow/internal/graph"
+	"graphflow/internal/plan"
+	"graphflow/internal/query"
+)
+
+// batchSizesUnderTest is the matrix every differential comparison runs
+// at: single-row batches (maximum flush pressure), an odd size that
+// never divides fan-outs evenly, a mid size, and the default.
+var batchSizesUnderTest = []int{1, 3, 64, 1024}
+
+// sortedTuples collects every match of cp as a sorted list of formatted
+// tuples, for order-insensitive result-set comparison.
+func sortedTuples(t *testing.T, cp *CompiledPlan, cfg RunConfig) []string {
+	t.Helper()
+	var out []string
+	_, err := cp.Run(cfg, func(tu []graph.VertexID) {
+		out = append(out, fmt.Sprint(tu))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// plansUnderTest builds a representative plan set over g: scan-only, a
+// 1-stage and 2-stage WCO pipeline, and a hybrid with a hash probe.
+func plansUnderTest(t *testing.T, g *graph.Graph) map[string]*plan.Plan {
+	t.Helper()
+	plans := map[string]*plan.Plan{}
+	qEdge := query.MustParse("a->b")
+	plans["scan"] = &plan.Plan{Query: qEdge, Root: plan.NewScan(qEdge, qEdge.Edges[0])}
+	plans["triangle"] = buildWCO(t, query.Q1(), []int{0, 1, 2})
+	plans["diamondX"] = buildWCO(t, query.Q4(), []int{0, 1, 2, 3})
+	q8 := query.Q8()
+	left := buildWCO(t, q8, []int{0, 1, 2}).Root
+	right := buildWCO(t, q8, []int{2, 3, 4}).Root
+	hj, err := plan.NewHashJoin(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans["hybrid"] = &plan.Plan{Query: q8, Root: hj}
+	return plans
+}
+
+// TestBatchEngineMatchesOracle compares the vectorized engine against
+// the tuple-at-a-time oracle on counts and sorted tuple sets, across
+// batch sizes, worker counts and plan shapes.
+func TestBatchEngineMatchesOracle(t *testing.T) {
+	g := smallRandomGraph(11, 160, 6)
+	for name, p := range plansUnderTest(t, g) {
+		cp, err := Compile(g, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		oracle := RunConfig{TupleAtATime: true}
+		wantN, wantProf, err := cp.Count(oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTuples := sortedTuples(t, cp, oracle)
+		for _, bs := range batchSizesUnderTest {
+			for _, workers := range []int{1, 4} {
+				cfg := RunConfig{BatchSize: bs, Workers: workers}
+				gotN, gotProf, err := cp.Count(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotN != wantN {
+					t.Errorf("%s bs=%d workers=%d: count %d, oracle %d", name, bs, workers, gotN, wantN)
+				}
+				if gotProf.Matches != wantProf.Matches {
+					t.Errorf("%s bs=%d workers=%d: profile matches %d, oracle %d", name, bs, workers, gotProf.Matches, wantProf.Matches)
+				}
+				if workers == 1 {
+					got := sortedTuples(t, cp, cfg)
+					if len(got) != len(wantTuples) {
+						t.Fatalf("%s bs=%d: %d tuples, oracle %d", name, bs, len(got), len(wantTuples))
+					}
+					for i := range got {
+						if got[i] != wantTuples[i] {
+							t.Fatalf("%s bs=%d: tuple[%d] = %s, oracle %s", name, bs, i, got[i], wantTuples[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchProfileParity checks that the sequential batch engine
+// reproduces the oracle's cost counters exactly: i-cost, intermediate
+// tuples, cache hits and probe inputs (run-grouping must behave exactly
+// like the intersection cache it generalises).
+func TestBatchProfileParity(t *testing.T) {
+	g := smallRandomGraph(12, 200, 5)
+	for name, p := range plansUnderTest(t, g) {
+		cp, err := Compile(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, want, err := cp.Count(RunConfig{TupleAtATime: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bs := range batchSizesUnderTest {
+			_, got, err := cp.Count(RunConfig{BatchSize: bs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.ICost != want.ICost || got.Intermediate != want.Intermediate ||
+				got.CacheHits != want.CacheHits || got.ProbedTuples != want.ProbedTuples ||
+				got.HashedTuples != want.HashedTuples {
+				t.Errorf("%s bs=%d: profile %+v, oracle %+v", name, bs, got, want)
+			}
+		}
+	}
+}
+
+// TestBatchFastCount checks the batch-granular factorized count against
+// full enumeration at every batch size.
+func TestBatchFastCount(t *testing.T) {
+	g := datagen.Epinions(1)
+	p := buildWCO(t, query.Q4(), []int{0, 1, 2, 3})
+	cp, err := Compile(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := cp.Count(RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range batchSizesUnderTest {
+		got, prof, err := cp.Count(RunConfig{BatchSize: bs, FastCount: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want || prof.Matches != want {
+			t.Errorf("bs=%d: fast count %d (profile %d), want %d", bs, got, prof.Matches, want)
+		}
+	}
+}
+
+// TestBatchLimitExactUnderParallelism is the Limit/RunUntil cap
+// regression: at every batch size, with several workers, CountUpTo must
+// report exactly the cap and RunUntil must never call emit after it
+// returned false.
+func TestBatchLimitExactUnderParallelism(t *testing.T) {
+	g := datagen.Amazon(1)
+	p := buildWCO(t, query.Q1(), []int{0, 1, 2})
+	cp, err := Compile(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := cp.Count(RunConfig{TupleAtATime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full < 100 {
+		t.Skipf("too few triangles (%d)", full)
+	}
+	for _, bs := range append([]int{0}, batchSizesUnderTest...) {
+		for _, limit := range []int64{1, 7, 100} {
+			cfg := RunConfig{BatchSize: bs, Workers: 4}
+			n, _, err := cp.CountUpTo(cfg, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != limit {
+				t.Errorf("bs=%d limit=%d: CountUpTo = %d", bs, limit, n)
+			}
+			var calls, after atomic.Int64
+			var stopped atomic.Bool
+			_, err = cp.RunUntil(cfg, func([]graph.VertexID) bool {
+				if stopped.Load() {
+					after.Add(1)
+				}
+				if calls.Add(1) >= limit {
+					stopped.Store(true)
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if after.Load() != 0 {
+				t.Errorf("bs=%d limit=%d: emit called %d times after stop", bs, limit, after.Load())
+			}
+		}
+		// A cap above the total must return the exact count.
+		n, _, err := cp.CountUpTo(RunConfig{BatchSize: bs, Workers: 4}, full+1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != full {
+			t.Errorf("bs=%d: uncapped CountUpTo = %d, want %d", bs, n, full)
+		}
+	}
+}
+
+// hubStarGraph builds a graph with one hub whose forward adjacency is
+// far above hubSplitDegree plus a background of triangles, so parallel
+// scans must exercise the hub-splitting morsel path.
+func hubStarGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	n := hubSplitDegree*2 + 64
+	b := graph.NewBuilder(n)
+	for i := 1; i < hubSplitDegree*2; i++ {
+		b.AddEdge(0, graph.VertexID(i), 0)
+	}
+	// Triangles through hub neighbours so the pipeline has E/I work.
+	for i := 1; i+1 < n; i += 2 {
+		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1), 0)
+		b.AddEdge(0, graph.VertexID(i+1), 0)
+	}
+	return b.MustBuild()
+}
+
+// TestHubMorselSplitParity checks that hub-split parallel scans agree
+// with the sequential oracle on a graph dominated by one hub vertex.
+func TestHubMorselSplitParity(t *testing.T) {
+	g := hubStarGraph(t)
+	p := buildWCO(t, query.Q1(), []int{0, 1, 2})
+	cp, err := Compile(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := cp.Count(RunConfig{TupleAtATime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == 0 {
+		t.Fatal("hub graph has no triangles; test is vacuous")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, _, err := cp.Count(RunConfig{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: hub-split count = %d, want %d", workers, got, want)
+		}
+	}
+	// Limits must stay exact across hub splits too.
+	n, _, err := cp.CountUpTo(RunConfig{Workers: 4}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 17 {
+		t.Errorf("hub-split CountUpTo = %d, want 17", n)
+	}
+}
+
+// steadyWorker compiles p over g and returns a warmed-up batch worker
+// whose buffers have all reached steady-state capacity.
+func steadyWorker(tb testing.TB, g *graph.Graph, p *plan.Plan) (*worker, int) {
+	tb.Helper()
+	cp, err := Compile(g, p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rc := &runContext{cp: cp, cfg: RunConfig{FastCount: true}}
+	var stopped atomic.Bool
+	w := newWorker(rc, cp.pipes[len(cp.pipes)-1], true, nil, &stopped, nil)
+	n := g.NumVertices()
+	w.runBatchRange(0, n)
+	w.flushBatches()
+	return w, n
+}
+
+// TestBatchSteadyStateZeroAllocs is the AllocsPerRun guard of the batch
+// E/I hot loop: after warm-up, scanning the whole graph through the
+// pipeline must not allocate at all — the scan fills reused columns, the
+// intersections reuse the stage scratch, and no per-tuple closures
+// exist.
+func TestBatchSteadyStateZeroAllocs(t *testing.T) {
+	g := datagen.Epinions(1)
+	w, n := steadyWorker(t, g, buildWCO(t, query.Q4(), []int{0, 1, 2, 3}))
+	allocs := testing.AllocsPerRun(3, func() {
+		w.runBatchRange(0, n)
+		w.flushBatches()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state batch E/I loop allocates %.1f times per scan, want 0", allocs)
+	}
+}
+
+// TestOracleScanSteadyStateZeroAllocs guards the oracle-path satellite
+// fix: the per-scan-vertex Neighbors lookup goes through the reusable
+// per-worker reader, so a full scan pass allocates nothing either.
+func TestOracleScanSteadyStateZeroAllocs(t *testing.T) {
+	g := datagen.Epinions(1)
+	cp, err := Compile(g, buildWCO(t, query.Q1(), []int{0, 1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := &runContext{cp: cp, cfg: RunConfig{TupleAtATime: true, FastCount: true}}
+	var stopped atomic.Bool
+	w := newWorker(rc, cp.pipes[0], true, nil, &stopped, nil)
+	n := g.NumVertices()
+	w.runRange(0, n)
+	allocs := testing.AllocsPerRun(3, func() { w.runRange(0, n) })
+	if allocs != 0 {
+		t.Errorf("oracle scan loop allocates %.1f times per scan, want 0", allocs)
+	}
+}
+
+// BenchmarkBatchEISteadyState is the CI-guarded steady-state benchmark:
+// the full scan→E/I→E/I pipeline of the diamond-X over Epinions, batch
+// engine, factorized count. CI asserts 0 allocs/op.
+func BenchmarkBatchEISteadyState(b *testing.B) {
+	g := datagen.Epinions(1)
+	w, n := steadyWorker(b, g, buildWCO(b, query.Q4(), []int{0, 1, 2, 3}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.runBatchRange(0, n)
+		w.flushBatches()
+	}
+}
+
+// BenchmarkDeepPipelineBatch/Oracle compare the two engines end-to-end
+// on a 4-stage pipeline (6-vertex chained triangles) over a skewed web
+// graph — the shape the vectorized engine targets.
+func deepPipelinePlan(tb testing.TB) (*graph.Graph, *plan.Plan) {
+	// A triangle core followed by fan-out expansions of the core vertex: a
+	// 4-stage pipeline whose tail stages extend long sorted prefix runs —
+	// the deep-pipeline shape whose per-tuple dispatch overhead the
+	// vectorized engine amortizes into column sweeps.
+	g := datagen.Web(datagen.WebConfig{N: 2500, OutDeg: 8, Copy: 0.6, Seed: 5})
+	q := query.MustParse("a->b, a->c, b->c, a->d, a->e, a->f")
+	return g, buildWCO(tb, q, []int{0, 1, 2, 3, 4, 5})
+}
+
+func BenchmarkDeepPipelineBatch(b *testing.B) {
+	g, p := deepPipelinePlan(b)
+	cp, err := Compile(g, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cp.Count(RunConfig{FastCount: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeepPipelineOracle(b *testing.B) {
+	g, p := deepPipelinePlan(b)
+	cp, err := Compile(g, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cp.Count(RunConfig{FastCount: true, TupleAtATime: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// skewedParallelPlan is the skew-torture case of the morsel scheduler: a
+// web graph with one dominant hub region and a deep pipeline, run with 4
+// workers. Under PR-4's fixed n/(workers*8) chunking the chunk owning
+// the hubs becomes the critical path; morsel dequeue plus hub splitting
+// spreads the subtree.
+func skewedParallelPlan(tb testing.TB) (*graph.Graph, *plan.Plan) {
+	g := datagen.Web(datagen.WebConfig{N: 8000, OutDeg: 10, Copy: 0.85, Seed: 9})
+	q := query.MustParse("a->b, a->c, b->c, c->d, d->e, e->f")
+	return g, buildWCO(tb, q, []int{0, 1, 2, 3, 4, 5})
+}
+
+func BenchmarkSkewParallelBatch(b *testing.B) {
+	g, p := skewedParallelPlan(b)
+	cp, err := Compile(g, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cp.Count(RunConfig{FastCount: true, Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSkewParallelOracle(b *testing.B) {
+	g, p := skewedParallelPlan(b)
+	cp, err := Compile(g, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cp.Count(RunConfig{FastCount: true, Workers: 4, TupleAtATime: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -39,9 +39,12 @@ type compiledPipeline struct {
 }
 
 // stageSpec is the static, shareable description of one operator above a
-// scan. newState mints the per-run mutable counterpart.
+// scan. newState mints the per-run mutable oracle counterpart,
+// newBatchState the vectorized one (idx is the stage's position in the
+// chain, inWidth its input tuple width).
 type stageSpec interface {
 	newState(rc *runContext) stageState
+	newBatchState(rc *runContext, idx, inWidth int) batchStage
 	planNode() plan.Node
 }
 
@@ -56,6 +59,14 @@ func (s *extendSpec) newState(rc *runContext) stageState {
 	return &extendState{spec: s, useCache: !rc.cfg.DisableCache}
 }
 
+func (s *extendSpec) newBatchState(rc *runContext, idx, inWidth int) batchStage {
+	return &batchExtendState{
+		es:  extendState{spec: s, useCache: !rc.cfg.DisableCache},
+		idx: idx,
+		out: newTupleBatch(inWidth+1, rc.cfg.batchSize()),
+	}
+}
+
 // probeSpec is the compiled form of a HASH-JOIN probe: the slot maps that
 // the old executor derived lazily per worker are computed once here.
 type probeSpec struct {
@@ -68,6 +79,14 @@ func (s *probeSpec) planNode() plan.Node { return s.op }
 
 func (s *probeSpec) newState(rc *runContext) stageState {
 	return &probeState{spec: s, table: rc.tables[s.op]}
+}
+
+func (s *probeSpec) newBatchState(rc *runContext, idx, inWidth int) batchStage {
+	return &batchProbeState{
+		ps:  probeState{spec: s, table: rc.tables[s.op]},
+		idx: idx,
+		out: newTupleBatch(inWidth+len(s.appendIdx), rc.cfg.batchSize()),
+	}
 }
 
 // Compile validates p and lowers it into a CompiledPlan over g — any

@@ -54,6 +54,9 @@ type Profile struct {
 	// two together show how much of the nominal i-cost the bitset kernels
 	// short-circuited.
 	Kernels graph.KernelCounters
+	// Batches counts columnar batches dispatched per stage kind by the
+	// vectorized engine (all zero under the tuple-at-a-time oracle).
+	Batches BatchCounters
 }
 
 // Add accumulates other into p.
@@ -65,6 +68,7 @@ func (p *Profile) Add(other Profile) {
 	p.HashedTuples += other.HashedTuples
 	p.ProbedTuples += other.ProbedTuples
 	p.Kernels.Add(other.Kernels)
+	p.Batches.Add(other.Batches)
 }
 
 // RunConfig carries the per-run execution knobs. The zero value is a
@@ -85,6 +89,24 @@ type RunConfig struct {
 	// paper's Section 10). Counts are identical; Matches in the profile is
 	// still exact.
 	FastCount bool
+	// BatchSize is the row capacity of the vectorized engine's columnar
+	// tuple batches. 0 takes DefaultBatchSize; values below 1 clamp to 1.
+	// Ignored under TupleAtATime.
+	BatchSize int
+	// TupleAtATime selects the legacy tuple-at-a-time engine — kept as
+	// the differential-test oracle for the vectorized default.
+	TupleAtATime bool
+}
+
+// batchSize resolves the effective batch row capacity.
+func (c *RunConfig) batchSize() int {
+	switch {
+	case c.BatchSize == 0:
+		return DefaultBatchSize
+	case c.BatchSize < 1:
+		return 1
+	}
+	return c.BatchSize
 }
 
 // ErrBuildTooLarge is returned when MaxBuildRows is exceeded.
@@ -313,41 +335,65 @@ func (rc *runContext) buildTable(pipe *compiledPipeline, workers int) error {
 
 // runPipeline executes one pipeline with the given worker count. isRoot
 // marks whether the pipeline's outputs are final matches rather than
-// intermediate results.
+// intermediate results. Parallel runs schedule the scan through a shared
+// morsel queue (small vertex ranges dealt by an atomic cursor, split hub
+// adjacency morsels stealable by any worker) instead of the old fixed
+// n/(workers*8) chunking, so a single hub vertex no longer pins its
+// whole extension subtree on one worker.
 func (rc *runContext) runPipeline(pipe *compiledPipeline, workers int, isRoot bool, emit func([]graph.VertexID) bool) (Profile, error) {
 	n := rc.cp.graph.NumVertices()
 	var stopped atomic.Bool
 	if workers <= 1 {
-		w := newWorker(rc, pipe, isRoot, emit, &stopped)
+		w := newWorker(rc, pipe, isRoot, emit, &stopped, nil)
 		w.runRecovered(0, n)
+		if w.scanBatch != nil && !stopped.Load() {
+			w.recovered(w.flushBatches)
+		}
 		w.finish()
 		return w.profile, nil
 	}
-	chunk := n/(workers*8) + 1
-	var next atomic.Int64
 	var wg sync.WaitGroup
 	profs := make([]Profile, workers)
-	for wi := 0; wi < workers; wi++ {
-		wg.Add(1)
-		go func(wi int) {
-			defer wg.Done()
-			w := newWorker(rc, pipe, isRoot, emit, &stopped)
-			for !stopped.Load() {
-				start := int(next.Add(int64(chunk))) - chunk
-				if start >= n {
-					break
+	if rc.cfg.TupleAtATime {
+		// The oracle keeps the PR-4 fixed chunking, so it stays a faithful
+		// baseline for the morsel scheduler as well as for results.
+		chunk := n/(workers*8) + 1
+		var next atomic.Int64
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				w := newWorker(rc, pipe, isRoot, emit, &stopped, nil)
+				for !stopped.Load() {
+					start := int(next.Add(int64(chunk))) - chunk
+					if start >= n {
+						break
+					}
+					end := start + chunk
+					if end > n {
+						end = n
+					}
+					w.runRecovered(start, end)
 				}
-				end := start + chunk
-				if end > n {
-					end = n
-				}
-				w.runRecovered(start, end)
-			}
-			w.finish()
-			profs[wi] = w.profile
-		}(wi)
+				w.finish()
+				profs[wi] = w.profile
+			}(wi)
+		}
+		wg.Wait()
+	} else {
+		q := newMorselQueue(n)
+		for wi := 0; wi < workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				w := newWorker(rc, pipe, isRoot, emit, &stopped, q)
+				w.runWorkerLoop(q)
+				w.finish()
+				profs[wi] = w.profile
+			}(wi)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	var total Profile
 	for _, p := range profs {
 		total.Add(p)

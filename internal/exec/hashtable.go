@@ -33,18 +33,38 @@ func newHashTable(keySlots []int, rowWidth int) *hashTable {
 
 func (h *hashTable) len() int { return h.count }
 
-func (h *hashTable) packKey(tuple []graph.VertexID, slots []int) uint64 {
-	k := uint64(tuple[slots[0]])
-	if len(slots) == 2 {
-		k = k<<32 | uint64(tuple[slots[1]])
+// packedKey is the single encoding of a one- or two-vertex join key as a
+// uint64; every packed-map reader and writer goes through it.
+func packedKey(v0, v1 graph.VertexID, hasSecond bool) uint64 {
+	k := uint64(v0)
+	if hasSecond {
+		k = k<<32 | uint64(v1)
 	}
 	return k
 }
 
+func (h *hashTable) packKey(tuple []graph.VertexID, slots []int) uint64 {
+	if len(slots) == 2 {
+		return packedKey(tuple[slots[0]], tuple[slots[1]], true)
+	}
+	return packedKey(tuple[slots[0]], 0, false)
+}
+
+// wideKey is the single encoding of a >2-vertex join key as a byte
+// string. nil slots means tuple already is the gathered key (the
+// vectorized probe path).
 func (h *hashTable) wideKey(tuple []graph.VertexID, slots []int) string {
-	buf := make([]byte, 4*len(slots))
-	for i, s := range slots {
-		binary.LittleEndian.PutUint32(buf[4*i:], uint32(tuple[s]))
+	n := len(slots)
+	if slots == nil {
+		n = len(tuple)
+	}
+	buf := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		v := tuple[i]
+		if slots != nil {
+			v = tuple[slots[i]]
+		}
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(v))
 	}
 	return string(buf)
 }
@@ -69,4 +89,18 @@ func (h *hashTable) lookup(probe []graph.VertexID, probeSlots []int) [][]graph.V
 		return h.packed[h.packKey(probe, probeSlots)]
 	}
 	return h.wide[h.wideKey(probe, probeSlots)]
+}
+
+// lookupKey is lookup over an already-gathered key (one value per join
+// vertex, in key-slot order) — the entry point of the vectorized probe,
+// which gathers each distinct key run once per batch. Allocation-free on
+// the packed (≤2 join vertices) layout.
+func (h *hashTable) lookupKey(key []graph.VertexID) [][]graph.VertexID {
+	if h.packed != nil {
+		if len(key) == 2 {
+			return h.packed[packedKey(key[0], key[1], true)]
+		}
+		return h.packed[packedKey(key[0], 0, false)]
+	}
+	return h.wide[h.wideKey(key, nil)]
 }

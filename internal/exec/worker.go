@@ -23,6 +23,17 @@ type worker struct {
 	stopped *atomic.Bool
 	tuple   []graph.VertexID
 	profile Profile
+	// Vectorized-engine state (nil/zero when cfg.TupleAtATime selects the
+	// oracle): the per-worker scan batch, the batch stage chain, the
+	// configured batch row capacity and the shared morsel queue hub
+	// morsels are pushed to when a scan vertex's adjacency is split.
+	bstages   []batchStage
+	scanBatch *tupleBatch
+	batchSize int
+	mq        *morselQueue
+	// scanReader is the reusable neighbor fill for the scan stage (both
+	// engines), replacing the old Neighbors(..., nil) per-vertex lookup.
+	scanReader graph.NeighborReader
 	// countFast enables factorized counting: when the final stage is an
 	// E/I operator and no tuples need to be emitted, the extension set's
 	// size is added to the match count without enumerating the Cartesian
@@ -52,16 +63,27 @@ type stageState interface {
 	push(w *worker, next func())
 }
 
-func newWorker(rc *runContext, pipe *compiledPipeline, isRoot bool, emit func([]graph.VertexID) bool, stopped *atomic.Bool) *worker {
+func newWorker(rc *runContext, pipe *compiledPipeline, isRoot bool, emit func([]graph.VertexID) bool, stopped *atomic.Bool, mq *morselQueue) *worker {
 	w := &worker{
 		g: rc.cp.graph, rc: rc, pipe: pipe, isRoot: isRoot,
-		emit: emit, stopped: stopped,
+		emit: emit, stopped: stopped, mq: mq,
 		countFast:       rc.cfg.FastCount && emit == nil,
 		cancelCountdown: cancelCheckInterval,
 		nWords:          (rc.cp.graph.NumVertices() + 63) / 64,
 	}
-	for _, spec := range pipe.stages {
-		w.stages = append(w.stages, spec.newState(rc))
+	if rc.cfg.TupleAtATime {
+		for _, spec := range pipe.stages {
+			w.stages = append(w.stages, spec.newState(rc))
+		}
+	} else {
+		w.batchSize = rc.cfg.batchSize()
+		w.scanBatch = newTupleBatch(2, w.batchSize)
+		width := 2
+		for i, spec := range pipe.stages {
+			st := spec.newBatchState(rc, i, width)
+			width = st.outWidth()
+			w.bstages = append(w.bstages, st)
+		}
 	}
 	w.tuple = make([]graph.VertexID, 0, pipe.outWidth)
 	return w
@@ -71,9 +93,9 @@ func newWorker(rc *runContext, pipe *compiledPipeline, isRoot bool, emit func([]
 // worker's range loop recovers it.
 type stopRun struct{}
 
-// runRecovered scans [start, end), converting a stopRun unwind into the
-// shared stopped flag so sibling workers cease at their next check.
-func (w *worker) runRecovered(start, end int) {
+// recovered runs f, converting a stopRun unwind into the shared stopped
+// flag so sibling workers cease at their next check.
+func (w *worker) recovered(f func()) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			if _, ok := rec.(stopRun); !ok {
@@ -82,11 +104,23 @@ func (w *worker) runRecovered(start, end int) {
 			w.stopped.Store(true)
 		}
 	}()
-	w.runRange(start, end)
+	f()
 }
 
-// runRange scans the forward adjacency of vertices [start, end) matching
-// the scan's labels and drives each edge tuple through the stages.
+// runRecovered scans [start, end) under the stopRun recover, dispatching
+// to the engine the run was configured with.
+func (w *worker) runRecovered(start, end int) {
+	w.recovered(func() {
+		if w.scanBatch != nil {
+			w.runBatchRange(start, end)
+			return
+		}
+		w.runRange(start, end)
+	})
+}
+
+// runRange is the tuple-at-a-time (oracle) scan loop: it drives each edge
+// tuple of vertices [start, end) through the stages individually.
 func (w *worker) runRange(start, end int) {
 	scan := w.pipe.scan
 	srcLabel := scan.SrcLabel
@@ -98,7 +132,7 @@ func (w *worker) runRange(start, end int) {
 		if w.g.VertexLabel(src) != srcLabel {
 			continue
 		}
-		nbrs := w.g.Neighbors(src, graph.Forward, scan.EdgeLabel, scan.DstLabel, nil)
+		nbrs := w.scanReader.Read(w.g, src, graph.Forward, scan.EdgeLabel, scan.DstLabel)
 		for _, dst := range nbrs {
 			w.tuple = append(w.tuple[:0], src, dst)
 			w.scanOut++
@@ -158,46 +192,78 @@ func (w *worker) pollCancel() {
 	}
 }
 
+// eachState calls ext for every E/I state and probe for every hash-probe
+// state, whichever engine the worker was built for.
+func (w *worker) eachState(ext func(*extendState), probe func(*probeState)) {
+	for _, s := range w.stages {
+		switch st := s.(type) {
+		case *extendState:
+			ext(st)
+		case *probeState:
+			probe(st)
+		}
+	}
+	for _, s := range w.bstages {
+		switch st := s.(type) {
+		case *batchExtendState:
+			ext(&st.es)
+		case *batchProbeState:
+			probe(&st.ps)
+		}
+	}
+}
+
 // finish flushes per-operator counters into the worker's profile and the
 // run's analysis collector, if one is attached.
 func (w *worker) finish() {
-	for _, s := range w.stages {
-		if st, ok := s.(*extendState); ok {
-			w.profile.Kernels.Add(st.it.Counters)
-			st.it.Counters = graph.KernelCounters{}
-		}
-	}
+	w.eachState(func(st *extendState) {
+		w.profile.Kernels.Add(st.it.Counters)
+		st.it.Counters = graph.KernelCounters{}
+	}, func(*probeState) {})
 	nc := w.rc.analyze
 	if nc == nil {
 		return
 	}
 	nc.add(w.pipe.scan, w.scanOut, 0, 0, 0, 0)
 	w.scanOut = 0
-	for _, s := range w.stages {
-		switch st := s.(type) {
-		case *extendState:
-			nc.add(st.spec.op, st.outTuples, st.icost, st.hits, 0, 0)
-			st.outTuples, st.icost, st.hits = 0, 0, 0
-		case *probeState:
-			nc.add(st.spec.op, st.outTuples, 0, 0, st.probes, int64(st.table.len()))
-			st.outTuples, st.probes = 0, 0
-		}
-	}
+	w.eachState(func(st *extendState) {
+		nc.add(st.spec.op, st.outTuples, st.icost, st.hits, 0, 0)
+		st.outTuples, st.icost, st.hits = 0, 0, 0
+	}, func(st *probeState) {
+		nc.add(st.spec.op, st.outTuples, 0, 0, st.probes, int64(st.table.len()))
+		st.outTuples, st.probes = 0, 0
+	})
 }
 
 // extendState implements EXTEND/INTERSECT with the intersection cache.
+// Both engines share it: the oracle gathers descriptor values from the
+// flat tuple, the batch engine from its columns; extensionSetFor is the
+// common core.
 type extendState struct {
 	spec     *extendSpec
 	useCache bool
 
 	// Intersection cache (Section 3.1): if consecutive tuples present the
 	// same source vertices to the descriptors, the extension set is reused.
+	// In the batch engine this is also the run-grouping mechanism: sorted
+	// batches make equal-prefix runs contiguous, so one intersection
+	// serves the whole run as a column sweep of cache hits.
 	cacheKey   []graph.VertexID
 	cacheValid bool
-	cacheBuf   []graph.VertexID // owns the cached extension set (flat array)
-	scratch    []graph.VertexID
+	// cacheExt is the served extension set: for multiway intersections it
+	// is cacheBuf (owned storage the kernels write into), for
+	// single-descriptor extensions it aliases the immutable adjacency run
+	// directly — valid for the whole run since the epoch snapshot is
+	// pinned — so plain extends never copy their neighbour list.
+	cacheExt []graph.VertexID
+	cacheBuf []graph.VertexID // owns the cached extension set (flat array)
+	scratch  []graph.VertexID
 	lists      [][]graph.VertexID
 	bits       []*graph.Bitset
+	// readers own the per-descriptor neighbor fill buffers (one each, so
+	// a multiway gather never clobbers an earlier descriptor's run).
+	readers []graph.NeighborReader
+	valBuf  []graph.VertexID
 
 	// it is the degree-adaptive k-way intersection engine. It owns the
 	// shortest-first ordering scratch (previously allocated per call
@@ -216,14 +282,25 @@ func (s *extendState) push(w *worker, next func()) {
 // extensionSet computes (or serves from the intersection cache) the
 // extension set of the current tuple.
 func (s *extendState) extensionSet(w *worker) []graph.VertexID {
+	s.valBuf = s.valBuf[:0]
+	for _, d := range s.spec.op.Descriptors {
+		s.valBuf = append(s.valBuf, w.tuple[d.TupleIdx])
+	}
+	return s.extensionSetFor(w, s.valBuf)
+}
+
+// extensionSetFor computes (or serves from the intersection cache) the
+// extension set for the given descriptor source vertices, one per
+// descriptor in declaration order.
+func (s *extendState) extensionSetFor(w *worker, vals []graph.VertexID) []graph.VertexID {
 	op := s.spec.op
 	descs := op.Descriptors
 	// Cache lookup.
 	if s.useCache {
-		if s.cacheValid && len(s.cacheKey) == len(descs) {
+		if s.cacheValid && len(s.cacheKey) == len(vals) {
 			hit := true
-			for i, d := range descs {
-				if s.cacheKey[i] != w.tuple[d.TupleIdx] {
+			for i, v := range vals {
+				if s.cacheKey[i] != v {
 					hit = false
 					break
 				}
@@ -231,19 +308,19 @@ func (s *extendState) extensionSet(w *worker) []graph.VertexID {
 			if hit {
 				w.profile.CacheHits++
 				s.hits++
-				return s.cacheBuf
+				return s.cacheExt
 			}
 		}
-		s.cacheKey = s.cacheKey[:0]
-		for _, d := range descs {
-			s.cacheKey = append(s.cacheKey, w.tuple[d.TupleIdx])
-		}
+		s.cacheKey = append(s.cacheKey[:0], vals...)
+	}
+	if s.readers == nil {
+		s.readers = make([]graph.NeighborReader, len(descs))
 	}
 	// Gather descriptor lists; i-cost counts every accessed list's size
 	// (Equation 1).
 	s.lists = s.lists[:0]
-	for _, d := range descs {
-		list := w.g.Neighbors(w.tuple[d.TupleIdx], d.Dir, d.EdgeLabel, op.TargetLabel, nil)
+	for i, d := range descs {
+		list := s.readers[i].Read(w.g, vals[i], d.Dir, d.EdgeLabel, op.TargetLabel)
 		w.profile.ICost += int64(len(list))
 		s.icost += int64(len(list))
 		s.lists = append(s.lists, list)
@@ -261,7 +338,7 @@ func (s *extendState) extensionSet(w *worker) []graph.VertexID {
 			for i, d := range descs {
 				var bs *graph.Bitset
 				if len(s.lists[i]) >= floor {
-					bs = w.g.NeighborBitset(w.tuple[d.TupleIdx], d.Dir, d.EdgeLabel, op.TargetLabel)
+					bs = w.g.NeighborBitset(vals[i], d.Dir, d.EdgeLabel, op.TargetLabel)
 				}
 				s.bits = append(s.bits, bs)
 			}
@@ -269,15 +346,14 @@ func (s *extendState) extensionSet(w *worker) []graph.VertexID {
 		ext, s.scratch = s.it.IntersectK(s.lists, s.bits, s.cacheBuf[:0], s.scratch)
 	}
 	if s.useCache {
-		if len(s.lists) == 1 {
-			// Copy: the list aliases (immutable) graph storage; the cache
-			// buffer must survive later multiway intersections that reuse it.
-			s.cacheBuf = append(s.cacheBuf[:0], ext...)
-		} else {
+		if len(s.lists) > 1 {
+			// cacheBuf stays the owned kernel output buffer; the
+			// single-descriptor alias is never assigned to it, so the next
+			// multiway intersection cannot scribble over graph storage.
 			s.cacheBuf = ext
 		}
+		s.cacheExt = ext
 		s.cacheValid = true
-		return s.cacheBuf
 	}
 	return ext
 }

@@ -62,6 +62,11 @@ type Config struct {
 	MaxRows int
 	// MaxWorkers clamps request-supplied worker counts. Default 16.
 	MaxWorkers int
+	// BatchSize is the vectorized executor's batch row capacity applied
+	// to requests that do not set batch_size. 0 keeps the engine default
+	// (1024); negative selects the tuple-at-a-time oracle engine (a
+	// debugging configuration, not for production traffic).
+	BatchSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +109,10 @@ type Server struct {
 	// per-run statistics), surfaced by /stats as the serving-layer view
 	// of the degree-adaptive intersection engine.
 	kernelMerge, kernelGallop, kernelBitsetProbe, kernelBitsetAnd atomic.Int64
+
+	// Per-stage batch dispatch totals of the vectorized engine, same
+	// accumulation rules as the kernel counters.
+	batchScan, batchExtend, batchProbe atomic.Int64
 }
 
 // New builds a Server over cfg.DB.
@@ -150,6 +159,9 @@ type queryRequest struct {
 	Adaptive  bool   `json:"adaptive"`
 	WCO       bool   `json:"wco"`
 	TimeoutMS int64  `json:"timeout_ms"`
+	// BatchSize overrides the server's configured executor batch size for
+	// this request (0 = server default, negative = tuple-at-a-time oracle).
+	BatchSize int `json:"batch_size"`
 }
 
 // queryResponse is the body of a successful /query or /execute response.
@@ -163,8 +175,18 @@ type queryResponse struct {
 	PlanKind  string               `json:"plan_kind,omitempty"`
 	// Kernels reports the intersection-kernel dispatch counts of this
 	// run (count mode only): merge, gallop, bitset_probe, bitset_and.
-	Kernels   *kernelCounts `json:"kernels,omitempty"`
-	ElapsedMS float64       `json:"elapsed_ms"`
+	Kernels *kernelCounts `json:"kernels,omitempty"`
+	// Batches reports the columnar batches each stage kind of the
+	// vectorized engine dispatched for this run (count mode only).
+	Batches   *batchCounts `json:"batches,omitempty"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+}
+
+// batchCounts is the JSON shape of per-stage batch dispatch counters.
+type batchCounts struct {
+	Scan   int64 `json:"scan"`
+	Extend int64 `json:"extend"`
+	Probe  int64 `json:"probe"`
 }
 
 // kernelCounts is the JSON shape of per-kernel intersection dispatch
@@ -223,12 +245,17 @@ func (s *Server) queryOptions(req *queryRequest) *graphflow.QueryOptions {
 	if workers > s.cfg.MaxWorkers {
 		workers = s.cfg.MaxWorkers
 	}
+	batch := s.cfg.BatchSize
+	if req.BatchSize != 0 {
+		batch = req.BatchSize
+	}
 	return &graphflow.QueryOptions{
-		Workers:  workers,
-		Limit:    req.Limit,
-		Distinct: req.Distinct,
-		Adaptive: req.Adaptive,
-		WCOOnly:  req.WCO,
+		Workers:   workers,
+		Limit:     req.Limit,
+		Distinct:  req.Distinct,
+		Adaptive:  req.Adaptive,
+		WCOOnly:   req.WCO,
+		BatchSize: batch,
 	}
 }
 
@@ -294,10 +321,18 @@ func (s *Server) execute(r *http.Request, pq *graphflow.PreparedQuery, req *quer
 			BitsetProbe: st.KernelBitsetProbe,
 			BitsetAnd:   st.KernelBitsetAnd,
 		}
+		resp.Batches = &batchCounts{
+			Scan:   st.ScanBatches,
+			Extend: st.ExtendBatches,
+			Probe:  st.ProbeBatches,
+		}
 		s.kernelMerge.Add(st.KernelMerge)
 		s.kernelGallop.Add(st.KernelGallop)
 		s.kernelBitsetProbe.Add(st.KernelBitsetProbe)
 		s.kernelBitsetAnd.Add(st.KernelBitsetAnd)
+		s.batchScan.Add(st.ScanBatches)
+		s.batchExtend.Add(st.ExtendBatches)
+		s.batchProbe.Add(st.ProbeBatches)
 	case "match":
 		opts := s.queryOptions(req)
 		rowCap := int64(s.cfg.MaxRows)
@@ -591,7 +626,10 @@ type statsResponse struct {
 	} `json:"graph"`
 	// Kernels totals intersection-kernel dispatches across served
 	// count-mode queries.
-	Kernels   kernelCounts `json:"kernels"`
+	Kernels kernelCounts `json:"kernels"`
+	// Batches totals the vectorized engine's per-stage batch dispatches
+	// across served count-mode queries.
+	Batches   batchCounts `json:"batches"`
 	PlanCache struct {
 		Hits      int64 `json:"hits"`
 		Misses    int64 `json:"misses"`
@@ -625,6 +663,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Gallop:      s.kernelGallop.Load(),
 		BitsetProbe: s.kernelBitsetProbe.Load(),
 		BitsetAnd:   s.kernelBitsetAnd.Load(),
+	}
+	resp.Batches = batchCounts{
+		Scan:   s.batchScan.Load(),
+		Extend: s.batchExtend.Load(),
+		Probe:  s.batchProbe.Load(),
 	}
 	pc := s.cfg.DB.PlanCacheStats()
 	resp.PlanCache.Hits = pc.Hits

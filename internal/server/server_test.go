@@ -467,3 +467,52 @@ func TestCompactEndpointAndStatsEpoch(t *testing.T) {
 		t.Fatalf("compact response %+v", c)
 	}
 }
+
+// TestBatchCountersServed checks that count-mode responses carry the
+// vectorized engine's per-stage batch counters, that /stats accumulates
+// them, and that batch_size (including the oracle selector) round-trips.
+func TestBatchCountersServed(t *testing.T) {
+	s := newTestServer(t, Config{})
+	w := do(t, s, "POST", "/query", queryRequest{Pattern: triangle})
+	var resp queryResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad response %s: %v", w.Body, err)
+	}
+	if resp.Batches == nil || resp.Batches.Scan == 0 {
+		t.Fatalf("count response missing batch counters: %s", w.Body)
+	}
+	st := do(t, s, "GET", "/stats", nil)
+	var stats statsResponse
+	if err := json.Unmarshal(st.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	// (Extend stays 0 here: a pure count of a triangle factorizes its
+	// only E/I stage, so no extend output batches are materialised.)
+	if stats.Batches.Scan == 0 {
+		t.Errorf("/stats batch counters not accumulated: %+v", stats.Batches)
+	}
+
+	// The oracle engine (batch_size < 0) must serve identical counts and
+	// report zero batches.
+	wOracle := do(t, s, "POST", "/query", queryRequest{Pattern: triangle, BatchSize: -1})
+	var respOracle queryResponse
+	if err := json.Unmarshal(wOracle.Body.Bytes(), &respOracle); err != nil {
+		t.Fatal(err)
+	}
+	if respOracle.Count == nil || resp.Count == nil || *respOracle.Count != *resp.Count {
+		t.Errorf("oracle count %v != batch count %v", respOracle.Count, resp.Count)
+	}
+	if respOracle.Batches != nil && respOracle.Batches.Scan != 0 {
+		t.Errorf("oracle run reported batches: %+v", respOracle.Batches)
+	}
+
+	// An explicit small batch size still answers correctly.
+	wSmall := do(t, s, "POST", "/query", queryRequest{Pattern: triangle, BatchSize: 3})
+	var respSmall queryResponse
+	if err := json.Unmarshal(wSmall.Body.Bytes(), &respSmall); err != nil {
+		t.Fatal(err)
+	}
+	if respSmall.Count == nil || *respSmall.Count != *resp.Count {
+		t.Errorf("batch_size=3 count %v, want %v", respSmall.Count, *resp.Count)
+	}
+}
