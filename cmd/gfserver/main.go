@@ -56,7 +56,8 @@ func main() {
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown drain budget")
 		compact  = flag.Int("compact-threshold", 0, "delta-overlay mutations before background compaction (0 = default 16384, negative disables)")
 		hubTh    = flag.Int("hub-threshold", 0, "adjacency-partition size that gets a bitset hub index for degree-adaptive intersections (0 = default 256, negative disables)")
-		batchSz  = flag.Int("batch-size", 0, "vectorized executor batch rows (0 = engine default 1024, negative = tuple-at-a-time oracle engine)")
+		batchSz  = flag.Int("batch-size", 0, "vectorized executor batch rows (0 = plan-adaptive, negative = tuple-at-a-time oracle engine)")
+		noFact   = flag.Bool("no-factorize", false, "disable factorized execution of star-shaped query suffixes")
 		debug    = flag.String("debug-addr", "", "optional listener for net/http/pprof, e.g. localhost:6060 (disabled when empty; keep it on a loopback or otherwise private address)")
 	)
 	flag.Parse()
@@ -91,6 +92,7 @@ func main() {
 		MaxRows:        *maxRows,
 		MaxWorkers:     *maxWork,
 		BatchSize:      *batchSz,
+		NoFactorize:    *noFact,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -162,11 +162,22 @@ type QueryOptions struct {
 	// overhead; leave false otherwise.
 	SkipPlanCache bool
 	// BatchSize is the row capacity of the columnar tuple batches the
-	// vectorized executor pushes through its pipelines. 0 takes the
-	// engine default (1024). A negative value selects the legacy
-	// tuple-at-a-time engine — kept as the differential-testing oracle;
-	// production queries should leave this at 0.
+	// vectorized executor pushes through its pipelines. 0 picks a
+	// plan-adaptive capacity (scaled down for shallow plans and small
+	// estimated results; explicit values stay authoritative). A negative
+	// value selects the legacy tuple-at-a-time engine — kept as the
+	// differential-testing oracle; production queries should leave this
+	// at 0.
 	BatchSize int
+	// DisableFactorization turns off the factorized execution tier for
+	// this query. By default, plans ending in a star-shaped suffix
+	// (trailing extensions whose targets are pairwise non-adjacent leaves)
+	// represent results as prefix × set₁ × … × setₖ: counts multiply set
+	// cardinalities, limits charge against the product, and enumeration
+	// lazily unfolds identical tuples. Distinct queries and the
+	// tuple-at-a-time oracle (BatchSize < 0) always run fully enumerated,
+	// regardless of this knob.
+	DisableFactorization bool
 }
 
 // Stats reports what one evaluation did.
@@ -192,8 +203,15 @@ type Stats struct {
 	ScanBatches   int64
 	ExtendBatches int64
 	ProbeBatches  int64
-	PlanKind      string // "wco", "bj" or "hybrid"
-	Plan          string // operator tree, one operator per line
+	// FactorizedPrefixes counts prefix tuples evaluated by the factorized
+	// execution tier (one extension set per star-suffix leaf each);
+	// FactorizedAvoided counts result tuples that were counted — or
+	// charged against a Limit — directly on the factorized form without
+	// being materialized. Both zero when factorization did not apply.
+	FactorizedPrefixes int64
+	FactorizedAvoided  int64
+	PlanKind           string // "wco", "bj" or "hybrid"
+	Plan               string // operator tree, one operator per line
 }
 
 // PlanCacheStats is a snapshot of the DB's compiled-plan cache counters.
@@ -381,6 +399,10 @@ func (db *DB) preparedFor(q *query.Graph, wcoOnly, skipCache bool) (*preparedPla
 		W2:           db.w2,
 		WCOOnly:      wcoOnly,
 		HubThreshold: db.opts.HubDegreeThreshold,
+		// Plans are cached per canonical query and shared across runs with
+		// factorization on or off, so pricing assumes the default (on):
+		// star-suffix set reuse is what the batch engine actually executes.
+		Factorized: true,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -584,6 +606,10 @@ func (qo *QueryOptions) execConfig() exec.RunConfig {
 		cfg.TupleAtATime = true
 	} else {
 		cfg.BatchSize = qo.BatchSize
+		// Factorized execution is the default; Distinct needs every tuple
+		// enumerated for its post-filter, so it opts out wholesale (the
+		// safe fallback), as does the oracle engine above.
+		cfg.Factorized = !qo.DisableFactorization && !qo.Distinct
 	}
 	return cfg
 }
@@ -944,18 +970,20 @@ func (db *DB) LiveStats() LiveStats {
 
 func statsFrom(p *plan.Plan, prof exec.Profile, n int64) Stats {
 	return Stats{
-		Matches:           n,
-		Intermediate:      prof.Intermediate,
-		ICost:             prof.ICost,
-		CacheHits:         prof.CacheHits,
-		KernelMerge:       prof.Kernels.Merge,
-		KernelGallop:      prof.Kernels.Gallop,
-		KernelBitsetProbe: prof.Kernels.BitsetProbe,
-		KernelBitsetAnd:   prof.Kernels.BitsetAnd,
-		ScanBatches:       prof.Batches.Scan,
-		ExtendBatches:     prof.Batches.Extend,
-		ProbeBatches:      prof.Batches.Probe,
-		PlanKind:          p.Kind(),
-		Plan:              p.Describe(),
+		Matches:            n,
+		Intermediate:       prof.Intermediate,
+		ICost:              prof.ICost,
+		CacheHits:          prof.CacheHits,
+		KernelMerge:        prof.Kernels.Merge,
+		KernelGallop:       prof.Kernels.Gallop,
+		KernelBitsetProbe:  prof.Kernels.BitsetProbe,
+		KernelBitsetAnd:    prof.Kernels.BitsetAnd,
+		ScanBatches:        prof.Batches.Scan,
+		ExtendBatches:      prof.Batches.Extend,
+		ProbeBatches:       prof.Batches.Probe,
+		FactorizedPrefixes: prof.FactorizedPrefixes,
+		FactorizedAvoided:  prof.FactorizedAvoided,
+		PlanKind:           p.Kind(),
+		Plan:               p.Describe(),
 	}
 }

@@ -42,9 +42,10 @@ type Config struct {
 	// within a batch (consecutive tuples that agree on every slot any
 	// candidate ordering's first step reads — their re-estimates are
 	// provably identical) instead of once per tuple, mirroring the
-	// executor's batch-boundary amortization. 0 takes
-	// exec.DefaultBatchSize; values below 1 clamp to 1 (per-tuple
-	// re-estimation, the pre-vectorization behavior).
+	// executor's batch-boundary amortization. 0 picks a plan-adaptive
+	// size from the adapted suffix depth (exec.AdaptiveBatchSize);
+	// negative values clamp to 1 (per-tuple re-estimation, the
+	// pre-vectorization behavior).
 	BatchSize int
 }
 
@@ -55,10 +56,7 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 1
 	}
-	if c.BatchSize == 0 {
-		c.BatchSize = exec.DefaultBatchSize
-	}
-	if c.BatchSize < 1 {
+	if c.BatchSize < 0 {
 		c.BatchSize = 1
 	}
 	return c
@@ -241,10 +239,16 @@ func newAdaptiveChain(g graph.View, cat *catalogue.Catalogue, q *query.Graph, so
 	for _, ext := range chain {
 		remaining = append(remaining, ext.TargetVertex)
 	}
+	batchCap := cfg.BatchSize
+	if batchCap == 0 {
+		// Shallow adapted suffixes re-estimate rarely, so large buffers only
+		// add cache pressure; deep ones amortize across more stages.
+		batchCap = exec.AdaptiveBatchSize(len(chain))
+	}
 	ad := &adaptiveChain{
 		g: g, q: q, width: len(baseOut), hubThreshold: cfg.HubThreshold,
 		nWords:   (g.NumVertices() + 63) / 64,
-		batchCap: cfg.BatchSize,
+		batchCap: batchCap,
 	}
 
 	// Enumerate connected orderings of the remaining vertices.

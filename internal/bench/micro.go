@@ -18,7 +18,7 @@ type MicroResult struct {
 	Name        string  `json:"name"`
 	Graph       string  `json:"graph"`
 	Query       string  `json:"query"`
-	Engine      string  `json:"engine"` // "batch" (vectorized) or "tuple" (oracle)
+	Engine      string  `json:"engine"` // "batch" (vectorized), "factorized" (batch + star-suffix factorization) or "tuple" (oracle)
 	Workers     int     `json:"workers"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -75,6 +75,10 @@ func microCases(scale int) []microCase {
 			pattern: "a->b, a->c, b->c, b->d, c->d", order: []int{0, 1, 2, 3}, workers: 1,
 		},
 		{
+			name: "tri-star", graph: "Epinions", g: datagen.Epinions(scale),
+			pattern: "a->b, a->c, a->d", order: []int{0, 1, 2, 3}, workers: 1,
+		},
+		{
 			name: "deep-tristar", graph: "Web-skewed", g: web,
 			pattern: "a->b, a->c, b->c, a->d, a->e, a->f", order: []int{0, 1, 2, 3, 4, 5}, workers: 1,
 		},
@@ -89,10 +93,10 @@ func microCases(scale int) []microCase {
 	}
 }
 
-// Micro runs the machine-readable micro suite: every workload under both
-// the vectorized engine and the tuple-at-a-time oracle, factorized
-// counting, reporting ns/op, bytes/op, allocs/op and the (engine-
-// independent) match count.
+// Micro runs the machine-readable micro suite: every workload under the
+// vectorized engine (with star-suffix factorization off and on) and the
+// tuple-at-a-time oracle, fast counting, reporting ns/op, bytes/op,
+// allocs/op and the (engine-independent) match count.
 func Micro(scale int) ([]MicroResult, error) {
 	if scale < 1 {
 		scale = 1
@@ -111,8 +115,13 @@ func Micro(scale int) ([]MicroResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", mc.name, err)
 		}
-		for _, engine := range []string{"batch", "tuple"} {
-			cfg := exec.RunConfig{FastCount: true, Workers: mc.workers, TupleAtATime: engine == "tuple"}
+		for _, engine := range []string{"batch", "factorized", "tuple"} {
+			cfg := exec.RunConfig{
+				FastCount:    true,
+				Workers:      mc.workers,
+				TupleAtATime: engine == "tuple",
+				Factorized:   engine == "factorized",
+			}
 			matches, _, err := cp.Count(cfg)
 			if err != nil {
 				return nil, fmt.Errorf("%s (%s): %w", mc.name, engine, err)

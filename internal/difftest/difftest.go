@@ -340,6 +340,75 @@ func CompareBatchMatrix(db *graphflow.DB, q *query.Graph) error {
 	return nil
 }
 
+// CompareFactorized pits factorized star-suffix execution against the
+// tuple-at-a-time oracle on one (db, pattern) pair: full counts with
+// factorization explicitly on and off (sequential and Workers=4), exact
+// Limit caps across a spectrum that lands limits mid-cross-product (the
+// shared-budget claiming must sum to exactly min(limit, total) even
+// across racing workers), and identical sorted tuple sets from the lazy
+// unfold. Patterns without a star-shaped suffix degrade to plain batch
+// execution, so the sweep is safe on any corpus pattern.
+func CompareFactorized(db *graphflow.DB, q *query.Graph) error {
+	pattern := q.String()
+	want, err := db.Count(pattern, &graphflow.QueryOptions{BatchSize: -1})
+	if err != nil {
+		return fmt.Errorf("oracle count of %q: %w", pattern, err)
+	}
+	for _, workers := range []int{0, 4} {
+		for _, off := range []bool{false, true} {
+			got, err := db.Count(pattern, &graphflow.QueryOptions{Workers: workers, DisableFactorization: off})
+			if err != nil {
+				return fmt.Errorf("factorized(off=%v) workers=%d count of %q: %w", off, workers, pattern, err)
+			}
+			if got != want {
+				return fmt.Errorf("factorized(off=%v) workers=%d count of %q = %d, oracle %d", off, workers, pattern, got, want)
+			}
+		}
+	}
+	// Exact Limit caps: cross-product counting claims whole products
+	// against a shared budget, and the final product is truncated to the
+	// remainder, so every cap must be hit exactly — including limits that
+	// land in the middle of one prefix's product and limits past the total.
+	for _, limit := range []int64{1, 2, want / 2, want - 1, want, want + 13} {
+		if limit <= 0 {
+			continue
+		}
+		wantLim := limit
+		if wantLim > want {
+			wantLim = want
+		}
+		for _, workers := range []int{0, 4} {
+			got, err := db.Count(pattern, &graphflow.QueryOptions{Workers: workers, Limit: limit})
+			if err != nil {
+				return fmt.Errorf("factorized limit=%d workers=%d count of %q: %w", limit, workers, pattern, err)
+			}
+			if got != wantLim {
+				return fmt.Errorf("factorized limit=%d workers=%d count of %q = %d, want exactly %d", limit, workers, pattern, got, wantLim)
+			}
+		}
+	}
+	// The lazy unfold must deliver the oracle's exact tuple set.
+	if want <= maxRowCollect {
+		wantRows, err := collectRows(db, pattern, -1)
+		if err != nil {
+			return fmt.Errorf("oracle rows of %q: %w", pattern, err)
+		}
+		rows, err := collectRows(db, pattern, 0)
+		if err != nil {
+			return fmt.Errorf("factorized rows of %q: %w", pattern, err)
+		}
+		if len(rows) != len(wantRows) {
+			return fmt.Errorf("factorized match of %q: %d rows, oracle %d", pattern, len(rows), len(wantRows))
+		}
+		for i := range rows {
+			if rows[i] != wantRows[i] {
+				return fmt.Errorf("factorized match of %q: row %d = %s, oracle %s", pattern, i, rows[i], wantRows[i])
+			}
+		}
+	}
+	return nil
+}
+
 // Result is the outcome of one graph/pattern comparison.
 type Result struct {
 	Pattern  string

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"graphflow"
+	"graphflow/internal/query"
 )
 
 // runCorpus checks numGraphs random graphs × patternsPer random patterns
@@ -253,6 +254,81 @@ func TestDifferentialBatchSizes(t *testing.T) {
 				t.Errorf("graph seed %d pattern %d: %v", seed, pi, err)
 			}
 		}
+	}
+}
+
+// TestDifferentialFactorized sweeps factorized star-suffix execution
+// against the tuple-at-a-time oracle: identical full counts with
+// factorization on and off, exact Limit caps under Workers=4 (the
+// shared-budget product claiming), and identical sorted tuple sets from
+// the lazy unfold. The corpus mixes random patterns (some with star
+// suffixes, some without) with fixed star-heavy shapes where whole
+// suffixes factorize.
+func TestDifferentialFactorized(t *testing.T) {
+	numGraphs, patternsPer := 5, 6
+	if testing.Short() {
+		numGraphs, patternsPer = 3, 4
+	}
+	// Star-heavy fixed shapes: a 3-leaf star, a triangle with two leaves
+	// hanging off it, and a two-hop path fanning into a 2-leaf star.
+	stars := []string{
+		"a->b, a->c, a->d",
+		"a->b, b->c, a->c, a->d, c->e",
+		"a->b, b->c, c->d, c->e",
+	}
+	for gi := 0; gi < numGraphs; gi++ {
+		seed := int64(40000 + gi)
+		g := GenGraph(seed)
+		db, err := OpenDB(g)
+		if err != nil {
+			t.Fatalf("graph seed %d: %v", seed, err)
+		}
+		for si, s := range stars {
+			q, err := query.Parse(s)
+			if err != nil {
+				t.Fatalf("star %d: %v", si, err)
+			}
+			if err := CompareFactorized(db, q); err != nil {
+				t.Errorf("graph seed %d star %d: %v", seed, si, err)
+			}
+		}
+		rng := rand.New(rand.NewSource(seed * 48611))
+		for pi := 0; pi < patternsPer; pi++ {
+			if err := CompareFactorized(db, GenPattern(rng)); err != nil {
+				t.Errorf("graph seed %d pattern %d: %v", seed, pi, err)
+			}
+		}
+	}
+}
+
+// TestDifferentialFactorizedLive runs the factorized sweep across live
+// mutation batches: after each batch the factorized counts and caps on
+// the live snapshot must agree with the oracle on the same snapshot.
+func TestDifferentialFactorizedLive(t *testing.T) {
+	numTrials, batchesPer := 4, 2
+	if testing.Short() {
+		numTrials = 2
+	}
+	for i := 0; i < numTrials; i++ {
+		seed := int64(46000 + i)
+		rng := rand.New(rand.NewSource(seed))
+		g := GenGraph(seed)
+		db, err := OpenLiveDB(g, []int{10, -1}[rng.Intn(2)])
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sh := NewShadow(g)
+		for b := 0; b < batchesPer; b++ {
+			batch := GenBatch(rng, sh)
+			if _, err := db.Apply(batch); err != nil {
+				t.Fatalf("seed %d batch %d: %v", seed, b, err)
+			}
+			sh.Apply(batch)
+			if err := CompareFactorized(db, GenPattern(rng)); err != nil {
+				t.Errorf("seed %d batch %d: %v", seed, b, err)
+			}
+		}
+		db.WaitCompaction()
 	}
 }
 

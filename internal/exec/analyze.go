@@ -84,11 +84,13 @@ func (r *Runner) Analyze(p *plan.Plan) (*OpStats, Profile, error) {
 }
 
 // Analyze runs the compiled plan sequentially, collecting per-operator
-// counters. cfg.Workers and cfg.FastCount are ignored: analysis
-// enumerates every match on one goroutine.
+// counters. cfg.Workers, cfg.FastCount and cfg.Factorized are ignored:
+// analysis enumerates every match on one goroutine so every operator's
+// numbers reflect full enumeration.
 func (cp *CompiledPlan) Analyze(cfg RunConfig) (*OpStats, Profile, error) {
 	cfg.Workers = 1
 	cfg.FastCount = false
+	cfg.Factorized = false
 	nc := &nodeCounters{m: map[plan.Node]*OpStats{}}
 	prof, err := cp.run(context.Background(), cfg, nc, nil)
 	if err != nil {

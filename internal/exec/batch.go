@@ -104,6 +104,10 @@ type batchStage interface {
 	flush(w *worker)
 	// outWidth is the stage's output tuple width.
 	outWidth() int
+	// reset readies the stage for reuse by a pooled worker in a fresh
+	// run: mutable per-run state (cache validity, counters, hash-table
+	// pointers, retained batches) is cleared, allocated scratch is kept.
+	reset(rc *runContext)
 }
 
 // dispatchBatch hands a produced batch to stage i (len(bstages) is the
@@ -246,6 +250,13 @@ type batchExtendState struct {
 
 func (s *batchExtendState) outWidth() int { return len(s.out.cols) }
 
+func (s *batchExtendState) reset(rc *runContext) {
+	s.es.reset(!rc.cfg.DisableCache)
+	if s.out != nil {
+		s.out.clear()
+	}
+}
+
 // sameRun reports whether row r of in presents the same descriptor
 // vertices as row r-1 — the contiguous-prefix-run probe of the sorted
 // batch. Rows inside a run reuse the previous extension set without
@@ -338,6 +349,16 @@ type batchProbeState struct {
 }
 
 func (s *batchProbeState) outWidth() int { return len(s.out.cols) }
+
+func (s *batchProbeState) reset(rc *runContext) {
+	// The hash table is per-run state: re-fetch it from the new run's
+	// materialised tables.
+	s.ps.table = rc.tables[s.ps.spec.op]
+	s.ps.outTuples, s.ps.probes = 0, 0
+	s.keyValid = false
+	s.rows = nil
+	s.out.clear()
+}
 
 func (s *batchProbeState) pushBatch(w *worker, in *tupleBatch) {
 	slots := s.ps.spec.probeSlots

@@ -269,7 +269,8 @@ func steadyWorker(tb testing.TB, g *graph.Graph, p *plan.Plan) (*worker, int) {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	rc := &runContext{cp: cp, cfg: RunConfig{FastCount: true}}
+	cfg := RunConfig{FastCount: true}
+	rc := &runContext{cp: cp, cfg: cfg, batch: cp.EffectiveBatchSize(cfg)}
 	var stopped atomic.Bool
 	w := newWorker(rc, cp.pipes[len(cp.pipes)-1], true, nil, &stopped, nil)
 	n := g.NumVertices()

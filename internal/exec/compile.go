@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"graphflow/internal/graph"
 	"graphflow/internal/plan"
@@ -12,8 +13,10 @@ import (
 // work (stage widths, probe slot maps, hash-table key slots) done once.
 // A CompiledPlan holds no mutable execution state — tuples, profiles,
 // intersection caches and hash tables live in the per-run context that
-// each Run/Count call materialises — so one CompiledPlan may be executed
-// by any number of goroutines simultaneously.
+// each Run/Count call materialises (per-pipeline worker scratch is
+// recycled through a sync.Pool, which is itself concurrency-safe) — so
+// one CompiledPlan may be executed by any number of goroutines
+// simultaneously.
 type CompiledPlan struct {
 	graph graph.View
 	root  plan.Node
@@ -21,6 +24,10 @@ type CompiledPlan struct {
 	// pipelines first (each before any pipeline that probes its table),
 	// the driver pipeline last.
 	pipes []*compiledPipeline
+	// estCard is the optimizer's cardinality estimate carried over from
+	// the plan (0 when compiled from a bare node): the input to the
+	// plan-adaptive batch-size rule.
+	estCard float64
 }
 
 // compiledPipeline is one flattened probe path: a SCAN plus the chain of
@@ -36,6 +43,16 @@ type compiledPipeline struct {
 	feeds    *plan.HashJoin
 	keySlots []int
 	outWidth int
+	// starSuffix is the index into stages where the pipeline's maximal
+	// star-shaped suffix begins (plan.StarSuffixLen mapped onto the
+	// flattened chain); len(stages) when there is none. The driver
+	// pipeline's suffix, when present, is what RunConfig.Factorized
+	// compiles into a factorizedTail stage.
+	starSuffix int
+	// pool recycles fully-built batch-engine workers (stage states, column
+	// batches, intersection caches) across runs of this pipeline, so the
+	// steady state of a PreparedQuery re-run allocates almost nothing.
+	pool sync.Pool
 }
 
 // stageSpec is the static, shareable description of one operator above a
@@ -63,7 +80,7 @@ func (s *extendSpec) newBatchState(rc *runContext, idx, inWidth int) batchStage 
 	return &batchExtendState{
 		es:  extendState{spec: s, useCache: !rc.cfg.DisableCache},
 		idx: idx,
-		out: newTupleBatch(inWidth+1, rc.cfg.batchSize()),
+		out: newTupleBatch(inWidth+1, rc.batch),
 	}
 }
 
@@ -85,7 +102,7 @@ func (s *probeSpec) newBatchState(rc *runContext, idx, inWidth int) batchStage {
 	return &batchProbeState{
 		ps:  probeState{spec: s, table: rc.tables[s.op]},
 		idx: idx,
-		out: newTupleBatch(inWidth+len(s.appendIdx), rc.cfg.batchSize()),
+		out: newTupleBatch(inWidth+len(s.appendIdx), rc.batch),
 	}
 }
 
@@ -95,7 +112,12 @@ func Compile(g graph.View, p *plan.Plan) (*CompiledPlan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	return CompileNode(g, p.Root)
+	cp, err := CompileNode(g, p.Root)
+	if err != nil {
+		return nil, err
+	}
+	cp.estCard = p.EstimatedCardinality
+	return cp, nil
 }
 
 // CompileNode lowers an arbitrary subplan node (which need not cover the
@@ -110,6 +132,19 @@ func CompileNode(g graph.View, root plan.Node) (*CompiledPlan, error) {
 
 // Root returns the plan node this CompiledPlan executes.
 func (cp *CompiledPlan) Root() plan.Node { return cp.root }
+
+// driver returns the pipeline whose outputs are final matches (always
+// compiled last).
+func (cp *CompiledPlan) driver() *compiledPipeline { return cp.pipes[len(cp.pipes)-1] }
+
+// StarSuffixLen reports the length of the driver pipeline's star-shaped
+// suffix: the number of trailing E/I stages RunConfig.Factorized
+// evaluates as a factorizedTail (0 = factorization cannot apply to this
+// plan).
+func (cp *CompiledPlan) StarSuffixLen() int {
+	d := cp.driver()
+	return len(d.stages) - d.starSuffix
+}
 
 // addPipeline flattens the probe path of n into a pipeline, recursively
 // compiling the build side of every hash join on the path first so that
@@ -153,6 +188,10 @@ func (cp *CompiledPlan) addPipeline(n plan.Node, feeds *plan.HashJoin) error {
 		}
 	}
 	pipe.outWidth = width
+	// Trailing E/I operators of the probe path are trailing stages of the
+	// flattened chain, so the plan-level star suffix maps directly onto a
+	// stage index.
+	pipe.starSuffix = len(pipe.stages) - plan.StarSuffixLen(n)
 	if feeds != nil {
 		buildOut := n.Out()
 		slotOf := make(map[int]int, len(buildOut))

@@ -57,6 +57,14 @@ type Profile struct {
 	// Batches counts columnar batches dispatched per stage kind by the
 	// vectorized engine (all zero under the tuple-at-a-time oracle).
 	Batches BatchCounters
+	// FactorizedPrefixes counts prefix tuples evaluated by a
+	// factorizedTail stage: for each, every star-suffix leaf's extension
+	// set was computed (or served from a cache) exactly once.
+	FactorizedPrefixes int64
+	// FactorizedAvoided counts result tuples accounted for directly on
+	// the factorized prefix × set₁ × … × setₖ form — counted into Matches
+	// (or charged against a Limit budget) without ever being materialized.
+	FactorizedAvoided int64
 }
 
 // Add accumulates other into p.
@@ -69,6 +77,8 @@ func (p *Profile) Add(other Profile) {
 	p.ProbedTuples += other.ProbedTuples
 	p.Kernels.Add(other.Kernels)
 	p.Batches.Add(other.Batches)
+	p.FactorizedPrefixes += other.FactorizedPrefixes
+	p.FactorizedAvoided += other.FactorizedAvoided
 }
 
 // RunConfig carries the per-run execution knobs. The zero value is a
@@ -90,15 +100,27 @@ type RunConfig struct {
 	// still exact.
 	FastCount bool
 	// BatchSize is the row capacity of the vectorized engine's columnar
-	// tuple batches. 0 takes DefaultBatchSize; values below 1 clamp to 1.
-	// Ignored under TupleAtATime.
+	// tuple batches. 0 picks a plan-adaptive capacity (see
+	// CompiledPlan.EffectiveBatchSize); an explicit value stays
+	// authoritative, with values below 1 clamping to 1. Ignored under
+	// TupleAtATime.
 	BatchSize int
 	// TupleAtATime selects the legacy tuple-at-a-time engine — kept as
 	// the differential-test oracle for the vectorized default.
 	TupleAtATime bool
+	// Factorized enables the factorized execution tier: when the driver
+	// pipeline ends in a star-shaped suffix (trailing E/I stages whose
+	// targets are pairwise non-adjacent leaves off the prefix), the
+	// suffix is evaluated as one extension set per leaf per prefix tuple
+	// and the result is represented as prefix × set₁ × … × setₖ. Counts
+	// multiply set cardinalities, limits are charged against the product,
+	// and enumeration lazily unfolds identical tuples in identical order.
+	// Opt-in; batch engine only (the tuple-at-a-time oracle always
+	// enumerates).
+	Factorized bool
 }
 
-// batchSize resolves the effective batch row capacity.
+// batchSize resolves an explicitly configured batch row capacity.
 func (c *RunConfig) batchSize() int {
 	switch {
 	case c.BatchSize == 0:
@@ -107,6 +129,51 @@ func (c *RunConfig) batchSize() int {
 		return 1
 	}
 	return c.BatchSize
+}
+
+// minAdaptiveBatchSize floors the cardinality clamp of the plan-adaptive
+// batch-size rule: below this, per-batch dispatch overhead dominates.
+const minAdaptiveBatchSize = 64
+
+// AdaptiveBatchSize returns the depth-scaled default batch row capacity
+// for a pipeline with the given number of stages above its scan. Shallow
+// pipelines get small batches — a 2-stage triangle pipeline touches every
+// column of every batch, so the scaffolding cost of wide 1024-row
+// batches is pure overhead at that depth — while deep pipelines keep
+// DefaultBatchSize to amortize per-batch dispatch across more stages.
+func AdaptiveBatchSize(depth int) int {
+	switch {
+	case depth <= 1:
+		return DefaultBatchSize / 4
+	case depth == 2:
+		return DefaultBatchSize / 2
+	}
+	return DefaultBatchSize
+}
+
+// EffectiveBatchSize reports the batch row capacity one run of cp under
+// cfg uses: an explicit cfg.BatchSize is authoritative; otherwise the
+// capacity is picked per plan — AdaptiveBatchSize of the deepest
+// pipeline, halved down to the optimizer's cardinality estimate when the
+// expected result set is far smaller than the batch (never below
+// minAdaptiveBatchSize).
+func (cp *CompiledPlan) EffectiveBatchSize(cfg RunConfig) int {
+	if cfg.BatchSize != 0 {
+		return cfg.batchSize()
+	}
+	depth := 0
+	for _, p := range cp.pipes {
+		if len(p.stages) > depth {
+			depth = len(p.stages)
+		}
+	}
+	bs := AdaptiveBatchSize(depth)
+	if cp.estCard > 0 {
+		for bs > minAdaptiveBatchSize && float64(bs) > 4*cp.estCard {
+			bs /= 2
+		}
+	}
+	return bs
 }
 
 // ErrBuildTooLarge is returned when MaxBuildRows is exceeded.
@@ -123,6 +190,14 @@ type runContext struct {
 	tables  map[*plan.HashJoin]*hashTable
 	analyze *nodeCounters
 	profile Profile
+	// batch is the resolved batch row capacity of this run (see
+	// CompiledPlan.EffectiveBatchSize).
+	batch int
+	// budget, when non-nil, is the shared remaining-match allowance of a
+	// factorized CountUpTo: each factorizedTail prefix atomically claims
+	// min(product, remaining) and stops the run when it is exhausted, so
+	// the total claimed never exceeds the limit even across workers.
+	budget *atomic.Int64
 }
 
 // Run evaluates the compiled plan, invoking emit for every match. The
@@ -220,7 +295,11 @@ func (cp *CompiledPlan) Count(cfg RunConfig) (int64, Profile, error) {
 // CountCtx is Count bounded by ctx (see RunCtx). On cancellation the
 // partial count is returned alongside ctx's error.
 func (cp *CompiledPlan) CountCtx(ctx context.Context, cfg RunConfig) (int64, Profile, error) {
-	if cfg.FastCount {
+	// The factorized tier only counts by set-cardinality product when no
+	// emit callback exists, so a factorized batch count runs emit-free:
+	// rows that do reach the sink (non-star stages) are counted by
+	// dispatchBatch, rows absorbed by a factorized tail by its product.
+	if cfg.FastCount || (cfg.Factorized && !cfg.TupleAtATime) {
 		prof, err := cp.run(ctx, cfg, nil, nil)
 		return prof.Matches, prof, err
 	}
@@ -242,6 +321,16 @@ func (cp *CompiledPlan) CountUpTo(cfg RunConfig, limit int64) (int64, Profile, e
 
 // CountUpToCtx is CountUpTo bounded by ctx (see RunCtx).
 func (cp *CompiledPlan) CountUpToCtx(ctx context.Context, cfg RunConfig, limit int64) (int64, Profile, error) {
+	if limit > 0 && cfg.Factorized && !cfg.TupleAtATime && cp.StarSuffixLen() > 0 {
+		// Factorized limit: the tail charges each prefix's set-cardinality
+		// product against a shared budget, so the cap is hit exactly
+		// without unfolding a single suffix tuple.
+		cfg.FastCount = false
+		var budget atomic.Int64
+		budget.Store(limit)
+		prof, err := cp.runBudget(ctx, cfg, nil, nil, &budget)
+		return prof.Matches, prof, err
+	}
 	cfg.FastCount = false
 	var n atomic.Int64
 	prof, err := cp.run(ctx, cfg, nil, func([]graph.VertexID) bool {
@@ -263,6 +352,12 @@ func (cp *CompiledPlan) CountUpToCtx(ctx context.Context, cfg RunConfig, limit i
 // wrappers serialise user callbacks before reaching here) and returns
 // false to request early termination. A nil ctx disables cancellation.
 func (cp *CompiledPlan) run(ctx context.Context, cfg RunConfig, analyze *nodeCounters, emit func([]graph.VertexID) bool) (Profile, error) {
+	return cp.runBudget(ctx, cfg, analyze, emit, nil)
+}
+
+// runBudget is run with an optional factorized count budget (see
+// runContext.budget).
+func (cp *CompiledPlan) runBudget(ctx context.Context, cfg RunConfig, analyze *nodeCounters, emit func([]graph.VertexID) bool, budget *atomic.Int64) (Profile, error) {
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
@@ -270,7 +365,10 @@ func (cp *CompiledPlan) run(ctx context.Context, cfg RunConfig, analyze *nodeCou
 	if workers > runtime.NumCPU()*4 {
 		workers = runtime.NumCPU() * 4
 	}
-	rc := &runContext{cp: cp, cfg: cfg, ctx: ctx, tables: make(map[*plan.HashJoin]*hashTable), analyze: analyze}
+	rc := &runContext{
+		cp: cp, cfg: cfg, ctx: ctx, tables: make(map[*plan.HashJoin]*hashTable),
+		analyze: analyze, batch: cp.EffectiveBatchSize(cfg), budget: budget,
+	}
 	for _, pipe := range cp.pipes {
 		if err := rc.ctxErr(); err != nil {
 			return rc.profile, err
@@ -350,7 +448,9 @@ func (rc *runContext) runPipeline(pipe *compiledPipeline, workers int, isRoot bo
 			w.recovered(w.flushBatches)
 		}
 		w.finish()
-		return w.profile, nil
+		prof := w.profile
+		w.release()
+		return prof, nil
 	}
 	var wg sync.WaitGroup
 	profs := make([]Profile, workers)
@@ -390,6 +490,7 @@ func (rc *runContext) runPipeline(pipe *compiledPipeline, workers int, isRoot bo
 				w.runWorkerLoop(q)
 				w.finish()
 				profs[wi] = w.profile
+				w.release()
 			}(wi)
 		}
 		wg.Wait()
@@ -414,6 +515,9 @@ type Runner struct {
 	MaxBuildRows int64
 	// FastCount enables factorized counting when no tuples are emitted.
 	FastCount bool
+	// Factorized enables the factorized execution tier (see
+	// RunConfig.Factorized).
+	Factorized bool
 }
 
 func (r *Runner) config() RunConfig {
@@ -422,6 +526,7 @@ func (r *Runner) config() RunConfig {
 		DisableCache: r.DisableCache,
 		MaxBuildRows: r.MaxBuildRows,
 		FastCount:    r.FastCount,
+		Factorized:   r.Factorized,
 	}
 }
 

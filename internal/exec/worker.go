@@ -30,7 +30,10 @@ type worker struct {
 	bstages   []batchStage
 	scanBatch *tupleBatch
 	batchSize int
-	mq        *morselQueue
+	// factorized records whether the stage chain ends in a factorizedTail
+	// — part of the pooled worker's shape, checked on reuse.
+	factorized bool
+	mq         *morselQueue
 	// scanReader is the reusable neighbor fill for the scan stage (both
 	// engines), replacing the old Neighbors(..., nil) per-vertex lookup.
 	scanReader graph.NeighborReader
@@ -64,6 +67,17 @@ type stageState interface {
 }
 
 func newWorker(rc *runContext, pipe *compiledPipeline, isRoot bool, emit func([]graph.VertexID) bool, stopped *atomic.Bool, mq *morselQueue) *worker {
+	fact := !rc.cfg.TupleAtATime && rc.cfg.Factorized && isRoot && pipe.starSuffix < len(pipe.stages)
+	if !rc.cfg.TupleAtATime {
+		// Reuse pooled worker scratch when its shape matches this run; a
+		// mismatched worker (different batch capacity or tail shape) is
+		// simply dropped for the garbage collector.
+		if pooled, _ := pipe.pool.Get().(*worker); pooled != nil &&
+			pooled.batchSize == rc.batch && pooled.factorized == fact {
+			pooled.rebind(rc, emit, stopped, mq)
+			return pooled
+		}
+	}
 	w := &worker{
 		g: rc.cp.graph, rc: rc, pipe: pipe, isRoot: isRoot,
 		emit: emit, stopped: stopped, mq: mq,
@@ -76,17 +90,65 @@ func newWorker(rc *runContext, pipe *compiledPipeline, isRoot bool, emit func([]
 			w.stages = append(w.stages, spec.newState(rc))
 		}
 	} else {
-		w.batchSize = rc.cfg.batchSize()
+		w.batchSize = rc.batch
 		w.scanBatch = newTupleBatch(2, w.batchSize)
 		width := 2
-		for i, spec := range pipe.stages {
+		cut := len(pipe.stages)
+		if fact {
+			cut = pipe.starSuffix
+		}
+		for i, spec := range pipe.stages[:cut] {
 			st := spec.newBatchState(rc, i, width)
 			width = st.outWidth()
 			w.bstages = append(w.bstages, st)
 		}
+		if fact {
+			specs := make([]*extendSpec, 0, len(pipe.stages)-cut)
+			for _, spec := range pipe.stages[cut:] {
+				specs = append(specs, spec.(*extendSpec))
+			}
+			w.bstages = append(w.bstages, newFactorizedTail(rc, specs, cut, width))
+			w.factorized = true
+		}
 	}
 	w.tuple = make([]graph.VertexID, 0, pipe.outWidth)
 	return w
+}
+
+// rebind readies a pooled batch-engine worker for a fresh run: the
+// per-run bindings are replaced and every stage resets its mutable state
+// (cache validity, per-operator counters, hash-table pointers) while
+// keeping its allocated scratch.
+func (w *worker) rebind(rc *runContext, emit func([]graph.VertexID) bool, stopped *atomic.Bool, mq *morselQueue) {
+	w.rc = rc
+	w.emit = emit
+	w.stopped = stopped
+	w.mq = mq
+	w.countFast = rc.cfg.FastCount && emit == nil
+	w.cancelCountdown = cancelCheckInterval
+	w.profile = Profile{}
+	w.scanOut = 0
+	w.tuple = w.tuple[:0]
+	w.scanBatch.clear()
+	for _, s := range w.bstages {
+		s.reset(rc)
+	}
+}
+
+// release returns a batch-engine worker's scratch to its pipeline's pool
+// once its profile has been collected. Oracle workers are not pooled —
+// the tuple-at-a-time engine is the differential baseline, kept free of
+// reuse machinery. References that could pin caller state (emit
+// closures, the run context) are dropped before pooling.
+func (w *worker) release() {
+	if w.scanBatch == nil {
+		return
+	}
+	w.rc = nil
+	w.emit = nil
+	w.stopped = nil
+	w.mq = nil
+	w.pipe.pool.Put(w)
 }
 
 // stopRun unwinds a pipeline when emit requests early termination; the
@@ -209,6 +271,10 @@ func (w *worker) eachState(ext func(*extendState), probe func(*probeState)) {
 			ext(&st.es)
 		case *batchProbeState:
 			probe(&st.ps)
+		case *factorizedTail:
+			for _, leaf := range st.leaves {
+				ext(&leaf.es)
+			}
 		}
 	}
 }
@@ -258,8 +324,8 @@ type extendState struct {
 	cacheExt []graph.VertexID
 	cacheBuf []graph.VertexID // owns the cached extension set (flat array)
 	scratch  []graph.VertexID
-	lists      [][]graph.VertexID
-	bits       []*graph.Bitset
+	lists    [][]graph.VertexID
+	bits     []*graph.Bitset
 	// readers own the per-descriptor neighbor fill buffers (one each, so
 	// a multiway gather never clobbers an earlier descriptor's run).
 	readers []graph.NeighborReader
@@ -273,6 +339,15 @@ type extendState struct {
 
 	// Per-operator analysis counters (collected by worker.finish).
 	outTuples, icost, hits int64
+}
+
+// reset readies the state for reuse by a pooled worker: cache validity
+// and per-operator counters are cleared, allocated scratch (cache
+// buffers, readers, intersector state) is kept.
+func (s *extendState) reset(useCache bool) {
+	s.useCache = useCache
+	s.cacheValid = false
+	s.outTuples, s.icost, s.hits = 0, 0, 0
 }
 
 func (s *extendState) push(w *worker, next func()) {

@@ -136,15 +136,44 @@ func (c *context) cardinality(mask query.Mask) float64 {
 // source vertex, so its "last added" is the destination.
 func (c *context) extendCost(childMask query.Mask, v int, childPlan plan.Node) float64 {
 	st := c.extension(childMask, v)
-	mult := c.cardinality(childMask)
+	return c.reuseMult(childMask, st.edges, v, childPlan) *
+		catalogue.StarLeafICost(st.sizes, c.opts.HubThreshold)
+}
+
+// reuseMult estimates the number of distinct intersections the E/I
+// operator extending childMask by v performs. Cache-consciously, tuples
+// stream in chain order — consecutive tuples differ only in a trailing
+// run of recently-added vertices — so every trailing vertex no
+// descriptor of v reads can be stripped from the multiplier: its
+// variation keeps v's descriptor key constant, and the single-entry
+// intersection cache serves the whole run. Without Factorized pricing
+// the walk conservatively stops after one step (the PR-4 refinement);
+// with it, the walk continues through a whole star-shaped suffix of
+// leaves, collapsing the multiplier to the prefix cardinality — the
+// set-computation pricing the factorized execution tier realizes.
+func (c *context) reuseMult(childMask query.Mask, edges []query.Edge, v int, childPlan plan.Node) float64 {
+	mask := childMask
 	if !c.opts.CacheOblivious {
-		if last, ok := lastAddedVertex(childPlan); ok {
-			if !anchorsTouch(st.edges, v, last) {
-				mult = c.cardinality(childMask &^ query.Bit(last))
+		node := childPlan
+		for {
+			last, ok := lastAddedVertex(node)
+			if !ok || anchorsTouch(edges, v, last) {
+				break
 			}
+			mask &^= query.Bit(last)
+			if !c.opts.Factorized {
+				break
+			}
+			ext, isExt := node.(*plan.Extend)
+			if !isExt {
+				// A SCAN's destination is already stripped; its source is
+				// the outermost loop and always remains.
+				break
+			}
+			node = ext.Child
 		}
 	}
-	return mult * catalogue.EffectiveICost(st.sizes, c.opts.HubThreshold)
+	return c.cardinality(mask)
 }
 
 // joinCost returns the cost of hash-joining build and probe subqueries

@@ -10,17 +10,6 @@ import (
 	"graphflow/internal/query"
 )
 
-// chainExtendCost is extendCost for WCO chains, where the child's
-// last-added vertex is known from the ordering rather than the plan tree.
-func (c *context) chainExtendCost(prefixMask query.Mask, v, lastAdded int) float64 {
-	st := c.extension(prefixMask, v)
-	mult := c.cardinality(prefixMask)
-	if !c.opts.CacheOblivious && !anchorsTouch(st.edges, v, lastAdded) {
-		mult = c.cardinality(prefixMask &^ query.Bit(lastAdded))
-	}
-	return mult * catalogue.EffectiveICost(st.sizes, c.opts.HubThreshold)
-}
-
 // enumerateWCOBest walks every query vertex ordering with connected
 // prefixes and records, for every prefix mask, the cheapest WCO plan
 // reaching it (line 1 of Algorithm 1). The full-query entries double as
@@ -33,8 +22,8 @@ func enumerateWCOBest(ctx *context) map[query.Mask]*planInfo {
 			best[mask] = &planInfo{node: node, cost: cost}
 		}
 	}
-	var rec func(mask query.Mask, lastAdded int, node plan.Node, cost float64)
-	rec = func(mask query.Mask, lastAdded int, node plan.Node, cost float64) {
+	var rec func(mask query.Mask, node plan.Node, cost float64)
+	rec = func(mask query.Mask, node plan.Node, cost float64) {
 		consider(mask, node, cost)
 		if mask == query.AllMask(q.NumVertices()) {
 			return
@@ -47,14 +36,15 @@ func enumerateWCOBest(ctx *context) map[query.Mask]*planInfo {
 			if err != nil {
 				continue
 			}
-			rec(mask|query.Bit(v), v, ext, cost+ctx.chainExtendCost(mask, v, lastAdded))
+			// extendCost reads the child's trailing chain off node, so the
+			// last-added vertex needs no explicit threading.
+			rec(mask|query.Bit(v), ext, cost+ctx.extendCost(mask, v, node))
 		}
 	}
 	for _, e := range q.Edges {
 		scan := plan.NewScan(q, e)
 		mask := query.Bit(e.From) | query.Bit(e.To)
-		// A scan's tuples group by source; the destination varies fastest.
-		rec(mask, e.To, scan, 0)
+		rec(mask, scan, 0)
 	}
 	return best
 }
@@ -110,7 +100,7 @@ func EnumerateWCOPlans(q *query.Graph, opts Options) ([]WCOPlan, error) {
 			}
 			stepSig := ctx.stepSignature(mask, v, lastAdded)
 			rec(append(order, v), mask|query.Bit(v), v, ext,
-				cost+ctx.chainExtendCost(mask, v, lastAdded), append(sig, stepSig))
+				cost+ctx.extendCost(mask, v, node), append(sig, stepSig))
 		}
 	}
 	for _, e := range q.Edges {

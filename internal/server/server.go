@@ -63,10 +63,14 @@ type Config struct {
 	// MaxWorkers clamps request-supplied worker counts. Default 16.
 	MaxWorkers int
 	// BatchSize is the vectorized executor's batch row capacity applied
-	// to requests that do not set batch_size. 0 keeps the engine default
-	// (1024); negative selects the tuple-at-a-time oracle engine (a
+	// to requests that do not set batch_size. 0 picks a plan-adaptive
+	// size; negative selects the tuple-at-a-time oracle engine (a
 	// debugging configuration, not for production traffic).
 	BatchSize int
+	// NoFactorize disables factorized execution of star-shaped query
+	// suffixes server-wide; individual requests can also opt out with
+	// no_factorize.
+	NoFactorize bool
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +117,11 @@ type Server struct {
 	// Per-stage batch dispatch totals of the vectorized engine, same
 	// accumulation rules as the kernel counters.
 	batchScan, batchExtend, batchProbe atomic.Int64
+
+	// Factorized-execution totals across served count-mode queries:
+	// prefixes that hit a factorized tail and the tuples whose
+	// materialisation the cross-product arithmetic avoided.
+	factorizedPrefixes, factorizedAvoided atomic.Int64
 }
 
 // New builds a Server over cfg.DB.
@@ -162,6 +171,9 @@ type queryRequest struct {
 	// BatchSize overrides the server's configured executor batch size for
 	// this request (0 = server default, negative = tuple-at-a-time oracle).
 	BatchSize int `json:"batch_size"`
+	// NoFactorize disables factorized execution of star-shaped suffixes
+	// for this request (it is on by default for count mode).
+	NoFactorize bool `json:"no_factorize"`
 }
 
 // queryResponse is the body of a successful /query or /execute response.
@@ -178,8 +190,18 @@ type queryResponse struct {
 	Kernels *kernelCounts `json:"kernels,omitempty"`
 	// Batches reports the columnar batches each stage kind of the
 	// vectorized engine dispatched for this run (count mode only).
-	Batches   *batchCounts `json:"batches,omitempty"`
-	ElapsedMS float64      `json:"elapsed_ms"`
+	Batches *batchCounts `json:"batches,omitempty"`
+	// Factorized reports the factorized-execution counters of this run
+	// (count mode only): how many prefixes reached a factorized tail and
+	// how many output tuples were counted without materialisation.
+	Factorized *factorizedCounts `json:"factorized,omitempty"`
+	ElapsedMS  float64           `json:"elapsed_ms"`
+}
+
+// factorizedCounts is the JSON shape of factorized-execution counters.
+type factorizedCounts struct {
+	Prefixes      int64 `json:"prefixes"`
+	AvoidedTuples int64 `json:"avoided_tuples"`
 }
 
 // batchCounts is the JSON shape of per-stage batch dispatch counters.
@@ -250,12 +272,13 @@ func (s *Server) queryOptions(req *queryRequest) *graphflow.QueryOptions {
 		batch = req.BatchSize
 	}
 	return &graphflow.QueryOptions{
-		Workers:   workers,
-		Limit:     req.Limit,
-		Distinct:  req.Distinct,
-		Adaptive:  req.Adaptive,
-		WCOOnly:   req.WCO,
-		BatchSize: batch,
+		Workers:              workers,
+		Limit:                req.Limit,
+		Distinct:             req.Distinct,
+		Adaptive:             req.Adaptive,
+		WCOOnly:              req.WCO,
+		BatchSize:            batch,
+		DisableFactorization: s.cfg.NoFactorize || req.NoFactorize,
 	}
 }
 
@@ -326,6 +349,10 @@ func (s *Server) execute(r *http.Request, pq *graphflow.PreparedQuery, req *quer
 			Extend: st.ExtendBatches,
 			Probe:  st.ProbeBatches,
 		}
+		resp.Factorized = &factorizedCounts{
+			Prefixes:      st.FactorizedPrefixes,
+			AvoidedTuples: st.FactorizedAvoided,
+		}
 		s.kernelMerge.Add(st.KernelMerge)
 		s.kernelGallop.Add(st.KernelGallop)
 		s.kernelBitsetProbe.Add(st.KernelBitsetProbe)
@@ -333,6 +360,8 @@ func (s *Server) execute(r *http.Request, pq *graphflow.PreparedQuery, req *quer
 		s.batchScan.Add(st.ScanBatches)
 		s.batchExtend.Add(st.ExtendBatches)
 		s.batchProbe.Add(st.ProbeBatches)
+		s.factorizedPrefixes.Add(st.FactorizedPrefixes)
+		s.factorizedAvoided.Add(st.FactorizedAvoided)
 	case "match":
 		opts := s.queryOptions(req)
 		rowCap := int64(s.cfg.MaxRows)
@@ -629,8 +658,11 @@ type statsResponse struct {
 	Kernels kernelCounts `json:"kernels"`
 	// Batches totals the vectorized engine's per-stage batch dispatches
 	// across served count-mode queries.
-	Batches   batchCounts `json:"batches"`
-	PlanCache struct {
+	Batches batchCounts `json:"batches"`
+	// Factorized totals factorized-execution work across served
+	// count-mode queries.
+	Factorized factorizedCounts `json:"factorized"`
+	PlanCache  struct {
 		Hits      int64 `json:"hits"`
 		Misses    int64 `json:"misses"`
 		Evictions int64 `json:"evictions"`
@@ -668,6 +700,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Scan:   s.batchScan.Load(),
 		Extend: s.batchExtend.Load(),
 		Probe:  s.batchProbe.Load(),
+	}
+	resp.Factorized = factorizedCounts{
+		Prefixes:      s.factorizedPrefixes.Load(),
+		AvoidedTuples: s.factorizedAvoided.Load(),
 	}
 	pc := s.cfg.DB.PlanCacheStats()
 	resp.PlanCache.Hits = pc.Hits
