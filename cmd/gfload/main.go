@@ -1,0 +1,73 @@
+// Command gfload drives a weighted query + ingest mix against a running
+// gfserver and reports latency percentiles and achieved throughput.
+// The default scenario mixes triangle and star counts, a row-returning
+// path match, and a ~10% stream of random mutation batches; -qps paces
+// the aggregate request rate open-loop (0 = closed-loop, as fast as
+// responses return).
+//
+// Usage:
+//
+//	gfserver -dataset Epinions -data-dir /tmp/gf &
+//	gfload -url http://localhost:8090 -duration 30s -qps 200 -c 8
+//	gfload -url http://localhost:8090 -json bench.json
+//
+// With -json the report is written in the repo's BENCH_*.json envelope
+// (generated_at / scale / results), one row per template plus an
+// overall row with p50/p95/p99 latency and achieved QPS.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"graphflow/internal/load"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8090", "base URL of the target gfserver")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		maxReq   = flag.Int64("max-requests", 0, "stop after this many requests (0 = duration only)")
+		conc     = flag.Int("c", 8, "concurrent workers")
+		qps      = flag.Float64("qps", 0, "target aggregate QPS (0 = closed loop)")
+		seed     = flag.Int64("seed", 1, "seed for template selection and ingest batches")
+		jsonPath = flag.String("json", "", "write the report as BENCH-envelope JSON to this file instead of text output")
+	)
+	flag.Parse()
+
+	rep, err := load.Run(load.Config{
+		BaseURL:     *url,
+		Templates:   load.DefaultTemplates(),
+		Duration:    *duration,
+		MaxRequests: *maxReq,
+		Concurrency: *conc,
+		TargetQPS:   *qps,
+		Seed:        *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("report written to %s", *jsonPath)
+		return
+	}
+	fmt.Printf("%-18s %9s %7s %9s %9s %9s %9s %10s\n",
+		"template", "requests", "errors", "p50(ms)", "p95(ms)", "p99(ms)", "mean(ms)", "qps")
+	for _, r := range rep.Results {
+		fmt.Printf("%-18s %9d %7d %9.2f %9.2f %9.2f %9.2f %10.1f\n",
+			r.Name, r.Requests, r.Errors, r.P50MS, r.P95MS, r.P99MS, r.MeanMS, r.AchievedQPS)
+	}
+}

@@ -59,10 +59,19 @@ func main() {
 		batchSz  = flag.Int("batch-size", 0, "vectorized executor batch rows (0 = plan-adaptive, negative = tuple-at-a-time oracle engine)")
 		noFact   = flag.Bool("no-factorize", false, "disable factorized execution of star-shaped query suffixes")
 		debug    = flag.String("debug-addr", "", "optional listener for net/http/pprof, e.g. localhost:6060 (disabled when empty; keep it on a loopback or otherwise private address)")
+		dataDir  = flag.String("data-dir", "", "durability directory: WAL + checkpoints; /ingest batches survive restarts and are recovered on boot (empty = in-memory only)")
+		fsync    = flag.String("fsync", "batch", `WAL fsync policy: "batch" (fsync before every acknowledged batch), "interval", or "off"`)
+		fsyncInt = flag.Duration("fsync-interval", 0, "period of the interval fsync policy (0 = default 100ms)")
+		maxBody  = flag.Int64("max-body-bytes", 0, "request-body cap for query endpoints (0 = default 1 MiB)")
+		maxIngBd = flag.Int64("max-ingest-body-bytes", 0, "request-body cap for /ingest (0 = default 64 MiB)")
 	)
 	flag.Parse()
 
-	opts := &graphflow.Options{CatalogueH: *catH, CatalogueZ: *catZ, CompactThreshold: *compact, HubDegreeThreshold: *hubTh}
+	opts := &graphflow.Options{
+		CatalogueH: *catH, CatalogueZ: *catZ,
+		CompactThreshold: *compact, HubDegreeThreshold: *hubTh,
+		DataDir: *dataDir, Fsync: *fsync, FsyncInterval: *fsyncInt,
+	}
 	var db *graphflow.DB
 	var err error
 	switch {
@@ -83,16 +92,23 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("graph loaded: %d vertices, %d edges", db.NumVertices(), db.NumEdges())
+	if ls := db.LiveStats(); ls.WALEnabled {
+		log.Printf("durable store at %s: epoch %d, %d WAL batches replayed, checkpoint epoch %d%s",
+			*dataDir, ls.Epoch, ls.ReplayedBatches, ls.CheckpointEpoch,
+			map[bool]string{true: " (torn final record dropped)", false: ""}[ls.WALTornTail])
+	}
 
 	srv, err := server.New(server.Config{
-		DB:             db,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTime,
-		MaxConcurrent:  *maxConc,
-		MaxRows:        *maxRows,
-		MaxWorkers:     *maxWork,
-		BatchSize:      *batchSz,
-		NoFactorize:    *noFact,
+		DB:                 db,
+		DefaultTimeout:     *timeout,
+		MaxTimeout:         *maxTime,
+		MaxConcurrent:      *maxConc,
+		MaxRows:            *maxRows,
+		MaxWorkers:         *maxWork,
+		BatchSize:          *batchSz,
+		NoFactorize:        *noFact,
+		MaxBodyBytes:       *maxBody,
+		MaxIngestBodyBytes: *maxIngBd,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -147,6 +163,11 @@ func main() {
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		log.Printf("drain budget exhausted, closing: %v", err)
 		_ = httpSrv.Close()
+	}
+	// Close the DB after the HTTP drain so every acknowledged ingest is
+	// synced to the WAL before exit.
+	if err := db.Close(); err != nil {
+		log.Printf("closing store: %v", err)
 	}
 	log.Printf("gfserver stopped")
 }

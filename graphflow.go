@@ -38,6 +38,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"graphflow/internal/adaptive"
 	"graphflow/internal/cache"
@@ -49,6 +50,7 @@ import (
 	"graphflow/internal/optimizer"
 	"graphflow/internal/plan"
 	"graphflow/internal/query"
+	"graphflow/internal/wal"
 )
 
 // Options configures DB construction.
@@ -73,6 +75,24 @@ type Options struct {
 	// fresh CSR base. 0 takes the live store's default (16384); a negative
 	// value disables automatic compaction (DB.Compact still works).
 	CompactThreshold int
+	// DataDir enables durability: every mutation batch is appended to a
+	// CRC32-checksummed write-ahead log in this directory before its
+	// epoch is published, compaction writes an atomic full-graph
+	// checkpoint and prunes the log, and opening a DB over a non-empty
+	// directory recovers the durable state (newest checkpoint + WAL tail,
+	// tolerating a torn final record). The caller must supply the same
+	// base graph across restarts — until the first checkpoint lands, the
+	// boot-time base is the recovery root. Empty keeps the store
+	// in-memory only (mutations lost on exit).
+	DataDir string
+	// Fsync selects the WAL durability policy when DataDir is set:
+	// "batch" (default — fsync before every acknowledged batch),
+	// "interval" (background fsync every FsyncInterval), or "off" (the
+	// OS page cache decides).
+	Fsync string
+	// FsyncInterval is the period of the "interval" policy; 0 takes the
+	// WAL default (100ms).
+	FsyncInterval time.Duration
 	// HubDegreeThreshold is the adjacency-partition size at which the
 	// store materialises a uint64 bitset index alongside the sorted run,
 	// enabling the degree-adaptive intersection kernels (bitset probe and
@@ -225,7 +245,7 @@ type PlanCacheStats struct {
 }
 
 // newDB builds the catalogue and weights for a finished graph.
-func newDB(g *graph.Graph, opts Options) *DB {
+func newDB(g *graph.Graph, opts Options) (*DB, error) {
 	db := &DB{
 		opts: opts,
 		w1:   optimizer.DefaultW1,
@@ -239,9 +259,16 @@ func newDB(g *graph.Graph, opts Options) *DB {
 		// threads the knob and skips this entirely) is left alone.
 		g.RebuildHubIndex(opts.HubDegreeThreshold)
 	}
-	db.store = live.Open(g, live.Config{
+	sync, err := wal.ParseSyncPolicy(opts.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	db.store, err = live.Open(g, live.Config{
 		CompactThreshold: opts.CompactThreshold,
 		HubThreshold:     opts.HubDegreeThreshold,
+		Dir:              opts.DataDir,
+		Sync:             sync,
+		SyncInterval:     opts.FsyncInterval,
 		// Epoch-versioned keys mean entries for older epochs can never be
 		// looked up again; dropping them eagerly releases the snapshots
 		// (and pre-compaction CSR bases) they pin instead of waiting for
@@ -253,16 +280,28 @@ func newDB(g *graph.Graph, opts Options) *DB {
 			}
 		},
 	})
+	if err != nil {
+		return nil, err
+	}
 	if opts.PlanCacheSize > 0 {
 		db.plans = cache.New[*preparedPlan](opts.PlanCacheSize)
 	}
-	db.cat = catalogue.Build(g, catalogue.Config{H: opts.CatalogueH, Z: opts.CatalogueZ, Seed: opts.Seed})
-	db.catEpoch = 0
+	// The catalogue samples the recovered snapshot, not the raw base:
+	// after WAL replay the two differ.
+	db.cat = catalogue.Build(db.store.Snapshot(), catalogue.Config{H: opts.CatalogueH, Z: opts.CatalogueZ, Seed: opts.Seed})
+	db.catEpoch = db.store.Epoch()
 	if opts.CalibrateJoinWeights {
 		db.w1, db.w2 = optimizer.Calibrate(g)
 	}
-	return db
+	return db, nil
 }
+
+// Close releases the DB's durable resources: it waits for background
+// compaction and syncs and closes the write-ahead log, so a graceful
+// shutdown never relies on the fsync policy alone. Mutations fail after
+// Close; in-flight queries finish on their snapshots. A nil error is
+// returned for an in-memory DB.
+func (db *DB) Close() error { return db.store.Close() }
 
 // catalogueFor returns the catalogue matching snap's epoch, rebuilding
 // it from the snapshot when the epoch has moved since the last build.
@@ -296,7 +335,7 @@ func NewFromEdgeList(r io.Reader, opts *Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newDB(g, opts.withDefaults()), nil
+	return newDB(g, opts.withDefaults())
 }
 
 // NewFromDataset builds a DB over one of the built-in synthetic datasets
@@ -308,7 +347,7 @@ func NewFromDataset(name string, scale int, opts *Options) (*DB, error) {
 	if g == nil {
 		return nil, fmt.Errorf("graphflow: unknown dataset %q (have %v)", name, datagen.Names())
 	}
-	return newDB(g, opts.withDefaults()), nil
+	return newDB(g, opts.withDefaults())
 }
 
 // Builder accumulates a graph edge by edge before opening a DB.
@@ -346,7 +385,7 @@ func (b *Builder) Open(opts *Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newDB(g, o), nil
+	return newDB(g, o)
 }
 
 // NumVertices returns the live epoch's vertex count (post-mutation).
@@ -949,12 +988,29 @@ type LiveStats struct {
 	HubPartitions int
 	// BitsetIndexBytes is the memory held by the hub bitset indexes.
 	BitsetIndexBytes int64
+	// WALEnabled reports whether the store is durable (Options.DataDir
+	// set); the remaining WAL fields are zero when it is false.
+	WALEnabled bool
+	// WALBytes is the current write-ahead log size across segments;
+	// WALBatches counts mutation batches logged by this process.
+	WALBytes   int64
+	WALBatches int64
+	// ReplayedBatches is the number of WAL records replayed at open, and
+	// WALTornTail whether a torn final record was discarded then.
+	ReplayedBatches int
+	WALTornTail     bool
+	// CheckpointEpoch is the newest durable checkpoint's epoch (0 until
+	// the first compaction-triggered checkpoint lands); Checkpoints counts
+	// checkpoints written by this process.
+	CheckpointEpoch uint64
+	Checkpoints     int64
 }
 
 // LiveStats reports the versioned store's current state.
 func (db *DB) LiveStats() LiveStats {
 	s := db.store.Snapshot()
 	hub := s.Base().HubIndexStats()
+	ws := db.store.WALStats()
 	return LiveStats{
 		Epoch:            s.Epoch(),
 		Vertices:         s.NumVertices(),
@@ -965,6 +1021,13 @@ func (db *DB) LiveStats() LiveStats {
 		HubThreshold:     hub.Threshold,
 		HubPartitions:    hub.Partitions,
 		BitsetIndexBytes: hub.Bytes,
+		WALEnabled:       ws.Enabled,
+		WALBytes:         ws.Bytes,
+		WALBatches:       ws.Appended,
+		ReplayedBatches:  ws.Replayed,
+		WALTornTail:      ws.TornTailDropped,
+		CheckpointEpoch:  ws.CheckpointEpoch,
+		Checkpoints:      ws.Checkpoints,
 	}
 }
 

@@ -2,10 +2,13 @@ package live
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"graphflow/internal/graph"
+	"graphflow/internal/wal"
 )
 
 // DefaultCompactThreshold is the overlay size (mutations since the last
@@ -28,6 +31,18 @@ type Config struct {
 	// (mutation batch or compaction) with the new snapshot, outside the
 	// writer lock. The DB layer uses it to drop stale plan-cache entries.
 	OnEpoch func(*Snapshot)
+	// Dir, when non-empty, makes the store durable: every mutation batch
+	// is appended (length-prefixed, CRC32-checksummed) to a write-ahead
+	// log in this directory before its epoch is published, compaction
+	// writes an atomic full-graph checkpoint and prunes the log, and Open
+	// recovers by loading the newest checkpoint and replaying the WAL
+	// tail (a torn final record is dropped). Empty disables durability.
+	Dir string
+	// Sync selects the WAL fsync policy (per-batch, interval or off);
+	// SyncInterval is the interval policy's period (0 takes the wal
+	// package default). Both ignored when Dir is empty.
+	Sync         wal.SyncPolicy
+	SyncInterval time.Duration
 }
 
 // EdgeOp names one directed labelled edge in a Batch.
@@ -79,19 +94,168 @@ type DB struct {
 	compacting  atomic.Bool
 	compactions atomic.Int64
 	compactWG   sync.WaitGroup
+
+	// Durability state; log is nil for an ephemeral store.
+	log      *wal.Log
+	dir      string
+	closed   atomic.Bool
+	replayed int  // WAL records replayed at open
+	tornTail bool // open dropped a torn final record
+	// checkpointEpoch is the epoch covered by the newest durable
+	// checkpoint (0 when the implicit checkpoint is the boot-time base);
+	// checkpoints counts checkpoint files written by this process.
+	checkpointEpoch atomic.Uint64
+	checkpoints     atomic.Int64
 }
 
-// Open wraps a frozen base graph in a live DB at epoch 0.
-func Open(base *graph.Graph, cfg Config) *DB {
+// Open wraps a frozen base graph in a live DB. Without Config.Dir the
+// store starts at epoch 0 over base and loses every mutation on process
+// exit. With Config.Dir, Open recovers the durable state: the newest
+// checkpoint in the directory replaces base (when one exists), the WAL
+// tail past the checkpoint's epoch is replayed into the overlay, a torn
+// final record is truncated away, and the returned store resumes at the
+// recovered epoch with every subsequent batch logged before publication.
+// The caller must pass the same logical base graph across restarts —
+// until the first checkpoint lands, base itself is the recovery root.
+func Open(base *graph.Graph, cfg Config) (*DB, error) {
 	th := cfg.CompactThreshold
 	if th == 0 {
 		th = DefaultCompactThreshold
 	}
 	db := &DB{threshold: th, onEpoch: cfg.OnEpoch}
-	s := newBaseSnapshot(base, 0)
-	s.hubThreshold = cfg.HubThreshold
-	db.cur.Store(s)
-	return db
+	if cfg.Dir == "" {
+		s := newBaseSnapshot(base, 0)
+		s.hubThreshold = cfg.HubThreshold
+		db.cur.Store(s)
+		return db, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("live: data dir: %w", err)
+	}
+	wal.RemoveStaleTemp(cfg.Dir)
+	ckpt, ckptEpoch, ok, err := wal.LoadNewestCheckpoint(cfg.Dir, cfg.HubThreshold)
+	if err != nil {
+		return nil, err
+	}
+	start := uint64(0)
+	if ok {
+		base, start = ckpt, ckptEpoch
+	}
+	cur := newBaseSnapshot(base, start)
+	cur.hubThreshold = cfg.HubThreshold
+	replayed := 0
+	log, info, err := wal.Open(cfg.Dir, start, wal.Options{Policy: cfg.Sync, Interval: cfg.SyncInterval}, func(rec wal.Record) error {
+		if rec.Epoch <= start {
+			// Covered by the checkpoint: the segment holding it was rotated
+			// out before the checkpoint landed but not yet pruned.
+			return nil
+		}
+		ns, _, err := applyBatch(cur, batchFromRecord(rec))
+		if err != nil {
+			return fmt.Errorf("live: wal replay epoch %d: %w", rec.Epoch, err)
+		}
+		if ns != cur {
+			// Epochs can skip numbers across compactions (which publish an
+			// epoch without a WAL record), so trust the logged epoch.
+			ns.epoch = rec.Epoch
+			cur = ns
+		}
+		replayed++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.log, db.dir = log, cfg.Dir
+	db.replayed, db.tornTail = replayed, info.TornTail
+	db.checkpointEpoch.Store(start)
+	db.cur.Store(cur)
+	return db, nil
+}
+
+// batchFromRecord converts a logged record back into a Batch.
+func batchFromRecord(rec wal.Record) Batch {
+	b := Batch{AddVertices: rec.AddVertices}
+	if len(rec.AddEdges) > 0 {
+		b.AddEdges = make([]EdgeOp, len(rec.AddEdges))
+		for i, e := range rec.AddEdges {
+			b.AddEdges[i] = EdgeOp{Src: e.Src, Dst: e.Dst, Label: e.Label}
+		}
+	}
+	if len(rec.DeleteEdges) > 0 {
+		b.DeleteEdges = make([]EdgeOp, len(rec.DeleteEdges))
+		for i, e := range rec.DeleteEdges {
+			b.DeleteEdges[i] = EdgeOp{Src: e.Src, Dst: e.Dst, Label: e.Label}
+		}
+	}
+	return b
+}
+
+// recordFromBatch converts a batch (plus the epoch its application will
+// publish) into its WAL record.
+func recordFromBatch(epoch uint64, b Batch) wal.Record {
+	rec := wal.Record{Epoch: epoch, AddVertices: b.AddVertices}
+	if len(b.AddEdges) > 0 {
+		rec.AddEdges = make([]wal.EdgeOp, len(b.AddEdges))
+		for i, e := range b.AddEdges {
+			rec.AddEdges[i] = wal.EdgeOp{Src: e.Src, Dst: e.Dst, Label: e.Label}
+		}
+	}
+	if len(b.DeleteEdges) > 0 {
+		rec.DeleteEdges = make([]wal.EdgeOp, len(b.DeleteEdges))
+		for i, e := range b.DeleteEdges {
+			rec.DeleteEdges[i] = wal.EdgeOp{Src: e.Src, Dst: e.Dst, Label: e.Label}
+		}
+	}
+	return rec
+}
+
+// Close waits for background compaction and closes the WAL (syncing any
+// buffered appends). Apply fails afterwards; reads keep working against
+// the last snapshot. A nil error is returned for an ephemeral store.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	db.compactWG.Wait()
+	if db.log != nil {
+		return db.log.Close()
+	}
+	return nil
+}
+
+// WALStats reports the durability layer's state; Enabled is false (and
+// the rest zero) for an ephemeral store.
+type WALStats struct {
+	Enabled bool
+	// Bytes is the live WAL size across segments; Appended counts batches
+	// logged by this process.
+	Bytes    int64
+	Appended int64
+	// Replayed is the number of WAL records recovered at open, and
+	// TornTailDropped whether a torn final record was discarded.
+	Replayed        int
+	TornTailDropped bool
+	// CheckpointEpoch is the newest durable checkpoint's epoch (0 = the
+	// boot-time base); Checkpoints counts checkpoints this process wrote.
+	CheckpointEpoch uint64
+	Checkpoints     int64
+}
+
+// WALStats reports the durability layer's state.
+func (db *DB) WALStats() WALStats {
+	if db.log == nil {
+		return WALStats{}
+	}
+	return WALStats{
+		Enabled:         true,
+		Bytes:           db.log.Size(),
+		Appended:        db.log.Appended(),
+		Replayed:        db.replayed,
+		TornTailDropped: db.tornTail,
+		CheckpointEpoch: db.checkpointEpoch.Load(),
+		Checkpoints:     db.checkpoints.Load(),
+	}
 }
 
 // notifyEpoch invokes the epoch hook; callers must not hold db.mu.
@@ -148,6 +312,9 @@ func (db *DB) DeleteEdge(src, dst graph.VertexID, label graph.Label) (bool, erro
 // cached plans and catalogue statistics stay valid. In-flight readers
 // keep their snapshot.
 func (db *DB) Apply(b Batch) (ApplyResult, error) {
+	if db.closed.Load() {
+		return ApplyResult{}, fmt.Errorf("live: store is closed")
+	}
 	db.mu.Lock()
 	s := db.cur.Load()
 	ns, res, err := applyBatch(s, b)
@@ -156,6 +323,16 @@ func (db *DB) Apply(b Batch) (ApplyResult, error) {
 		return ApplyResult{}, err
 	}
 	published := ns != s && (res.AddedVertices > 0 || res.AddedEdges > 0 || res.DeletedEdges > 0)
+	if published && db.log != nil {
+		// Durability point: the raw client batch is logged (replay re-drops
+		// duplicates and absent deletes deterministically) and made durable
+		// per the sync policy before the epoch becomes visible, so an
+		// acknowledged batch can never outrun the log.
+		if err := db.log.Append(recordFromBatch(ns.epoch, b)); err != nil {
+			db.mu.Unlock()
+			return ApplyResult{}, err
+		}
+	}
 	if published {
 		db.cur.Store(ns)
 	}
@@ -269,7 +446,7 @@ func (s *Snapshot) materialize(dir graph.Direction, v graph.VertexID, touched ma
 // maybeCompact kicks off a background compaction pass when the overlay
 // has outgrown the threshold and no pass is already running.
 func (db *DB) maybeCompact() {
-	if db.threshold <= 0 {
+	if db.threshold <= 0 || db.closed.Load() {
 		return
 	}
 	if db.cur.Load().deltaOps < db.threshold {
@@ -314,13 +491,7 @@ func (db *DB) compactOnce() error {
 		}
 		db.mu.Lock()
 		if db.cur.Load() == s {
-			ns := newBaseSnapshot(g, s.epoch+1)
-			ns.hubThreshold = s.hubThreshold
-			db.cur.Store(ns)
-			db.mu.Unlock()
-			db.compactions.Add(1)
-			db.notifyEpoch(ns)
-			return nil
+			return db.publishCompacted(s, g) // unlocks db.mu
 		}
 		if tries >= 2 {
 			s = db.cur.Load()
@@ -335,14 +506,50 @@ func (db *DB) compactOnce() error {
 				db.mu.Unlock()
 				return err
 			}
-			ns := newBaseSnapshot(g, s.epoch+1)
-			ns.hubThreshold = s.hubThreshold
-			db.cur.Store(ns)
-			db.mu.Unlock()
-			db.compactions.Add(1)
-			db.notifyEpoch(ns)
-			return nil
+			return db.publishCompacted(s, g) // unlocks db.mu
 		}
 		db.mu.Unlock()
 	}
+}
+
+// publishCompacted swaps in the rebuilt base as a new epoch and, for a
+// durable store, rotates the WAL onto a fresh segment while still under
+// the writer lock — no append can land between the swap and the
+// rotation, so the old segments hold exactly the records the new base
+// covers. The expensive part, serialising the checkpoint, then runs
+// outside the lock; only once it is durable are the covered segments and
+// older checkpoints pruned. A crash anywhere in between recovers from
+// the previous checkpoint plus the retained segments. Called with db.mu
+// held; always unlocks it.
+func (db *DB) publishCompacted(s *Snapshot, g *graph.Graph) error {
+	ns := newBaseSnapshot(g, s.epoch+1)
+	ns.hubThreshold = s.hubThreshold
+	db.cur.Store(ns)
+	var rotateErr error
+	if db.log != nil {
+		rotateErr = db.log.Rotate(ns.epoch)
+	}
+	db.mu.Unlock()
+	db.compactions.Add(1)
+	db.notifyEpoch(ns)
+	if db.log == nil {
+		return nil
+	}
+	if rotateErr != nil {
+		// The in-memory swap already happened; durability just lags — the
+		// current segment keeps accumulating records, all replayable from
+		// the previous checkpoint. Skip the checkpoint and surface it.
+		return rotateErr
+	}
+	if err := wal.WriteCheckpoint(db.dir, ns.epoch, g); err != nil {
+		// Keep every segment: recovery still reaches the current state
+		// from the previous checkpoint plus the full log.
+		return err
+	}
+	db.checkpointEpoch.Store(ns.epoch)
+	db.checkpoints.Add(1)
+	if err := db.log.DropSegmentsBefore(ns.epoch); err != nil {
+		return err
+	}
+	return wal.DropCheckpointsBefore(db.dir, ns.epoch)
 }

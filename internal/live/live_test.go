@@ -9,6 +9,17 @@ import (
 	"graphflow/internal/graph"
 )
 
+// mustOpen wraps Open for tests that use ephemeral (non-durable)
+// configs, where Open cannot fail.
+func mustOpen(t *testing.T, base *graph.Graph, cfg Config) *DB {
+	t.Helper()
+	db, err := Open(base, cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
 // randomBase builds a random labelled base graph.
 func randomBase(rng *rand.Rand, n int) *graph.Graph {
 	b := graph.NewBuilder(n)
@@ -129,7 +140,7 @@ func checkEquivalent(t *testing.T, s *Snapshot, rng *rand.Rand) {
 func TestOverlayMatchesRebuild(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		db := Open(randomBase(rng, 20+rng.Intn(20)), Config{CompactThreshold: -1})
+		db := mustOpen(t, randomBase(rng, 20+rng.Intn(20)), Config{CompactThreshold: -1})
 		for batch := 0; batch < 6; batch++ {
 			if _, err := db.Apply(randomBatch(rng, db.Snapshot())); err != nil {
 				t.Fatalf("seed %d batch %d: %v", seed, batch, err)
@@ -141,7 +152,7 @@ func TestOverlayMatchesRebuild(t *testing.T) {
 
 func TestSnapshotIsolation(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	db := Open(randomBase(rng, 30), Config{CompactThreshold: -1})
+	db := mustOpen(t, randomBase(rng, 30), Config{CompactThreshold: -1})
 	before := db.Snapshot()
 	edgesBefore := collectEdges(before)
 	mBefore := before.NumEdges()
@@ -167,7 +178,7 @@ func TestSnapshotIsolation(t *testing.T) {
 
 func TestCompactionEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	db := Open(randomBase(rng, 25), Config{CompactThreshold: -1})
+	db := mustOpen(t, randomBase(rng, 25), Config{CompactThreshold: -1})
 	for i := 0; i < 4; i++ {
 		if _, err := db.Apply(randomBatch(rng, db.Snapshot())); err != nil {
 			t.Fatal(err)
@@ -198,7 +209,7 @@ func TestCompactionEquivalence(t *testing.T) {
 }
 
 func TestAddVertexAndEdgesToNewVertices(t *testing.T) {
-	db := Open(graph.NewBuilder(2).MustBuild(), Config{CompactThreshold: -1})
+	db := mustOpen(t, graph.NewBuilder(2).MustBuild(), Config{CompactThreshold: -1})
 	v, err := db.AddVertex(2)
 	if err != nil {
 		t.Fatal(err)
@@ -240,7 +251,7 @@ func TestAddVertexAndEdgesToNewVertices(t *testing.T) {
 }
 
 func TestApplyValidation(t *testing.T) {
-	db := Open(graph.NewBuilder(3).MustBuild(), Config{CompactThreshold: -1})
+	db := mustOpen(t, graph.NewBuilder(3).MustBuild(), Config{CompactThreshold: -1})
 	epoch := db.Epoch()
 	cases := []Batch{
 		{AddEdges: []EdgeOp{{Src: 0, Dst: 99, Label: 0}}},
@@ -270,7 +281,7 @@ func TestApplyValidation(t *testing.T) {
 // copy-on-write publication discipline.
 func TestConcurrentReadersWritersCompaction(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
-	db := Open(randomBase(rng, 40), Config{CompactThreshold: 25})
+	db := mustOpen(t, randomBase(rng, 40), Config{CompactThreshold: 25})
 	var readers, writers sync.WaitGroup
 	stop := make(chan struct{})
 	for r := 0; r < 4; r++ {

@@ -1,0 +1,341 @@
+// Package load is a closed+open-loop load driver for a running
+// gfserver: a weighted mix of query templates and ingest mutation
+// batches is fired at the HTTP API from a pool of workers, optionally
+// paced to a target aggregate QPS, and per-template latency percentiles
+// (p50/p95/p99), error counts and achieved throughput are reported in
+// the repo's BENCH_*.json envelope. The cmd/gfload wrapper adds flags;
+// the package itself is driven in-process by tests against an
+// httptest-mounted server.
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Template is one weighted request generator of the mix. Exactly one of
+// Query or Ingest semantics applies: a template with Ingest true draws a
+// random mutation batch each call instead of posting Body to /query.
+type Template struct {
+	// Name labels the template in the report.
+	Name string
+	// Weight is the template's share of the mix (relative to the sum of
+	// all weights; non-positive templates are dropped).
+	Weight int
+	// Body is the /query request body (pattern, mode, workers, ...).
+	// Ignored for ingest templates.
+	Body map[string]any
+	// Ingest marks the template as a mutation generator: each call posts
+	// a random small batch (edge adds and deletes over the live vertex
+	// range) to /ingest.
+	Ingest bool
+}
+
+// Config tunes one load run.
+type Config struct {
+	// BaseURL roots the target server, e.g. "http://localhost:8090".
+	BaseURL string
+	// Templates is the weighted mix; at least one entry required.
+	Templates []Template
+	// Duration bounds the run (default 10s). The run also stops once
+	// MaxRequests have been issued, when positive.
+	Duration    time.Duration
+	MaxRequests int64
+	// Concurrency is the worker-pool size (default 8).
+	Concurrency int
+	// TargetQPS paces the aggregate request rate across workers; 0 runs
+	// closed-loop (every worker fires as fast as responses return).
+	TargetQPS float64
+	// Seed drives template selection and ingest batch generation.
+	Seed int64
+	// Client overrides the HTTP client (tests inject an httptest one).
+	Client *http.Client
+	// Vertices is the live vertex-ID range ingest batches draw from; 0
+	// asks the server's /stats once at startup.
+	Vertices int
+}
+
+// Result is one template's (or the overall) aggregate outcome — a row
+// of the BENCH_*.json results array.
+type Result struct {
+	Name        string  `json:"name"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MeanMS      float64 `json:"mean_ms"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	TargetQPS   float64 `json:"target_qps,omitempty"`
+}
+
+// Report is the BENCH_*.json envelope gfload emits.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	Scale       int      `json:"scale"`
+	Results     []Result `json:"results"`
+}
+
+// DefaultTemplates is the standard mixed scenario: two count shapes the
+// paper's plan spectrum keys on, a row-returning match, and a mutation
+// stream — roughly 10% writes.
+func DefaultTemplates() []Template {
+	return []Template{
+		{Name: "tri-count", Weight: 5, Body: map[string]any{"pattern": "a->b, b->c, a->c"}},
+		{Name: "star-count", Weight: 2, Body: map[string]any{"pattern": "a->b, a->c, a->d"}},
+		{Name: "path-match", Weight: 2, Body: map[string]any{"pattern": "a->b, b->c", "mode": "match", "limit": 64}},
+		{Name: "ingest", Weight: 1, Ingest: true},
+	}
+}
+
+// sample is one recorded request.
+type sample struct {
+	tpl     int
+	latency time.Duration
+	err     bool
+}
+
+// Run drives the configured mix and aggregates the report rows. The
+// returned Report's GeneratedAt is left empty for the caller to stamp.
+func Run(cfg Config) (*Report, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("load: BaseURL required")
+	}
+	var tpls []Template
+	for _, t := range cfg.Templates {
+		if t.Weight > 0 {
+			tpls = append(tpls, t)
+		}
+	}
+	if len(tpls) == 0 {
+		return nil, errors.New("load: no templates with positive weight")
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	vertices := cfg.Vertices
+	if vertices <= 0 {
+		v, err := fetchVertexCount(client, cfg.BaseURL)
+		if err != nil {
+			return nil, fmt.Errorf("load: fetching vertex range: %w", err)
+		}
+		vertices = v
+	}
+	if vertices < 2 {
+		return nil, fmt.Errorf("load: server graph has %d vertices; need at least 2 for ingest templates", vertices)
+	}
+
+	totalWeight := 0
+	for _, t := range tpls {
+		totalWeight += t.Weight
+	}
+	// Pre-marshal static query bodies once.
+	bodies := make([][]byte, len(tpls))
+	for i, t := range tpls {
+		if !t.Ingest {
+			b, err := json.Marshal(t.Body)
+			if err != nil {
+				return nil, fmt.Errorf("load: template %s: %w", t.Name, err)
+			}
+			bodies[i] = b
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancel()
+
+	var (
+		tickets atomic.Int64 // issued-request counter, also the pacing ticket
+		mu      sync.Mutex
+		samples []sample
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(worker)*7919))
+			local := make([]sample, 0, 1024)
+			for {
+				n := tickets.Add(1) - 1
+				if cfg.MaxRequests > 0 && n >= cfg.MaxRequests {
+					break
+				}
+				if cfg.TargetQPS > 0 {
+					// Open-loop pacing: ticket n is due at start + n/QPS.
+					due := start.Add(time.Duration(float64(n) / cfg.TargetQPS * float64(time.Second)))
+					if d := time.Until(due); d > 0 {
+						select {
+						case <-time.After(d):
+						case <-ctx.Done():
+						}
+					}
+				}
+				if ctx.Err() != nil {
+					break
+				}
+				// Weighted template draw.
+				pick := rng.Intn(totalWeight)
+				ti := 0
+				for i, t := range tpls {
+					if pick < t.Weight {
+						ti = i
+						break
+					}
+					pick -= t.Weight
+				}
+				var path string
+				var body []byte
+				if tpls[ti].Ingest {
+					path, body = "/ingest", ingestBody(rng, vertices)
+				} else {
+					path, body = "/query", bodies[ti]
+				}
+				t0 := time.Now()
+				ok := post(ctx, client, cfg.BaseURL+path, body)
+				lat := time.Since(t0)
+				if ctx.Err() != nil {
+					// Don't count a request the deadline chopped mid-flight.
+					break
+				}
+				local = append(local, sample{tpl: ti, latency: lat, err: !ok})
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{Scale: 1}
+	perTpl := make([][]time.Duration, len(tpls))
+	errCounts := make([]int64, len(tpls))
+	var all []time.Duration
+	var allErrs int64
+	for _, s := range samples {
+		if s.err {
+			errCounts[s.tpl]++
+			allErrs++
+			continue
+		}
+		perTpl[s.tpl] = append(perTpl[s.tpl], s.latency)
+		all = append(all, s.latency)
+	}
+	for i, t := range tpls {
+		rep.Results = append(rep.Results, aggregate("load/"+t.Name, perTpl[i], errCounts[i], elapsed, 0))
+	}
+	rep.Results = append(rep.Results, aggregate("load/overall", all, allErrs, elapsed, cfg.TargetQPS))
+	return rep, nil
+}
+
+// aggregate folds one latency set into a Result row.
+func aggregate(name string, lats []time.Duration, errs int64, elapsed time.Duration, targetQPS float64) Result {
+	r := Result{Name: name, Requests: int64(len(lats)) + errs, Errors: errs, TargetQPS: targetQPS}
+	if len(lats) == 0 {
+		return r
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) float64 {
+		idx := int(q*float64(len(lats))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(lats) {
+			idx = len(lats) - 1
+		}
+		return float64(lats[idx].Microseconds()) / 1000
+	}
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	r.P50MS = pct(0.50)
+	r.P95MS = pct(0.95)
+	r.P99MS = pct(0.99)
+	r.MeanMS = float64(sum.Microseconds()) / float64(len(lats)) / 1000
+	if elapsed > 0 {
+		r.AchievedQPS = float64(len(lats)) / elapsed.Seconds()
+	}
+	return r
+}
+
+// ingestBody draws one small random mutation batch: a handful of edge
+// adds and deletes over the live vertex range (adds and deletes overlap
+// on purpose, so delete-heavy semantics stay exercised).
+func ingestBody(rng *rand.Rand, vertices int) []byte {
+	type edge struct {
+		Src   int `json:"src"`
+		Dst   int `json:"dst"`
+		Label int `json:"label"`
+	}
+	var adds, dels []edge
+	for i := 1 + rng.Intn(4); i > 0; i-- {
+		adds = append(adds, edge{Src: rng.Intn(vertices), Dst: rng.Intn(vertices), Label: rng.Intn(2)})
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		e := edge{Src: rng.Intn(vertices), Dst: rng.Intn(vertices), Label: rng.Intn(2)}
+		if len(adds) > 0 && rng.Intn(2) == 0 {
+			e = adds[rng.Intn(len(adds))] // delete something this batch added
+		}
+		dels = append(dels, e)
+	}
+	b, _ := json.Marshal(map[string]any{"add_edges": adds, "delete_edges": dels})
+	return b
+}
+
+// post issues one request and reports success. 2xx is success; every
+// transport error or non-2xx status counts as an error sample.
+func post(ctx context.Context, client *http.Client, url string, body []byte) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// fetchVertexCount reads the live vertex count from /stats.
+func fetchVertexCount(client *http.Client, baseURL string) (int, error) {
+	resp, err := client.Get(baseURL + "/stats")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("/stats returned %d", resp.StatusCode)
+	}
+	var st struct {
+		Graph struct {
+			Vertices int `json:"vertices"`
+		} `json:"graph"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return 0, err
+	}
+	return st.Graph.Vertices, nil
+}

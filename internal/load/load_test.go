@@ -1,0 +1,116 @@
+package load
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"graphflow"
+	"graphflow/internal/server"
+)
+
+// testServer mounts a real gfserver handler over a small durable graph.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	b := graphflow.NewBuilder(32)
+	for v := uint32(0); v < 32; v++ {
+		for d := uint32(1); d <= 3; d++ {
+			b.AddEdge(v, (v+d)%32, 0)
+		}
+	}
+	db, err := b.Open(&graphflow.Options{CatalogueZ: 50, CatalogueH: 2, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv, err := server.New(server.Config{DB: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRunMixedScenario(t *testing.T) {
+	ts := testServer(t)
+	rep, err := Run(Config{
+		BaseURL:     ts.URL,
+		Templates:   DefaultTemplates(),
+		Duration:    5 * time.Second,
+		MaxRequests: 300,
+		Concurrency: 4,
+		Seed:        1,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(DefaultTemplates())+1 {
+		t.Fatalf("%d result rows, want %d", len(rep.Results), len(DefaultTemplates())+1)
+	}
+	overall := rep.Results[len(rep.Results)-1]
+	if overall.Name != "load/overall" || overall.Requests == 0 {
+		t.Fatalf("overall row %+v", overall)
+	}
+	if overall.Errors != 0 {
+		t.Fatalf("%d errors against in-process server", overall.Errors)
+	}
+	if overall.P50MS <= 0 || overall.P99MS < overall.P50MS {
+		t.Fatalf("percentiles not monotone: %+v", overall)
+	}
+	if overall.AchievedQPS <= 0 {
+		t.Fatalf("achieved QPS %v", overall.AchievedQPS)
+	}
+	// Every template must have been exercised.
+	for _, r := range rep.Results[:len(rep.Results)-1] {
+		if r.Requests == 0 {
+			t.Fatalf("template %s never ran: %+v", r.Name, rep.Results)
+		}
+	}
+	// The report must serialize to the BENCH envelope shape.
+	rep.GeneratedAt = "test"
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round Report
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.GeneratedAt != "test" || len(round.Results) != len(rep.Results) {
+		t.Fatalf("round trip: %+v", round)
+	}
+}
+
+func TestRunPacedToTargetQPS(t *testing.T) {
+	ts := testServer(t)
+	rep, err := Run(Config{
+		BaseURL:     ts.URL,
+		Templates:   []Template{{Name: "tri", Weight: 1, Body: map[string]any{"pattern": "a->b, b->c, a->c"}}},
+		Duration:    2 * time.Second,
+		TargetQPS:   50,
+		Concurrency: 4,
+		Seed:        2,
+		Client:      ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overall := rep.Results[len(rep.Results)-1]
+	// 50 QPS over ~2s: the open-loop pacer should land near 100 requests;
+	// allow generous slack for CI jitter but catch closed-loop runaway.
+	if overall.Requests < 40 || overall.Requests > 160 {
+		t.Fatalf("paced run issued %d requests, want ~100", overall.Requests)
+	}
+	if overall.TargetQPS != 50 {
+		t.Fatalf("target QPS %v not recorded", overall.TargetQPS)
+	}
+}
+
+func TestRunRejectsEmptyMix(t *testing.T) {
+	if _, err := Run(Config{BaseURL: "http://x", Templates: []Template{{Name: "z", Weight: 0}}}); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+}

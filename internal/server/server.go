@@ -71,6 +71,13 @@ type Config struct {
 	// suffixes server-wide; individual requests can also opt out with
 	// no_factorize.
 	NoFactorize bool
+	// MaxBodyBytes caps request bodies on the query-shaped endpoints
+	// (/query, /prepare, /execute, /explain). Default 1 MiB. Oversized
+	// bodies are rejected with 413.
+	MaxBodyBytes int64
+	// MaxIngestBodyBytes caps /ingest request bodies, which carry bulk
+	// edge data and routinely dwarf query bodies. Default 64 MiB.
+	MaxIngestBodyBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +95,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxWorkers <= 0 {
 		c.MaxWorkers = 16
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxIngestBodyBytes <= 0 {
+		c.MaxIngestBodyBytes = 64 << 20
 	}
 	return c
 }
@@ -234,11 +247,19 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// decodeBody parses the request body into v; a missing body is treated
-// as an empty object so every knob defaults.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+// decodeBody parses the request body into v, reading at most limit
+// bytes; a missing body is treated as an empty object so every knob
+// defaults. Oversized bodies get 413 with the effective limit named so
+// the client knows what to shrink (or which server knob to raise).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	if err := dec.Decode(v); err != nil && !errors.Is(err, io.EOF) {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds the %d-byte limit for this endpoint", tooBig.Limit)
+			return false
+		}
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
@@ -260,12 +281,35 @@ func (s *Server) admit(w http.ResponseWriter) bool {
 
 func (s *Server) release() { <-s.sem }
 
+// maxRequestBatchSize bounds request-supplied batch_size values; larger
+// batches only waste memory without improving throughput.
+const maxRequestBatchSize = 1 << 20
+
 // queryOptions maps a request onto QueryOptions, clamping workers and
-// limits to the server's configured ceilings.
-func (s *Server) queryOptions(req *queryRequest) *graphflow.QueryOptions {
+// limits to the server's configured ceilings and sanitizing nonsense
+// values. Negative workers/limit clamp to 0 (auto / unlimited), but a
+// negative or oversized batch_size is rejected with 400: negative values
+// would silently route the request onto the tuple-at-a-time oracle
+// engine, a debugging path orders of magnitude slower than the
+// vectorized default. That path stays reachable through the server-side
+// Config.BatchSize knob only.
+func (s *Server) queryOptions(req *queryRequest) (*graphflow.QueryOptions, error) {
 	workers := req.Workers
+	if workers < 0 {
+		workers = 0
+	}
 	if workers > s.cfg.MaxWorkers {
 		workers = s.cfg.MaxWorkers
+	}
+	limit := req.Limit
+	if limit < 0 {
+		limit = 0
+	}
+	if req.BatchSize < 0 {
+		return nil, fmt.Errorf("%w: batch_size %d is negative (0 = server default)", errBadRequest, req.BatchSize)
+	}
+	if req.BatchSize > maxRequestBatchSize {
+		return nil, fmt.Errorf("%w: batch_size %d exceeds the maximum %d", errBadRequest, req.BatchSize, maxRequestBatchSize)
 	}
 	batch := s.cfg.BatchSize
 	if req.BatchSize != 0 {
@@ -273,13 +317,13 @@ func (s *Server) queryOptions(req *queryRequest) *graphflow.QueryOptions {
 	}
 	return &graphflow.QueryOptions{
 		Workers:              workers,
-		Limit:                req.Limit,
+		Limit:                limit,
 		Distinct:             req.Distinct,
 		Adaptive:             req.Adaptive,
 		WCOOnly:              req.WCO,
 		BatchSize:            batch,
 		DisableFactorization: s.cfg.NoFactorize || req.NoFactorize,
-	}
+	}, nil
 }
 
 // timeout resolves the request's execution budget. The millisecond
@@ -320,6 +364,10 @@ func (s *Server) writeRunError(w http.ResponseWriter, r *http.Request, err error
 // nor "match"; respond maps it to 400.
 var errUnknownMode = errors.New("unknown mode")
 
+// errBadRequest marks a request with invalid option values; respond
+// maps it to 400.
+var errBadRequest = errors.New("bad request")
+
 // execute runs pq under the request's deadline and options. The caller
 // must hold an admission slot: planning and execution are the CPU-bound
 // phases the semaphore bounds.
@@ -331,7 +379,10 @@ func (s *Server) execute(r *http.Request, pq *graphflow.PreparedQuery, req *quer
 	resp := queryResponse{PlanKind: pq.PlanKind()}
 	switch req.Mode {
 	case "", "count":
-		opts := s.queryOptions(req)
+		opts, err := s.queryOptions(req)
+		if err != nil {
+			return resp, err
+		}
 		opts.Context = ctx
 		n, st, err := pq.CountStats(opts)
 		if err != nil {
@@ -363,14 +414,17 @@ func (s *Server) execute(r *http.Request, pq *graphflow.PreparedQuery, req *quer
 		s.factorizedPrefixes.Add(st.FactorizedPrefixes)
 		s.factorizedAvoided.Add(st.FactorizedAvoided)
 	case "match":
-		opts := s.queryOptions(req)
+		opts, err := s.queryOptions(req)
+		if err != nil {
+			return resp, err
+		}
 		rowCap := int64(s.cfg.MaxRows)
 		capped := opts.Limit <= 0 || opts.Limit > rowCap
 		if capped {
 			opts.Limit = rowCap
 		}
 		rows := make([]map[string]uint32, 0, 16)
-		err := pq.MatchCtx(ctx, func(m map[string]uint32) bool {
+		err = pq.MatchCtx(ctx, func(m map[string]uint32) bool {
 			rows = append(rows, m)
 			return true
 		}, opts)
@@ -395,7 +449,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, resp queryRespo
 	case err == nil:
 		s.served.Add(1)
 		writeJSON(w, http.StatusOK, resp)
-	case errors.Is(err, errUnknownMode):
+	case errors.Is(err, errUnknownMode), errors.Is(err, errBadRequest):
 		writeError(w, http.StatusBadRequest, "%v", err)
 	default:
 		s.writeRunError(w, r, err)
@@ -404,7 +458,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, resp queryRespo
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if !decodeBody(w, r, &req) {
+	if !decodeBody(w, r, &req, s.cfg.MaxBodyBytes) {
 		return
 	}
 	if req.Pattern == "" {
@@ -449,7 +503,7 @@ type prepareResponse struct {
 
 func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	var req prepareRequest
-	if !decodeBody(w, r, &req) {
+	if !decodeBody(w, r, &req, s.cfg.MaxBodyBytes) {
 		return
 	}
 	if req.Name == "" || req.Pattern == "" {
@@ -500,7 +554,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req queryRequest
-	if !decodeBody(w, r, &req) {
+	if !decodeBody(w, r, &req, s.cfg.MaxBodyBytes) {
 		return
 	}
 	if !s.admit(w) {
@@ -523,7 +577,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	pattern := r.URL.Query().Get("pattern")
 	if pattern == "" && r.Method == http.MethodPost {
 		var req queryRequest
-		if !decodeBody(w, r, &req) {
+		if !decodeBody(w, r, &req, s.cfg.MaxBodyBytes) {
 			return
 		}
 		pattern = req.Pattern
@@ -566,9 +620,13 @@ type ingestRequest struct {
 }
 
 type ingestResponse struct {
-	Epoch          uint64 `json:"epoch"`
-	FirstNewVertex uint32 `json:"first_new_vertex,omitempty"`
-	AddedVertices  int    `json:"added_vertices"`
+	Epoch uint64 `json:"epoch"`
+	// FirstNewVertex is a pointer so the field is present exactly when
+	// the batch added vertices: vertex IDs start at 0, and a plain
+	// omitempty uint32 would swallow the very first vertex of an empty
+	// store (ID 0), leaving the client unable to tell what it created.
+	FirstNewVertex *uint32 `json:"first_new_vertex,omitempty"`
+	AddedVertices  int     `json:"added_vertices"`
 	AddedEdges     int    `json:"added_edges"`
 	DeletedEdges   int    `json:"deleted_edges"`
 	Vertices       int    `json:"vertices"`
@@ -580,7 +638,7 @@ type ingestResponse struct {
 // is CPU-bound work the limit must cover.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req ingestRequest
-	if !decodeBody(w, r, &req) {
+	if !decodeBody(w, r, &req, s.cfg.MaxIngestBodyBytes) {
 		return
 	}
 	if len(req.AddVertices) == 0 && len(req.AddEdges) == 0 && len(req.DeleteEdges) == 0 {
@@ -604,11 +662,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.ingested.Add(1)
+	var firstNew *uint32
+	if res.AddedVertices > 0 {
+		v := res.FirstNewVertex
+		firstNew = &v
+	}
 	// Counts come from the ApplyResult, read atomically with the epoch —
 	// re-reading the DB here could observe a concurrent later batch.
 	writeJSON(w, http.StatusOK, ingestResponse{
 		Epoch:          res.Epoch,
-		FirstNewVertex: res.FirstNewVertex,
+		FirstNewVertex: firstNew,
 		AddedVertices:  res.AddedVertices,
 		AddedEdges:     res.AddedEdges,
 		DeletedEdges:   res.DeletedEdges,
@@ -653,6 +716,17 @@ type statsResponse struct {
 		HubPartitions    int   `json:"hub_partitions"`
 		BitsetIndexBytes int64 `json:"bitset_index_bytes"`
 	} `json:"graph"`
+	// WAL reports the durability layer's state; all-zero (enabled:false)
+	// when the server runs over an ephemeral store.
+	WAL struct {
+		Enabled         bool   `json:"enabled"`
+		Bytes           int64  `json:"bytes"`
+		Batches         int64  `json:"batches"`
+		ReplayedBatches int    `json:"replayed_batches"`
+		TornTailDropped bool   `json:"torn_tail_dropped"`
+		CheckpointEpoch uint64 `json:"checkpoint_epoch"`
+		Checkpoints     int64  `json:"checkpoints"`
+	} `json:"wal"`
 	// Kernels totals intersection-kernel dispatches across served
 	// count-mode queries.
 	Kernels kernelCounts `json:"kernels"`
@@ -690,6 +764,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Graph.HubThreshold = ls.HubThreshold
 	resp.Graph.HubPartitions = ls.HubPartitions
 	resp.Graph.BitsetIndexBytes = ls.BitsetIndexBytes
+	resp.WAL.Enabled = ls.WALEnabled
+	resp.WAL.Bytes = ls.WALBytes
+	resp.WAL.Batches = ls.WALBatches
+	resp.WAL.ReplayedBatches = ls.ReplayedBatches
+	resp.WAL.TornTailDropped = ls.WALTornTail
+	resp.WAL.CheckpointEpoch = ls.CheckpointEpoch
+	resp.WAL.Checkpoints = ls.Checkpoints
 	resp.Kernels = kernelCounts{
 		Merge:       s.kernelMerge.Load(),
 		Gallop:      s.kernelGallop.Load(),

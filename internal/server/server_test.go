@@ -492,18 +492,12 @@ func TestBatchCountersServed(t *testing.T) {
 		t.Errorf("/stats batch counters not accumulated: %+v", stats.Batches)
 	}
 
-	// The oracle engine (batch_size < 0) must serve identical counts and
-	// report zero batches.
+	// A request-supplied negative batch_size is rejected: it would
+	// silently route onto the tuple-at-a-time oracle engine, which is a
+	// server-config-only debugging path.
 	wOracle := do(t, s, "POST", "/query", queryRequest{Pattern: triangle, BatchSize: -1})
-	var respOracle queryResponse
-	if err := json.Unmarshal(wOracle.Body.Bytes(), &respOracle); err != nil {
-		t.Fatal(err)
-	}
-	if respOracle.Count == nil || resp.Count == nil || *respOracle.Count != *resp.Count {
-		t.Errorf("oracle count %v != batch count %v", respOracle.Count, resp.Count)
-	}
-	if respOracle.Batches != nil && respOracle.Batches.Scan != 0 {
-		t.Errorf("oracle run reported batches: %+v", respOracle.Batches)
+	if wOracle.Code != http.StatusBadRequest {
+		t.Errorf("batch_size=-1: status %d, want 400: %s", wOracle.Code, wOracle.Body)
 	}
 
 	// An explicit small batch size still answers correctly.

@@ -1,0 +1,283 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"graphflow/internal/graph"
+)
+
+// Checkpoint files serialise one epoch's full logical graph — vertex
+// labels plus the directed labelled edge set — so recovery loads the
+// newest checkpoint and replays only the WAL records past its epoch.
+// Files are named ckpt-<epoch>.snap and written atomically: the payload
+// goes to a .tmp name, is fsynced, then renamed into place (and the
+// directory fsynced), so a crash mid-write leaves only ignorable temp
+// files and every *.snap on disk is complete. Corruption of a completed
+// checkpoint is detected by a trailing CRC32 and fails recovery loudly
+// rather than silently falling back to an older state.
+//
+// Layout (little-endian):
+//
+//	magic "GFWCKPT1" | epoch u64 | numVertices u64 | labels u16 each
+//	| numEdges u64 | (src u32, dst u32, label u16) each | CRC32 of payload
+const checkpointMagic = "GFWCKPT1"
+
+// checkpointName returns the file name of the checkpoint at epoch.
+func checkpointName(epoch uint64) string {
+	return fmt.Sprintf("ckpt-%020d.snap", epoch)
+}
+
+func parseCheckpointName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".snap") {
+		return 0, false
+	}
+	e, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".snap"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return e, true
+}
+
+// crcWriter tees writes through a running CRC32.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, crcTable, p[:n])
+	return n, err
+}
+
+// WriteCheckpoint atomically serialises g as the checkpoint at epoch in
+// dir. The caller is responsible for rotating and pruning WAL segments
+// around it.
+func WriteCheckpoint(dir string, epoch uint64, g *graph.Graph) error {
+	tmp, err := os.CreateTemp(dir, "ckpt-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+
+	bw := bufio.NewWriterSize(tmp, 1<<16)
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write([]byte(checkpointMagic)); err != nil {
+		tmp.Close()
+		return err
+	}
+	var scratch [10]byte
+	writeU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		_, err := cw.Write(scratch[:8])
+		return err
+	}
+	if err := writeU64(epoch); err != nil {
+		tmp.Close()
+		return err
+	}
+	n := g.NumVertices()
+	if err := writeU64(uint64(n)); err != nil {
+		tmp.Close()
+		return err
+	}
+	for v := 0; v < n; v++ {
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(g.VertexLabel(graph.VertexID(v))))
+		if _, err := cw.Write(scratch[:2]); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := writeU64(uint64(g.NumEdges())); err != nil {
+		tmp.Close()
+		return err
+	}
+	var edgeErr error
+	g.Edges(func(src, dst graph.VertexID, l graph.Label) bool {
+		binary.LittleEndian.PutUint32(scratch[0:4], uint32(src))
+		binary.LittleEndian.PutUint32(scratch[4:8], uint32(dst))
+		binary.LittleEndian.PutUint16(scratch[8:10], uint16(l))
+		if _, err := cw.Write(scratch[:10]); err != nil {
+			edgeErr = err
+			return false
+		}
+		return true
+	})
+	if edgeErr != nil {
+		tmp.Close()
+		return edgeErr
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], cw.crc)
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	final := filepath.Join(dir, checkpointName(epoch))
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs the directory so the rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// LoadNewestCheckpoint finds the highest-epoch checkpoint in dir,
+// validates it, and rebuilds its graph through the ordinary Builder with
+// the given hub-index threshold. ok is false when dir holds no
+// checkpoints (recovery then starts from the caller's base graph at
+// epoch 0). A present-but-corrupt checkpoint is an error: silently
+// falling back to an older state would lose acknowledged writes.
+func LoadNewestCheckpoint(dir string, hubThreshold int) (g *graph.Graph, epoch uint64, ok bool, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	var epochs []uint64
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		if e, ok := parseCheckpointName(ent.Name()); ok {
+			epochs = append(epochs, e)
+		}
+	}
+	if len(epochs) == 0 {
+		return nil, 0, false, nil
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] < epochs[j] })
+	newest := epochs[len(epochs)-1]
+	g, err = loadCheckpoint(filepath.Join(dir, checkpointName(newest)), newest, hubThreshold)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return g, newest, true, nil
+}
+
+// DropCheckpointsBefore removes checkpoints older than limit, once a
+// newer one is durable.
+func DropCheckpointsBefore(dir string, limit uint64) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		if ent.IsDir() {
+			continue
+		}
+		if e, ok := parseCheckpointName(ent.Name()); ok && e < limit {
+			if err := os.Remove(filepath.Join(dir, ent.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func loadCheckpoint(path string, wantEpoch uint64, hubThreshold int) (*graph.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	name := filepath.Base(path)
+	if len(data) < len(checkpointMagic)+4 || string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, fmt.Errorf("wal: checkpoint %s: bad magic", name)
+	}
+	payload, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return nil, fmt.Errorf("wal: checkpoint %s: CRC mismatch", name)
+	}
+	b := payload[len(checkpointMagic):]
+	need := func(n int) error {
+		if len(b) < n {
+			return fmt.Errorf("wal: checkpoint %s: truncated payload", name)
+		}
+		return nil
+	}
+	if err := need(16); err != nil {
+		return nil, err
+	}
+	epoch := binary.LittleEndian.Uint64(b[:8])
+	if epoch != wantEpoch {
+		return nil, fmt.Errorf("wal: checkpoint %s: header epoch %d does not match file name", name, epoch)
+	}
+	nv := binary.LittleEndian.Uint64(b[8:16])
+	b = b[16:]
+	if nv > maxDecodeCount {
+		return nil, fmt.Errorf("wal: checkpoint %s: vertex count %d out of range", name, nv)
+	}
+	if err := need(int(nv) * 2); err != nil {
+		return nil, err
+	}
+	gb := graph.NewBuilder(int(nv))
+	gb.SetHubThreshold(hubThreshold)
+	for v := 0; v < int(nv); v++ {
+		gb.SetVertexLabel(graph.VertexID(v), graph.Label(binary.LittleEndian.Uint16(b[v*2:])))
+	}
+	b = b[nv*2:]
+	if err := need(8); err != nil {
+		return nil, err
+	}
+	ne := binary.LittleEndian.Uint64(b[:8])
+	b = b[8:]
+	if ne > maxDecodeCount {
+		return nil, fmt.Errorf("wal: checkpoint %s: edge count %d out of range", name, ne)
+	}
+	if err := need(int(ne) * 10); err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(ne); i++ {
+		off := i * 10
+		gb.AddEdge(
+			graph.VertexID(binary.LittleEndian.Uint32(b[off:])),
+			graph.VertexID(binary.LittleEndian.Uint32(b[off+4:])),
+			graph.Label(binary.LittleEndian.Uint16(b[off+8:])),
+		)
+	}
+	if len(b) != int(ne)*10 {
+		return nil, fmt.Errorf("wal: checkpoint %s: %d trailing bytes", name, len(b)-int(ne)*10)
+	}
+	return gb.Build()
+}
+
+// RemoveStaleTemp deletes leftover checkpoint temp files from a crash
+// mid-write; called once at store open.
+func RemoveStaleTemp(dir string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range ents {
+		name := ent.Name()
+		if !ent.IsDir() && strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, ".tmp") {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"graphflow/internal/graph"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Epoch: 1, AddVertices: []graph.Label{0, 1, 2}},
+		{Epoch: 2, AddEdges: []EdgeOp{{0, 1, 0}, {1, 2, 1}}},
+		{Epoch: 3, DeleteEdges: []EdgeOp{{0, 1, 0}}, AddEdges: []EdgeOp{{2, 0, 0}}},
+		{Epoch: 7, AddVertices: []graph.Label{5}, AddEdges: []EdgeOp{{3, 0, 3}}},
+	}
+}
+
+func openAppendClose(t *testing.T, dir string, recs []Record) {
+	t.Helper()
+	l, info, err := Open(dir, 0, Options{Policy: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Records != 0 || info.TornTail {
+		t.Fatalf("fresh open replayed %+v", info)
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func replayAll(t *testing.T, dir string) ([]Record, ReplayInfo) {
+	t.Helper()
+	var got []Record
+	l, info, err := Open(dir, 0, Options{Policy: SyncOff}, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	return got, info
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, r := range testRecords() {
+		dec, err := decodeRecord(r.encode(nil))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", r, err)
+		}
+		if !reflect.DeepEqual(r, dec) {
+			t.Fatalf("round trip: wrote %+v, read %+v", r, dec)
+		}
+	}
+}
+
+func TestAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords()
+	openAppendClose(t, dir, recs)
+	got, info := replayAll(t, dir)
+	if info.TornTail {
+		t.Fatal("unexpected torn tail")
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Fatalf("replayed %+v, want %+v", got, recs)
+	}
+}
+
+// TestTornTailEveryOffset truncates the log at every byte offset and
+// checks that replay recovers exactly the records whose frames are fully
+// inside the prefix, flagging (and truncating) the torn remainder.
+func TestTornTailEveryOffset(t *testing.T) {
+	src := t.TempDir()
+	recs := testRecords()
+	openAppendClose(t, src, recs)
+	path := filepath.Join(src, segmentName(0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame end offsets delimit how many records each prefix holds.
+	ends := make([]int, 0, len(recs))
+	off := 0
+	for _, r := range recs {
+		off += frameHeaderSize + len(r.encode(nil))
+		ends = append(ends, off)
+	}
+	if off != len(data) {
+		t.Fatalf("frame math: computed %d bytes, file has %d", off, len(data))
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(0)), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantN := 0
+		for _, e := range ends {
+			if e <= cut {
+				wantN++
+			}
+		}
+		got, info := replayAll(t, dir)
+		if len(got) != wantN {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, len(got), wantN)
+		}
+		if wantN > 0 && !reflect.DeepEqual(got, recs[:wantN]) {
+			t.Fatalf("cut %d: wrong records", cut)
+		}
+		// A cut exactly at a frame boundary (or the empty file) is clean;
+		// anything mid-frame is a torn tail.
+		atBoundary := cut == 0
+		for _, e := range ends {
+			if cut == e {
+				atBoundary = true
+			}
+		}
+		if info.TornTail == atBoundary {
+			t.Fatalf("cut %d: torn=%v but boundary=%v", cut, info.TornTail, atBoundary)
+		}
+		// After truncation the reopened log must be clean.
+		got2, info2 := replayAll(t, dir)
+		if info2.TornTail || len(got2) != wantN {
+			t.Fatalf("cut %d: second replay torn=%v n=%d", cut, info2.TornTail, len(got2))
+		}
+	}
+}
+
+// TestCorruptMidSegmentFails flips a payload byte in the middle of the
+// log: the CRC catches it, and because valid frames (in a newer segment)
+// follow, recovery must fail loudly instead of dropping data.
+func TestCorruptMidSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 0, Options{Policy: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Epoch: 1, AddEdges: []EdgeOp{{0, 1, 0}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Epoch: 6, AddEdges: []EdgeOp{{1, 2, 0}}}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Corrupt the first (older) segment's payload.
+	p := filepath.Join(dir, segmentName(0))
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeaderSize] ^= 0xFF
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, 0, Options{Policy: SyncOff}, nil); err == nil {
+		t.Fatal("corrupt non-final segment did not fail recovery")
+	}
+}
+
+func TestRotateAndDrop(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, 0, Options{Policy: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Epoch: 1, AddEdges: []EdgeOp{{0, 1, 0}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rotate(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(Record{Epoch: 2, AddEdges: []EdgeOp{{1, 0, 0}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.DropSegmentsBefore(1); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	got, info := replayAll(t, dir)
+	if info.TornTail || len(got) != 1 || got[0].Epoch != 2 {
+		t.Fatalf("after drop: replay %+v info %+v", got, info)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	b := graph.NewBuilder(5)
+	b.SetVertexLabel(1, 2)
+	b.SetVertexLabel(4, 1)
+	b.AddEdge(0, 1, 0)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(3, 4, 0)
+	b.AddEdge(4, 0, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, 42, g); err != nil {
+		t.Fatal(err)
+	}
+	got, epoch, ok, err := LoadNewestCheckpoint(dir, 0)
+	if err != nil || !ok || epoch != 42 {
+		t.Fatalf("load: ok=%v epoch=%d err=%v", ok, epoch, err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("checkpoint graph V=%d E=%d, want V=%d E=%d",
+			got.NumVertices(), got.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if got.VertexLabel(graph.VertexID(v)) != g.VertexLabel(graph.VertexID(v)) {
+			t.Fatalf("vertex %d label mismatch", v)
+		}
+	}
+	g.Edges(func(src, dst graph.VertexID, l graph.Label) bool {
+		if !got.HasEdge(src, dst, l) {
+			t.Fatalf("edge %d->%d missing after round trip", src, dst)
+		}
+		return true
+	})
+
+	// Corrupt checkpoints must fail loudly, not fall back.
+	path := filepath.Join(dir, checkpointName(42))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LoadNewestCheckpoint(dir, 0); err == nil {
+		t.Fatal("corrupt checkpoint loaded without error")
+	}
+}
