@@ -13,10 +13,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
 	"graphflow/internal/bench"
+	"graphflow/internal/logx"
 )
 
 // jsonReport is the BENCH_*.json file shape: a stamped header plus one
@@ -59,11 +61,16 @@ func main() {
 		scale    = flag.Int("scale", 1, "dataset scale factor")
 		list     = flag.Bool("list", false, "list available experiments and ablations")
 		jsonOut  = flag.String("json", "", "run the machine-readable micro suite and write results to this file")
+		logFmt   = flag.String("log-format", "text", `structured log rendering: "text" or "json"`)
 	)
 	flag.Parse()
+	if _, err := logx.Setup(*logFmt, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gfbench:", err)
+		os.Exit(2)
+	}
 	if *jsonOut != "" {
 		if err := runJSON(*jsonOut, *scale); err != nil {
-			fmt.Fprintln(os.Stderr, "gfbench:", err)
+			slog.Error("micro suite failed", "err", err)
 			os.Exit(1)
 		}
 		return
@@ -84,13 +91,13 @@ func main() {
 	}
 	if *ablation != "" {
 		if err := bench.RunAblation(*ablation, os.Stdout, *scale); err != nil {
-			fmt.Fprintln(os.Stderr, "gfbench:", err)
+			slog.Error("ablation failed", "ablation", *ablation, "err", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if err := bench.Run(*exp, os.Stdout, *scale); err != nil {
-		fmt.Fprintln(os.Stderr, "gfbench:", err)
+		slog.Error("experiment failed", "exp", *exp, "err", err)
 		os.Exit(1)
 	}
 }

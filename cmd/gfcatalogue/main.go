@@ -10,12 +10,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 
 	"graphflow/internal/catalogue"
 	"graphflow/internal/datagen"
 	"graphflow/internal/graph"
+	"graphflow/internal/logx"
 )
 
 func main() {
@@ -28,8 +30,13 @@ func main() {
 		out      = flag.String("out", "", "write the catalogue as JSON to this file")
 		in       = flag.String("in", "", "load a catalogue from this file instead of building")
 		inspect  = flag.Bool("inspect", false, "print a summary of the catalogue")
+		logFmt   = flag.String("log-format", "text", `structured log rendering: "text" or "json"`)
 	)
 	flag.Parse()
+	if _, err := logx.Setup(*logFmt, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gfcatalogue:", err)
+		os.Exit(2)
+	}
 
 	var cat *catalogue.Catalogue
 	switch {
@@ -105,6 +112,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gfcatalogue:", err)
+	slog.Error("gfcatalogue failed", "err", err)
 	os.Exit(1)
 }

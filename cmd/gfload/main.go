@@ -13,18 +13,23 @@
 //
 // With -json the report is written in the repo's BENCH_*.json envelope
 // (generated_at / scale / results), one row per template plus an
-// overall row with p50/p95/p99 latency and achieved QPS.
+// overall row with p50/p95/p99 latency and achieved QPS. When the
+// target serves /metrics, the driver scrapes it before and after the
+// run and adds per-endpoint server-side p50/p95/p99 rows (from the
+// request-histogram bucket deltas), so the envelope separates queueing
+// and network overhead from time actually spent in the server.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"time"
 
 	"graphflow/internal/load"
+	"graphflow/internal/logx"
 )
 
 func main() {
@@ -36,8 +41,14 @@ func main() {
 		qps      = flag.Float64("qps", 0, "target aggregate QPS (0 = closed loop)")
 		seed     = flag.Int64("seed", 1, "seed for template selection and ingest batches")
 		jsonPath = flag.String("json", "", "write the report as BENCH-envelope JSON to this file instead of text output")
+		logFmt   = flag.String("log-format", "text", `structured log rendering: "text" or "json"`)
 	)
 	flag.Parse()
+
+	if _, err := logx.Setup(*logFmt, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gfload:", err)
+		os.Exit(2)
+	}
 
 	rep, err := load.Run(load.Config{
 		BaseURL:     *url,
@@ -49,19 +60,22 @@ func main() {
 		Seed:        *seed,
 	})
 	if err != nil {
-		log.Fatal(err)
+		slog.Error("load run failed", "err", err)
+		os.Exit(1)
 	}
 	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
-			log.Fatal(err)
+			slog.Error("encoding report", "err", err)
+			os.Exit(1)
 		}
 		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
-			log.Fatal(err)
+			slog.Error("writing report", "err", err)
+			os.Exit(1)
 		}
-		log.Printf("report written to %s", *jsonPath)
+		slog.Info("report written", "path", *jsonPath, "server_rows", len(rep.Server))
 		return
 	}
 	fmt.Printf("%-18s %9s %7s %9s %9s %9s %9s %10s\n",
@@ -69,5 +83,14 @@ func main() {
 	for _, r := range rep.Results {
 		fmt.Printf("%-18s %9d %7d %9.2f %9.2f %9.2f %9.2f %10.1f\n",
 			r.Name, r.Requests, r.Errors, r.P50MS, r.P95MS, r.P99MS, r.MeanMS, r.AchievedQPS)
+	}
+	if len(rep.Server) > 0 {
+		fmt.Printf("\nserver-side (from /metrics bucket deltas):\n")
+		fmt.Printf("%-18s %9s %9s %9s %9s %9s\n",
+			"endpoint", "requests", "p50(ms)", "p95(ms)", "p99(ms)", "mean(ms)")
+		for _, r := range rep.Server {
+			fmt.Printf("%-18s %9d %9.2f %9.2f %9.2f %9.2f\n",
+				r.Endpoint, r.Requests, r.P50MS, r.P95MS, r.P99MS, r.MeanMS)
+		}
 	}
 }

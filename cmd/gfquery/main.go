@@ -90,17 +90,38 @@ func main() {
 		return
 	}
 	if *analyze {
-		st, err := db.Analyze(*pattern)
-		if err != nil {
+		if err := runAnalyze(db, *pattern); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("matches: %d\nplan kind: %s\n%s", st.Matches, st.PlanKind, st.Plan)
 		return
 	}
 
 	if err := runPrepared(db, *pattern, qo, *repeat); err != nil {
 		fatal(err)
 	}
+}
+
+// runAnalyze is EXPLAIN ANALYZE at the CLI: execute single-threaded and
+// print the operator tree annotated with actual tuples, i-cost, cache
+// hits and attributed wall time, followed by the per-stage breakdown.
+func runAnalyze(db *graphflow.DB, pattern string) error {
+	start := time.Now()
+	st, err := db.Analyze(pattern)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("matches: %d\nplan kind: %s\n%s", st.Matches, st.PlanKind, st.Plan)
+	total := st.StageScanNanos + st.StageExtendNanos + st.StageProbeNanos +
+		st.StageFactorizedNanos + st.StageBuildNanos + st.StageEmitNanos
+	if total > 0 {
+		ms := func(n int64) float64 { return float64(n) / 1e6 }
+		fmt.Printf("stage times: scan %.2fms  extend %.2fms  probe %.2fms  factorized %.2fms  build %.2fms  emit %.2fms\n",
+			ms(st.StageScanNanos), ms(st.StageExtendNanos), ms(st.StageProbeNanos),
+			ms(st.StageFactorizedNanos), ms(st.StageBuildNanos), ms(st.StageEmitNanos))
+	}
+	fmt.Printf("elapsed: %v\n", elapsed)
+	return nil
 }
 
 // runPrepared compiles the pattern once, runs it repeat times, and
@@ -147,7 +168,7 @@ func runPrepared(db *graphflow.DB, pattern string, qo *graphflow.QueryOptions, r
 // cache, so re-issuing a query (or an isomorphic spelling of it) skips
 // re-optimization. Commands: ":explain <pattern>", ":cache", ":quit".
 func repl(db *graphflow.DB, qo *graphflow.QueryOptions) {
-	fmt.Println(`interactive mode - enter a pattern ("a->b, b->c, a->c"), ":explain <pattern>", ":cache" or ":quit"`)
+	fmt.Println(`interactive mode - enter a pattern ("a->b, b->c, a->c"), ":explain <pattern>", ":analyze <pattern>", ":cache" or ":quit"`)
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("gfquery> ")
 	for sc.Scan() {
@@ -160,6 +181,10 @@ func repl(db *graphflow.DB, qo *graphflow.QueryOptions) {
 			cs := db.PlanCacheStats()
 			fmt.Printf("plan cache: %d entries, %d hits, %d misses, %d evictions\n",
 				cs.Entries, cs.Hits, cs.Misses, cs.Evictions)
+		case strings.HasPrefix(line, ":analyze "):
+			if err := runAnalyze(db, strings.TrimSpace(strings.TrimPrefix(line, ":analyze "))); err != nil {
+				fmt.Println("error:", err)
+			}
 		case strings.HasPrefix(line, ":explain "):
 			// Plan in the same space queries execute in (-wco applies).
 			pq, err := prepareFor(db, qo)(strings.TrimSpace(strings.TrimPrefix(line, ":explain ")))

@@ -1,16 +1,22 @@
 // Command gfserver serves subgraph queries over HTTP: load or generate a
 // graph, build the catalogue once, then answer /query, /prepare,
-// /execute/{name}, /explain, /ingest, /compact, /stats and /healthz
-// requests (see internal/server for the endpoint contracts). Every query
-// runs under a per-request deadline through the ctx-aware execution
-// core, admission is bounded by a semaphore, and SIGINT/SIGTERM trigger
-// a graceful drain.
+// /execute/{name}, /explain, /ingest, /compact, /stats, /metrics and
+// /healthz requests (see internal/server for the endpoint contracts).
+// Every query runs under a per-request deadline through the ctx-aware
+// execution core, admission is bounded by a semaphore, and
+// SIGINT/SIGTERM trigger a graceful drain.
 //
 // The graph is live: /ingest applies mutation batches (each one becomes
 // a new epoch with snapshot isolation for queries already running) and a
 // background compactor folds the delta overlay into a fresh CSR base
 // once it outgrows -compact-threshold. Edge-list files may be
 // gzip-compressed (detected by magic bytes).
+//
+// Observability: GET /metrics serves Prometheus text covering request
+// latency histograms, plan-cache hit counters, live-store/WAL gauges
+// and per-stage executor timings; -slow-query-ms logs queries over the
+// threshold with their plan digest and stage breakdown; -log-format
+// selects human-readable text or JSON structured logs.
 //
 // Usage:
 //
@@ -21,14 +27,14 @@
 //	curl -s localhost:8090/prepare -d '{"name":"tri","pattern":"a->b, b->c, a->c"}'
 //	curl -s localhost:8090/execute/tri -d '{"workers":4}'
 //	curl -s localhost:8090/ingest -d '{"add_edges":[{"src":1,"dst":2,"label":0}]}'
-//	curl -s -X POST localhost:8090/compact
+//	curl -s 'localhost:8090/explain?pattern=a->b,b->c,a->c&analyze=true'
+//	curl -s localhost:8090/metrics
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only by -debug-addr
 	"os"
@@ -37,6 +43,7 @@ import (
 	"time"
 
 	"graphflow"
+	"graphflow/internal/logx"
 	"graphflow/internal/server"
 )
 
@@ -64,8 +71,16 @@ func main() {
 		fsyncInt = flag.Duration("fsync-interval", 0, "period of the interval fsync policy (0 = default 100ms)")
 		maxBody  = flag.Int64("max-body-bytes", 0, "request-body cap for query endpoints (0 = default 1 MiB)")
 		maxIngBd = flag.Int64("max-ingest-body-bytes", 0, "request-body cap for /ingest (0 = default 64 MiB)")
+		logFmt   = flag.String("log-format", "text", `structured log rendering: "text" or "json"`)
+		slowMS   = flag.Int64("slow-query-ms", 0, "log queries slower than this many milliseconds with plan digest and stage breakdown (0 disables)")
 	)
 	flag.Parse()
+
+	logger, err := logx.Setup(*logFmt, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gfserver:", err)
+		os.Exit(2)
+	}
 
 	opts := &graphflow.Options{
 		CatalogueH: *catH, CatalogueZ: *catZ,
@@ -73,12 +88,12 @@ func main() {
 		DataDir: *dataDir, Fsync: *fsync, FsyncInterval: *fsyncInt,
 	}
 	var db *graphflow.DB
-	var err error
 	switch {
 	case *dataFile != "":
 		f, ferr := os.Open(*dataFile)
 		if ferr != nil {
-			log.Fatal(ferr)
+			logger.Error("opening data file", "err", ferr)
+			os.Exit(1)
 		}
 		db, err = graphflow.NewFromEdgeList(f, opts)
 		f.Close()
@@ -89,13 +104,14 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("loading graph", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("graph loaded: %d vertices, %d edges", db.NumVertices(), db.NumEdges())
+	logger.Info("graph loaded", "vertices", db.NumVertices(), "edges", db.NumEdges())
 	if ls := db.LiveStats(); ls.WALEnabled {
-		log.Printf("durable store at %s: epoch %d, %d WAL batches replayed, checkpoint epoch %d%s",
-			*dataDir, ls.Epoch, ls.ReplayedBatches, ls.CheckpointEpoch,
-			map[bool]string{true: " (torn final record dropped)", false: ""}[ls.WALTornTail])
+		logger.Info("durable store recovered",
+			"dir", *dataDir, "epoch", ls.Epoch, "replayed_batches", ls.ReplayedBatches,
+			"checkpoint_epoch", ls.CheckpointEpoch, "torn_tail_dropped", ls.WALTornTail)
 	}
 
 	srv, err := server.New(server.Config{
@@ -109,24 +125,30 @@ func main() {
 		NoFactorize:        *noFact,
 		MaxBodyBytes:       *maxBody,
 		MaxIngestBodyBytes: *maxIngBd,
+		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
+		Logger:             logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("building server", "err", err)
+		os.Exit(1)
 	}
 
 	// The pprof listener is separate from the query listener on purpose:
 	// profiles of the vectorized batch path can be captured in production
-	// without exposing /debug/pprof to query traffic.
+	// without exposing /debug/pprof to query traffic. It is a real
+	// http.Server (not a fire-and-forget ListenAndServe) so the drain
+	// path below can shut it down instead of leaking the listener.
+	var debugSrv *http.Server
 	if *debug != "" {
+		debugSrv = &http.Server{
+			Addr:              *debug,
+			Handler:           http.DefaultServeMux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
 		go func() {
-			dsrv := &http.Server{
-				Addr:              *debug,
-				Handler:           http.DefaultServeMux,
-				ReadHeaderTimeout: 10 * time.Second,
-			}
-			log.Printf("pprof debug listener on %s", *debug)
-			if err := dsrv.ListenAndServe(); err != nil {
-				log.Printf("debug listener: %v", err)
+			logger.Info("pprof debug listener started", "addr", *debug)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("debug listener", "err", err)
 			}
 		}()
 	}
@@ -148,26 +170,35 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("gfserver listening on %s", *addr)
+		logger.Info("gfserver listening", "addr", *addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Printf("signal received; draining for up to %v", *drain)
+	logger.Info("signal received; draining", "budget", drain.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		log.Printf("drain budget exhausted, closing: %v", err)
+		logger.Warn("drain budget exhausted, closing", "err", err)
 		_ = httpSrv.Close()
+	}
+	// The debug listener drains inside the same budget: profiles in
+	// flight (e.g. a 30s CPU profile) are abandoned once the budget is
+	// spent rather than pinning the process.
+	if debugSrv != nil {
+		if err := debugSrv.Shutdown(drainCtx); err != nil {
+			_ = debugSrv.Close()
+		}
 	}
 	// Close the DB after the HTTP drain so every acknowledged ingest is
 	// synced to the WAL before exit.
 	if err := db.Close(); err != nil {
-		log.Printf("closing store: %v", err)
+		logger.Error("closing store", "err", err)
 	}
-	log.Printf("gfserver stopped")
+	logger.Info("gfserver stopped")
 }

@@ -33,6 +33,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math/rand"
 	"strconv"
@@ -47,6 +48,7 @@ import (
 	"graphflow/internal/exec"
 	"graphflow/internal/graph"
 	"graphflow/internal/live"
+	"graphflow/internal/metrics"
 	"graphflow/internal/optimizer"
 	"graphflow/internal/plan"
 	"graphflow/internal/query"
@@ -230,8 +232,20 @@ type Stats struct {
 	// being materialized. Both zero when factorization did not apply.
 	FactorizedPrefixes int64
 	FactorizedAvoided  int64
-	PlanKind           string // "wco", "bj" or "hybrid"
-	Plan               string // operator tree, one operator per line
+	// Per-stage wall-time attribution of the vectorized engine in
+	// nanoseconds: scan (adjacency reads and batch fills), E/I intersect
+	// fan-out, hash-probe lookups, the factorized star-suffix tail, the
+	// hash-join build-side insert sink, and the root emit sink. Under
+	// parallel runs the numbers sum across workers (busy time per stage,
+	// not elapsed wall clock); all zero under the tuple-at-a-time oracle.
+	StageScanNanos       int64
+	StageExtendNanos     int64
+	StageProbeNanos      int64
+	StageFactorizedNanos int64
+	StageBuildNanos      int64
+	StageEmitNanos       int64
+	PlanKind             string // "wco", "bj" or "hybrid"
+	Plan                 string // operator tree, one operator per line
 }
 
 // PlanCacheStats is a snapshot of the DB's compiled-plan cache counters.
@@ -630,6 +644,20 @@ func (pq *PreparedQuery) Stats() Stats {
 	return Stats{PlanKind: pp.plan.Kind(), Plan: pp.plan.Describe()}
 }
 
+// PlanDigest returns a short stable identifier of the prepared plan:
+// a 64-bit FNV-1a hash over the canonical query form and the plan's
+// operator tree, hex-encoded. Two queries share a digest exactly when
+// they canonicalize to the same pattern and received the same plan, so
+// slow-query log lines can be grouped by plan across processes.
+func (pq *PreparedQuery) PlanDigest() string {
+	pp := pq.cur.Load()
+	h := fnv.New64a()
+	io.WriteString(h, pp.canon.Key())
+	io.WriteString(h, "|")
+	io.WriteString(h, pp.plan.Describe())
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
 // PlanKind returns the prepared plan's kind ("wco", "bj" or "hybrid")
 // without rendering the operator tree — cheap enough for per-request
 // serving paths. Like Stats, it reflects the most recently resolved
@@ -822,14 +850,22 @@ func (db *DB) Explain(pattern string) (Stats, error) {
 
 // Analyze runs the pattern and returns Stats whose Plan field carries the
 // per-operator breakdown (tuples out, i-cost, cache hits, probe and build
-// counts) — EXPLAIN ANALYZE for subgraph plans. Single-threaded.
+// counts, attributed wall time) — EXPLAIN ANALYZE for subgraph plans.
+// Single-threaded.
 func (db *DB) Analyze(pattern string) (Stats, error) {
+	return db.AnalyzeCtx(context.Background(), pattern)
+}
+
+// AnalyzeCtx is Analyze under a context: the analysis run honors
+// cancellation and deadlines, so servers can bound EXPLAIN ANALYZE by
+// their request timeout.
+func (db *DB) AnalyzeCtx(ctx context.Context, pattern string) (Stats, error) {
 	pq, err := db.prepare(pattern, false, false)
 	if err != nil {
 		return Stats{}, err
 	}
 	pp := pq.cur.Load()
-	ops, prof, err := pp.compiled.Analyze(exec.RunConfig{})
+	ops, prof, err := pp.compiled.AnalyzeCtx(ctx, exec.RunConfig{})
 	if err != nil {
 		return Stats{}, err
 	}
@@ -1031,22 +1067,84 @@ func (db *DB) LiveStats() LiveStats {
 	}
 }
 
+// RegisterMetrics exposes the DB's internals — live-store gauges, plan
+// cache counters, WAL state including fsync latency, and compaction
+// durations — in a metrics registry under the graphflow_* namespace.
+// Call at most once per (DB, registry) pair; the gauges read live state
+// at scrape time, so registration costs nothing between scrapes.
+func (db *DB) RegisterMetrics(reg *metrics.Registry) {
+	reg.GaugeFunc("graphflow_graph_vertices", "Live vertex count at the current epoch.",
+		func() float64 { return float64(db.store.Snapshot().NumVertices()) })
+	reg.GaugeFunc("graphflow_graph_edges", "Live edge count at the current epoch.",
+		func() float64 { return float64(db.store.Snapshot().NumEdges()) })
+	reg.GaugeFunc("graphflow_graph_epoch", "Current graph version.",
+		func() float64 { return float64(db.store.Epoch()) })
+	reg.GaugeFunc("graphflow_overlay_delta_ops", "Overlay mutations since the last compaction (the compaction trigger's metric).",
+		func() float64 { return float64(db.store.Snapshot().DeltaOps()) })
+	reg.CounterFunc("graphflow_compactions_total", "Completed compaction passes.",
+		func() float64 { return float64(db.store.Compactions()) })
+	reg.RegisterHistogram("graphflow_compaction_seconds", "Compaction pass duration (rebuild through publish, checkpoint included).",
+		db.store.CompactionHistogram())
+
+	reg.CounterFunc("graphflow_plan_cache_hits_total", "Plan cache hits.",
+		func() float64 { return float64(db.PlanCacheStats().Hits) })
+	reg.CounterFunc("graphflow_plan_cache_misses_total", "Plan cache misses.",
+		func() float64 { return float64(db.PlanCacheStats().Misses) })
+	reg.CounterFunc("graphflow_plan_cache_evictions_total", "Plans evicted to respect the cache size bound.",
+		func() float64 { return float64(db.PlanCacheStats().Evictions) })
+	reg.GaugeFunc("graphflow_plan_cache_entries", "Currently cached plans.",
+		func() float64 { return float64(db.PlanCacheStats().Entries) })
+
+	reg.GaugeFunc("graphflow_wal_enabled", "1 when the store is durable (DataDir set), else 0.",
+		func() float64 {
+			if db.store.WALStats().Enabled {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("graphflow_wal_segment_bytes", "Write-ahead log size across live segments.",
+		func() float64 { return float64(db.store.WALStats().Bytes) })
+	reg.CounterFunc("graphflow_wal_batches_total", "Mutation batches appended to the WAL by this process.",
+		func() float64 { return float64(db.store.WALStats().Appended) })
+	reg.GaugeFunc("graphflow_wal_checkpoint_epoch", "Epoch covered by the newest durable checkpoint (0 = boot-time base).",
+		func() float64 { return float64(db.store.WALStats().CheckpointEpoch) })
+	reg.CounterFunc("graphflow_wal_checkpoints_total", "Checkpoints written by this process.",
+		func() float64 { return float64(db.store.WALStats().Checkpoints) })
+	reg.GaugeFunc("graphflow_wal_checkpoint_age_seconds", "Seconds since the newest durable checkpoint was written (0 until one exists).",
+		func() float64 {
+			t, ok := db.store.CheckpointTime()
+			if !ok {
+				return 0
+			}
+			return time.Since(t).Seconds()
+		})
+	if h := db.store.FsyncHistogram(); h != nil {
+		reg.RegisterHistogram("graphflow_wal_fsync_seconds", "WAL fsync latency (per-append, interval and rotation syncs).", h)
+	}
+}
+
 func statsFrom(p *plan.Plan, prof exec.Profile, n int64) Stats {
 	return Stats{
-		Matches:            n,
-		Intermediate:       prof.Intermediate,
-		ICost:              prof.ICost,
-		CacheHits:          prof.CacheHits,
-		KernelMerge:        prof.Kernels.Merge,
-		KernelGallop:       prof.Kernels.Gallop,
-		KernelBitsetProbe:  prof.Kernels.BitsetProbe,
-		KernelBitsetAnd:    prof.Kernels.BitsetAnd,
-		ScanBatches:        prof.Batches.Scan,
-		ExtendBatches:      prof.Batches.Extend,
-		ProbeBatches:       prof.Batches.Probe,
-		FactorizedPrefixes: prof.FactorizedPrefixes,
-		FactorizedAvoided:  prof.FactorizedAvoided,
-		PlanKind:           p.Kind(),
-		Plan:               p.Describe(),
+		Matches:              n,
+		Intermediate:         prof.Intermediate,
+		ICost:                prof.ICost,
+		CacheHits:            prof.CacheHits,
+		KernelMerge:          prof.Kernels.Merge,
+		KernelGallop:         prof.Kernels.Gallop,
+		KernelBitsetProbe:    prof.Kernels.BitsetProbe,
+		KernelBitsetAnd:      prof.Kernels.BitsetAnd,
+		ScanBatches:          prof.Batches.Scan,
+		ExtendBatches:        prof.Batches.Extend,
+		ProbeBatches:         prof.Batches.Probe,
+		FactorizedPrefixes:   prof.FactorizedPrefixes,
+		FactorizedAvoided:    prof.FactorizedAvoided,
+		StageScanNanos:       prof.Stages.Scan,
+		StageExtendNanos:     prof.Stages.Extend,
+		StageProbeNanos:      prof.Stages.Probe,
+		StageFactorizedNanos: prof.Stages.Factorized,
+		StageBuildNanos:      prof.Stages.Build,
+		StageEmitNanos:       prof.Stages.Emit,
+		PlanKind:             p.Kind(),
+		Plan:                 p.Describe(),
 	}
 }

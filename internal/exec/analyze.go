@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"graphflow/internal/plan"
 )
@@ -24,6 +25,10 @@ type OpStats struct {
 	Probes int64
 	// BuildRows is the materialised build-side size (HASH-JOIN only).
 	BuildRows int64
+	// Nanos is the operator's attributed self wall time (batch-engine
+	// stage slots; a pipeline's terminal operator also absorbs its sink —
+	// result delivery or build-side insertion).
+	Nanos int64
 	// Children mirror the plan tree.
 	Children []*OpStats
 }
@@ -41,6 +46,9 @@ func (s *OpStats) Describe() string {
 		}
 		if n.Probes > 0 || n.BuildRows > 0 {
 			fmt.Fprintf(&sb, " probes=%d build=%d", n.Probes, n.BuildRows)
+		}
+		if n.Nanos > 0 {
+			fmt.Fprintf(&sb, " time=%s", formatNanos(n.Nanos))
 		}
 		sb.WriteString("]\n")
 		for _, c := range n.Children {
@@ -72,6 +80,36 @@ func (nc *nodeCounters) add(n plan.Node, out, icost, hits, probes, build int64) 
 	nc.mu.Unlock()
 }
 
+// addNanos attributes wall time to a plan node's stats.
+func (nc *nodeCounters) addNanos(n plan.Node, nanos int64) {
+	if nanos == 0 {
+		return
+	}
+	nc.mu.Lock()
+	st := nc.m[n]
+	if st == nil {
+		st = &OpStats{}
+		nc.m[n] = st
+	}
+	st.Nanos += nanos
+	nc.mu.Unlock()
+}
+
+// formatNanos renders a duration compactly for the analyzed tree:
+// sub-millisecond times keep microsecond precision, everything else is
+// rounded to 10µs so the output stays diffable.
+func formatNanos(n int64) string {
+	d := time.Duration(n)
+	switch {
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}
+
 // Analyze evaluates the plan and returns the per-operator statistics tree
 // along with the aggregate profile. It runs sequentially so counters need
 // no sharding; use Run for performance measurements.
@@ -88,11 +126,19 @@ func (r *Runner) Analyze(p *plan.Plan) (*OpStats, Profile, error) {
 // analysis enumerates every match on one goroutine so every operator's
 // numbers reflect full enumeration.
 func (cp *CompiledPlan) Analyze(cfg RunConfig) (*OpStats, Profile, error) {
+	return cp.AnalyzeCtx(context.Background(), cfg)
+}
+
+// AnalyzeCtx is Analyze under a context: the EXPLAIN ANALYZE run honors
+// cancellation and deadlines like any other query, so a server can
+// bound it by its request timeout. A cancelled analysis returns the
+// context's error.
+func (cp *CompiledPlan) AnalyzeCtx(ctx context.Context, cfg RunConfig) (*OpStats, Profile, error) {
 	cfg.Workers = 1
 	cfg.FastCount = false
 	cfg.Factorized = false
 	nc := &nodeCounters{m: map[plan.Node]*OpStats{}}
-	prof, err := cp.run(context.Background(), cfg, nc, nil)
+	prof, err := cp.run(ctx, cfg, nc, nil)
 	if err != nil {
 		return nil, Profile{}, err
 	}

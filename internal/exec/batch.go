@@ -133,11 +133,17 @@ func (w *worker) dispatchBatch(i int, b *tupleBatch) {
 	if w.cancelCountdown <= 0 {
 		w.pollCancel()
 	}
+	// Stage-time attribution: charge the open interval to the producer's
+	// slot, run the consumer under its own, restore on return. Nested
+	// dispatches (a stage filling downstream batches mid-push) stack
+	// naturally, so every slot accumulates self time only.
+	prev := w.enterStage(i + 1)
 	if sink {
 		w.sinkBatch(b)
-		return
+	} else {
+		w.bstages[i].pushBatch(w, b)
 	}
-	w.bstages[i].pushBatch(w, b)
+	w.leaveStage(prev)
 }
 
 // sinkBatch delivers final tuples to emit, row-at-a-time (the emit

@@ -65,6 +65,41 @@ type Profile struct {
 	// the factorized prefix × set₁ × … × setₖ form — counted into Matches
 	// (or charged against a Limit budget) without ever being materialized.
 	FactorizedAvoided int64
+	// Stages attributes wall time to each operator kind of the vectorized
+	// engine. Sampling is amortized to two time.Now calls per dispatched
+	// batch per stage (allocation-free), so it is always on; under
+	// parallel runs the numbers sum across workers — busy time per stage,
+	// not elapsed wall clock. The tuple-at-a-time oracle reports zeros.
+	Stages StageNanos
+}
+
+// StageNanos is per-stage-kind attributed run time in nanoseconds:
+// Scan covers adjacency reads and batch fills (plus morsel
+// acquisition), Extend the E/I intersect fan-out, Probe the hash-probe
+// lookups, Factorized the star-suffix tail, Build the hash-join
+// build-side insert sink, and Emit the root sink's row delivery.
+type StageNanos struct {
+	Scan       int64
+	Extend     int64
+	Probe      int64
+	Factorized int64
+	Build      int64
+	Emit       int64
+}
+
+// Add accumulates other into s.
+func (s *StageNanos) Add(other StageNanos) {
+	s.Scan += other.Scan
+	s.Extend += other.Extend
+	s.Probe += other.Probe
+	s.Factorized += other.Factorized
+	s.Build += other.Build
+	s.Emit += other.Emit
+}
+
+// Total is the summed attributed time across all stage kinds.
+func (s StageNanos) Total() int64 {
+	return s.Scan + s.Extend + s.Probe + s.Factorized + s.Build + s.Emit
 }
 
 // Add accumulates other into p.
@@ -79,6 +114,7 @@ func (p *Profile) Add(other Profile) {
 	p.Batches.Add(other.Batches)
 	p.FactorizedPrefixes += other.FactorizedPrefixes
 	p.FactorizedAvoided += other.FactorizedAvoided
+	p.Stages.Add(other.Stages)
 }
 
 // RunConfig carries the per-run execution knobs. The zero value is a

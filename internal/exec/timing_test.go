@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"graphflow/internal/datagen"
+	"graphflow/internal/plan"
+	"graphflow/internal/query"
+)
+
+// TestStageTimesAttributed checks the per-stage wall-time attribution:
+// a batch-engine count on a real dataset must charge time to the scan
+// and E/I slots, the total must be positive, and a parallel run's
+// attribution must also land (summed across workers).
+func TestStageTimesAttributed(t *testing.T) {
+	g := datagen.Epinions(1)
+	q := query.Q1()
+	p := buildWCO(t, q, []int{0, 1, 2})
+	for _, workers := range []int{1, 4} {
+		r := &Runner{Graph: g, Workers: workers}
+		_, prof, err := r.Count(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := prof.Stages
+		if st.Scan <= 0 || st.Extend <= 0 {
+			t.Errorf("workers=%d: scan=%d extend=%d nanos, want both > 0", workers, st.Scan, st.Extend)
+		}
+		if st.Total() <= 0 {
+			t.Errorf("workers=%d: total stage time %d, want > 0", workers, st.Total())
+		}
+	}
+}
+
+// TestStageTimesHybridPlan checks that a hash-join plan attributes
+// build-side sink time to Build and probe time to Probe.
+func TestStageTimesHybridPlan(t *testing.T) {
+	g := datagen.Amazon(1)
+	q := query.Q8()
+	left := buildWCO(t, q, []int{0, 1, 2}).Root
+	right := buildWCO(t, q, []int{2, 3, 4}).Root
+	hj, err := plan.NewHashJoin(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &plan.Plan{Query: q, Root: hj}
+	_, prof, err := (&Runner{Graph: g}).Count(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Stages.Probe <= 0 {
+		t.Errorf("probe time = %d nanos, want > 0", prof.Stages.Probe)
+	}
+	if prof.Stages.Build <= 0 {
+		t.Errorf("build time = %d nanos, want > 0", prof.Stages.Build)
+	}
+}
+
+// TestOracleReportsNoStageTimes pins the contract that the
+// tuple-at-a-time oracle is timing-free: it is the differential
+// baseline and stays clear of instrumentation.
+func TestOracleReportsNoStageTimes(t *testing.T) {
+	g := datagen.Epinions(1)
+	p := buildWCO(t, query.Q1(), []int{0, 1, 2})
+	cp, err := Compile(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, prof, err := cp.Count(RunConfig{TupleAtATime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Stages != (StageNanos{}) {
+		t.Errorf("oracle reported stage times: %+v", prof.Stages)
+	}
+}
+
+// TestAnalyzeNanos checks that EXPLAIN ANALYZE attributes wall time to
+// every plan node and renders it.
+func TestAnalyzeNanos(t *testing.T) {
+	g := datagen.Epinions(1)
+	p := buildWCO(t, query.Q1(), []int{0, 1, 2})
+	stats, prof, err := (&Runner{Graph: g}).Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	var rec func(s *OpStats)
+	rec = func(s *OpStats) {
+		if s.Nanos < 0 {
+			t.Errorf("%s: negative nanos %d", s.Operator, s.Nanos)
+		}
+		sum += s.Nanos
+		for _, c := range s.Children {
+			rec(c)
+		}
+	}
+	rec(stats)
+	if sum <= 0 {
+		t.Fatalf("no wall time attributed:\n%s", stats.Describe())
+	}
+	// Per-node times are self times folded from the profile's slots.
+	if total := prof.Stages.Total(); sum != total {
+		t.Errorf("per-node nanos sum %d != profile stage total %d", sum, total)
+	}
+	if out := stats.Describe(); !strings.Contains(out, "time=") {
+		t.Errorf("describe missing time annotation:\n%s", out)
+	}
+}

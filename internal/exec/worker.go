@@ -2,6 +2,7 @@ package exec
 
 import (
 	"sync/atomic"
+	"time"
 
 	"graphflow/internal/graph"
 )
@@ -51,6 +52,16 @@ type worker struct {
 	// nWords is the graph's bitset word count ((V+63)/64): the cost of a
 	// word-AND, precomputed for the bitset-candidate check in E/I stages.
 	nWords int
+	// Per-stage wall-time attribution (batch engine only): stageNanos[0]
+	// is the scan slot, stageNanos[1+i] stage i's slot, and the final
+	// entry the sink (emit or build insert). dispatchBatch charges the
+	// interval since lastStamp to curStage around every pushBatch, so
+	// each slot accumulates self time — two time.Now calls per batch per
+	// stage, no allocation, always on. The slice is minted once per
+	// worker shape and survives pooling.
+	stageNanos []int64
+	curStage   int
+	lastStamp  time.Time
 }
 
 // cancelCheckInterval is the number of produced tuples between context
@@ -112,6 +123,10 @@ func newWorker(rc *runContext, pipe *compiledPipeline, isRoot bool, emit func([]
 		}
 	}
 	w.tuple = make([]graph.VertexID, 0, pipe.outWidth)
+	if w.scanBatch != nil {
+		w.stageNanos = make([]int64, len(w.bstages)+2)
+		w.lastStamp = time.Now()
+	}
 	return w
 }
 
@@ -133,6 +148,11 @@ func (w *worker) rebind(rc *runContext, emit func([]graph.VertexID) bool, stoppe
 	for _, s := range w.bstages {
 		s.reset(rc)
 	}
+	for i := range w.stageNanos {
+		w.stageNanos[i] = 0
+	}
+	w.curStage = 0
+	w.lastStamp = time.Now()
 }
 
 // release returns a batch-engine worker's scratch to its pipeline's pool
@@ -279,9 +299,82 @@ func (w *worker) eachState(ext func(*extendState), probe func(*probeState)) {
 	}
 }
 
+// enterStage charges the interval since lastStamp to the current stage
+// slot and switches attribution to idx, returning the previous slot for
+// leaveStage to restore. Two time.Now calls bracket every dispatched
+// batch — amortized over the batch's rows, and allocation-free, so the
+// steady-state hot path stays 0 allocs/op with timing always on.
+func (w *worker) enterStage(idx int) int {
+	now := time.Now()
+	w.stageNanos[w.curStage] += now.Sub(w.lastStamp).Nanoseconds()
+	w.lastStamp = now
+	prev := w.curStage
+	w.curStage = idx
+	return prev
+}
+
+// leaveStage closes the current slot's interval and restores prev.
+func (w *worker) leaveStage(prev int) {
+	now := time.Now()
+	w.stageNanos[w.curStage] += now.Sub(w.lastStamp).Nanoseconds()
+	w.lastStamp = now
+	w.curStage = prev
+}
+
+// foldStageTimes folds the indexed per-slot nanos into the profile's
+// per-stage-kind attribution (and, when an analysis collector is
+// attached, into per-plan-node wall times). Slot kinds follow the
+// worker's stage chain; the sink slot is build-insert time for build
+// pipelines and emit time for the root.
+func (w *worker) foldStageTimes() {
+	if w.stageNanos == nil {
+		return
+	}
+	// Close the open interval (trailing scan time since the last batch).
+	now := time.Now()
+	w.stageNanos[w.curStage] += now.Sub(w.lastStamp).Nanoseconds()
+	w.lastStamp = now
+	w.curStage = 0
+
+	st := &w.profile.Stages
+	st.Scan += w.stageNanos[0]
+	for i, s := range w.bstages {
+		n := w.stageNanos[i+1]
+		switch s.(type) {
+		case *batchExtendState:
+			st.Extend += n
+		case *batchProbeState:
+			st.Probe += n
+		case *factorizedTail:
+			st.Factorized += n
+		}
+	}
+	sinkN := w.stageNanos[len(w.bstages)+1]
+	if w.pipe.feeds != nil {
+		st.Build += sinkN
+	} else {
+		st.Emit += sinkN
+	}
+	if nc := w.rc.analyze; nc != nil {
+		// Analyze disables factorization, so bstages[i] maps 1:1 onto
+		// pipe.stages[i]; sink time lands on the pipeline's own node.
+		nc.addNanos(w.pipe.scan, w.stageNanos[0])
+		for i := range w.bstages {
+			if i < len(w.pipe.stages) {
+				nc.addNanos(w.pipe.stages[i].planNode(), w.stageNanos[i+1])
+			}
+		}
+		nc.addNanos(w.pipe.node, sinkN)
+	}
+	for i := range w.stageNanos {
+		w.stageNanos[i] = 0
+	}
+}
+
 // finish flushes per-operator counters into the worker's profile and the
 // run's analysis collector, if one is attached.
 func (w *worker) finish() {
+	w.foldStageTimes()
 	w.eachState(func(st *extendState) {
 		w.profile.Kernels.Add(st.it.Counters)
 		st.it.Counters = graph.KernelCounters{}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"graphflow/internal/graph"
+	"graphflow/internal/metrics"
 	"graphflow/internal/wal"
 )
 
@@ -94,6 +95,11 @@ type DB struct {
 	compacting  atomic.Bool
 	compactions atomic.Int64
 	compactWG   sync.WaitGroup
+	// compactSeconds observes full compaction-pass durations (rebuild
+	// through publish, including the checkpoint write for durable
+	// stores). Owned here so it records regardless of whether a metrics
+	// registry is attached; exposed via CompactionHistogram.
+	compactSeconds *metrics.Histogram
 
 	// Durability state; log is nil for an ephemeral store.
 	log      *wal.Log
@@ -106,6 +112,40 @@ type DB struct {
 	// checkpoints counts checkpoint files written by this process.
 	checkpointEpoch atomic.Uint64
 	checkpoints     atomic.Int64
+	// checkpointTime is when the newest durable checkpoint was written
+	// (UnixNano; 0 = no checkpoint yet), feeding the checkpoint-age
+	// gauge.
+	checkpointTime atomic.Int64
+}
+
+// compactBuckets spans compaction-pass durations: sub-millisecond
+// overlay folds on small graphs up to multi-second full rebuilds.
+var compactBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// CompactionHistogram exposes the store's compaction-duration histogram
+// for registration in a metrics registry.
+func (db *DB) CompactionHistogram() *metrics.Histogram { return db.compactSeconds }
+
+// FsyncHistogram exposes the WAL's fsync-latency histogram, or nil for
+// an ephemeral store.
+func (db *DB) FsyncHistogram() *metrics.Histogram {
+	if db.log == nil {
+		return nil
+	}
+	return db.log.FsyncHistogram()
+}
+
+// CheckpointTime reports when the newest durable checkpoint was
+// written; ok is false when none exists (recovery would replay from the
+// boot-time base).
+func (db *DB) CheckpointTime() (time.Time, bool) {
+	ns := db.checkpointTime.Load()
+	if ns == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, ns), true
 }
 
 // Open wraps a frozen base graph in a live DB. Without Config.Dir the
@@ -122,7 +162,7 @@ func Open(base *graph.Graph, cfg Config) (*DB, error) {
 	if th == 0 {
 		th = DefaultCompactThreshold
 	}
-	db := &DB{threshold: th, onEpoch: cfg.OnEpoch}
+	db := &DB{threshold: th, onEpoch: cfg.OnEpoch, compactSeconds: metrics.NewHistogram(compactBuckets)}
 	if cfg.Dir == "" {
 		s := newBaseSnapshot(base, 0)
 		s.hubThreshold = cfg.HubThreshold
@@ -169,6 +209,11 @@ func Open(base *graph.Graph, cfg Config) (*DB, error) {
 	db.log, db.dir = log, cfg.Dir
 	db.replayed, db.tornTail = replayed, info.TornTail
 	db.checkpointEpoch.Store(start)
+	if ok {
+		if mt, found := wal.CheckpointModTime(cfg.Dir, start); found {
+			db.checkpointTime.Store(mt.UnixNano())
+		}
+	}
 	db.cur.Store(cur)
 	return db, nil
 }
@@ -480,6 +525,8 @@ func (db *DB) WaitCompaction() { db.compactWG.Wait() }
 // after repeated conflicts rebuilds once more under the lock so the pass
 // terminates even under a sustained write load.
 func (db *DB) compactOnce() error {
+	t0 := time.Now()
+	defer func() { db.compactSeconds.ObserveDuration(time.Since(t0)) }()
 	for tries := 0; ; tries++ {
 		s := db.cur.Load()
 		if s.deltaOps == 0 && len(s.extra) == 0 {
@@ -548,6 +595,7 @@ func (db *DB) publishCompacted(s *Snapshot, g *graph.Graph) error {
 	}
 	db.checkpointEpoch.Store(ns.epoch)
 	db.checkpoints.Add(1)
+	db.checkpointTime.Store(time.Now().UnixNano())
 	if err := db.log.DropSegmentsBefore(ns.epoch); err != nil {
 		return err
 	}

@@ -3,9 +3,13 @@
 // batches is fired at the HTTP API from a pool of workers, optionally
 // paced to a target aggregate QPS, and per-template latency percentiles
 // (p50/p95/p99), error counts and achieved throughput are reported in
-// the repo's BENCH_*.json envelope. The cmd/gfload wrapper adds flags;
-// the package itself is driven in-process by tests against an
-// httptest-mounted server.
+// the repo's BENCH_*.json envelope. The server's /metrics exposition is
+// scraped before and after the run, so the report also carries the
+// server-side latency distribution of each endpoint (reconstructed from
+// histogram bucket deltas) next to the client-observed numbers — the
+// gap between the two is pure network/encode overhead. The cmd/gfload
+// wrapper adds flags; the package itself is driven in-process by tests
+// against an httptest-mounted server.
 package load
 
 import (
@@ -21,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"graphflow/internal/metrics"
 )
 
 // Template is one weighted request generator of the mix. Exactly one of
@@ -79,11 +85,27 @@ type Result struct {
 	TargetQPS   float64 `json:"target_qps,omitempty"`
 }
 
-// Report is the BENCH_*.json envelope gfload emits.
+// ServerResult is one endpoint's server-side latency distribution over
+// the run, reconstructed from the /metrics request histograms scraped
+// before and after (the quantiles interpolate within bucket-count
+// deltas, so they are exact to bucket resolution, not sample-exact).
+type ServerResult struct {
+	Endpoint string  `json:"endpoint"`
+	Requests int64   `json:"requests"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MeanMS   float64 `json:"mean_ms"`
+}
+
+// Report is the BENCH_*.json envelope gfload emits. Server is empty
+// when the target exposes no /metrics endpoint (older builds) — the
+// client-side rows still stand alone.
 type Report struct {
-	GeneratedAt string   `json:"generated_at"`
-	Scale       int      `json:"scale"`
-	Results     []Result `json:"results"`
+	GeneratedAt string         `json:"generated_at"`
+	Scale       int            `json:"scale"`
+	Results     []Result       `json:"results"`
+	Server      []ServerResult `json:"server,omitempty"`
 }
 
 // DefaultTemplates is the standard mixed scenario: two count shapes the
@@ -157,6 +179,12 @@ func Run(cfg Config) (*Report, error) {
 			bodies[i] = b
 		}
 	}
+
+	// Scrape the server's request-latency histograms before firing any
+	// load; the post-run scrape diffs against this baseline so only this
+	// run's requests land in the server-side rows. A nil scrape (no
+	// /metrics endpoint) simply omits them.
+	before := scrapeRequestLatency(client, cfg.BaseURL)
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.Duration)
 	defer cancel()
@@ -244,7 +272,118 @@ func Run(cfg Config) (*Report, error) {
 		rep.Results = append(rep.Results, aggregate("load/"+t.Name, perTpl[i], errCounts[i], elapsed, 0))
 	}
 	rep.Results = append(rep.Results, aggregate("load/overall", all, allErrs, elapsed, cfg.TargetQPS))
+	if before != nil {
+		if after := scrapeRequestLatency(client, cfg.BaseURL); after != nil {
+			rep.Server = serverDelta(before, after)
+		}
+	}
 	return rep, nil
+}
+
+// serverHist is one endpoint's scraped request histogram: de-cumulated
+// bucket counts (last = +Inf) plus the _sum/_count pair.
+type serverHist struct {
+	bounds []float64
+	counts []int64
+	sum    float64
+	count  int64
+}
+
+// scrapeRequestLatency fetches and parses /metrics, returning the
+// graphflow_http_request_seconds state keyed by endpoint. nil on any
+// failure — scraping is best-effort and must never fail a load run
+// against a server that predates the metrics endpoint.
+func scrapeRequestLatency(client *http.Client, baseURL string) map[string]serverHist {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	fams, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		return nil
+	}
+	var fam *metrics.ParsedFamily
+	for _, f := range fams {
+		if f.Name == "graphflow_http_request_seconds" {
+			fam = f
+			break
+		}
+	}
+	if fam == nil {
+		return nil
+	}
+	endpoints := make(map[string]bool)
+	for _, s := range fam.Series {
+		if ep := s.Labels["endpoint"]; ep != "" {
+			endpoints[ep] = true
+		}
+	}
+	out := make(map[string]serverHist, len(endpoints))
+	for ep := range endpoints {
+		bounds, counts, ok := fam.Buckets(map[string]string{"endpoint": ep})
+		if !ok {
+			continue
+		}
+		h := serverHist{bounds: bounds, counts: counts}
+		for _, s := range fam.Series {
+			if s.Labels["endpoint"] != ep {
+				continue
+			}
+			switch s.Labels["__suffix__"] {
+			case "sum":
+				h.sum = s.Value
+			case "count":
+				h.count = int64(s.Value)
+			}
+		}
+		out[ep] = h
+	}
+	return out
+}
+
+// serverDelta subtracts the pre-run scrape from the post-run one and
+// folds each endpoint's bucket-count delta into percentile rows.
+// Endpoints with no traffic during the run are dropped; an endpoint
+// whose bucket layout changed between scrapes (server restart) is
+// skipped rather than reported wrong.
+func serverDelta(before, after map[string]serverHist) []ServerResult {
+	eps := make([]string, 0, len(after))
+	for ep := range after {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	var out []ServerResult
+	for _, ep := range eps {
+		a := after[ep]
+		b := before[ep] // zero value when the endpoint is new since the baseline
+		if b.counts != nil && len(b.counts) != len(a.counts) {
+			continue
+		}
+		d := make([]int64, len(a.counts))
+		var n int64
+		for i := range a.counts {
+			d[i] = a.counts[i]
+			if b.counts != nil {
+				d[i] -= b.counts[i]
+			}
+			n += d[i]
+		}
+		if n <= 0 {
+			continue
+		}
+		q := func(p float64) float64 { return metrics.QuantileFromBuckets(a.bounds, d, p) * 1000 }
+		r := ServerResult{Endpoint: ep, Requests: n, P50MS: q(0.50), P95MS: q(0.95), P99MS: q(0.99)}
+		if dc := a.count - b.count; dc > 0 {
+			r.MeanMS = (a.sum - b.sum) / float64(dc) * 1000
+		}
+		out = append(out, r)
+	}
+	return out
 }
 
 // aggregate folds one latency set into a Result row.

@@ -69,6 +69,31 @@ func TestRunMixedScenario(t *testing.T) {
 			t.Fatalf("template %s never ran: %+v", r.Name, rep.Results)
 		}
 	}
+	// The target serves /metrics, so the report must carry server-side
+	// percentile rows reconstructed from the request-histogram deltas,
+	// covering at least the /query endpoint the mix hammers.
+	if len(rep.Server) == 0 {
+		t.Fatal("no server-side rows despite a /metrics-serving target")
+	}
+	var query *ServerResult
+	for i := range rep.Server {
+		if rep.Server[i].Endpoint == "/query" {
+			query = &rep.Server[i]
+		}
+	}
+	if query == nil {
+		t.Fatalf("no /query server-side row: %+v", rep.Server)
+	}
+	if query.Requests == 0 || query.P50MS <= 0 || query.P99MS < query.P50MS {
+		t.Fatalf("server-side /query row malformed: %+v", *query)
+	}
+	// Server-side time excludes the client's network/encode overhead, so
+	// its p50 cannot exceed the client-observed p50 by more than bucket
+	// resolution; a grossly larger value means the diff is wrong.
+	if query.P50MS > overall.P50MS*10+5 {
+		t.Fatalf("server-side p50 %.2fms implausibly above client p50 %.2fms", query.P50MS, overall.P50MS)
+	}
+
 	// The report must serialize to the BENCH envelope shape.
 	rep.GeneratedAt = "test"
 	data, err := json.Marshal(rep)

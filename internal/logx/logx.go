@@ -1,0 +1,36 @@
+// Package logx configures the process-wide structured logger. Every
+// binary in this repository logs through log/slog; logx owns the single
+// decision of how those records are rendered (human-readable text or
+// machine-parseable JSON) so the flag wiring is identical across cmds.
+package logx
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+)
+
+// Setup builds a slog.Logger writing to w in the requested format
+// ("text" or "json"; "" defaults to text), installs it as the slog
+// default — so package-level slog.Info and the stdlib log bridge both
+// route through it — and returns it. An unknown format is an error, not
+// a silent fallback: a typoed -log-format on a production server would
+// otherwise quietly break downstream log ingestion.
+func Setup(format string, w io.Writer) (*slog.Logger, error) {
+	if w == nil {
+		w = os.Stderr
+	}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, nil)
+	case "json":
+		h = slog.NewJSONHandler(w, nil)
+	default:
+		return nil, fmt.Errorf("logx: unknown log format %q (want \"text\" or \"json\")", format)
+	}
+	l := slog.New(h)
+	slog.SetDefault(l)
+	return l, nil
+}

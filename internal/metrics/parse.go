@@ -1,0 +1,332 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedSeries is one sample line of a scraped exposition.
+type ParsedSeries struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one metric family of a scraped exposition. For
+// histograms the _bucket/_sum/_count suffixed samples are folded back
+// under the base name with the suffix preserved in Suffix.
+type ParsedFamily struct {
+	Name   string
+	Type   string // "" when no # TYPE line preceded the samples
+	Series []ParsedSeries
+}
+
+// Buckets reconstructs a cumulative histogram's (bounds, per-bucket
+// counts) from a parsed family's _bucket series, optionally filtered to
+// one label tuple (matching every key/value in sel). The returned
+// counts are de-cumulated (per bucket, last = +Inf), ready for
+// QuantileFromBuckets. ok is false when no bucket series matched.
+func (f *ParsedFamily) Buckets(sel map[string]string) (bounds []float64, counts []int64, ok bool) {
+	type bkt struct {
+		le  float64
+		cum int64
+	}
+	var bkts []bkt
+	for _, s := range f.Series {
+		le, isBucket := s.Labels["le"]
+		if !isBucket || s.Labels["__suffix__"] != "bucket" {
+			continue
+		}
+		match := true
+		for k, v := range sel {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		var b float64
+		if le == "+Inf" {
+			b = inf
+		} else {
+			var err error
+			b, err = strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+		}
+		bkts = append(bkts, bkt{le: b, cum: int64(s.Value)})
+	}
+	if len(bkts) == 0 {
+		return nil, nil, false
+	}
+	sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+	counts = make([]int64, len(bkts))
+	prev := int64(0)
+	for i, b := range bkts {
+		counts[i] = b.cum - prev
+		prev = b.cum
+		if b.le != inf {
+			bounds = append(bounds, b.le)
+		}
+	}
+	return bounds, counts, true
+}
+
+var inf = func() float64 {
+	f, _ := strconv.ParseFloat("+Inf", 64)
+	return f
+}()
+
+// ParseText parses a Prometheus text exposition. It understands the
+// subset this package emits (# HELP, # TYPE, samples with optional
+// labels) and groups histogram _bucket/_sum/_count samples under the
+// base family name, tagging each sample's role in the reserved
+// "__suffix__" label ("bucket", "sum", "count", or absent for plain
+// samples).
+func ParseText(r io.Reader) ([]*ParsedFamily, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	byName := make(map[string]*ParsedFamily)
+	var order []*ParsedFamily
+	fam := func(name string) *ParsedFamily {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &ParsedFamily{Name: name}
+		byName[name] = f
+		order = append(order, f)
+		return f
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				f := fam(fields[2])
+				if len(fields) >= 4 {
+					if f.Type != "" && f.Type != fields[3] {
+						return nil, fmt.Errorf("line %d: conflicting TYPE for %s", lineNo, fields[2])
+					}
+					f.Type = fields[3]
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, sfx)
+			if trimmed != name {
+				if f, ok := byName[trimmed]; ok && f.Type == "histogram" {
+					base, suffix = trimmed, sfx[1:]
+				}
+				break
+			}
+		}
+		if labels == nil {
+			labels = make(map[string]string)
+		}
+		if suffix != "" {
+			labels["__suffix__"] = suffix
+		}
+		fam(base).Series = append(fam(base).Series, ParsedSeries{Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return order, nil
+}
+
+// parseSample splits `name{k="v",...} value` into its parts.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name := line[:nameEnd]
+	rest := line[nameEnd:]
+	var labels map[string]string
+	if rest[0] == '{' {
+		close := strings.LastIndexByte(rest, '}')
+		if close < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		labels, err = parseLabels(rest[1:close])
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[close+1:]
+	}
+	valStr := strings.TrimSpace(rest)
+	if valStr == "" {
+		return "", nil, 0, fmt.Errorf("missing value in %q", line)
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q", valStr)
+	}
+	return name, labels, v, nil
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	labels := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 || eq+1 >= len(s) || s[eq+1] != '"' {
+			return nil, fmt.Errorf("malformed label pair")
+		}
+		key := strings.TrimSpace(s[:eq])
+		// Find the closing unescaped quote.
+		i := eq + 2
+		var val strings.Builder
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("unterminated label value")
+		}
+		labels[key] = val.String()
+		s = s[i+1:]
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return labels, nil
+}
+
+// Lint validates a scraped exposition: every sample parses, no family
+// appears under two TYPE lines, histogram buckets are monotonically
+// ordered and cumulative, and every histogram has a +Inf bucket whose
+// count equals _count. It returns all problems found.
+func Lint(r io.Reader) []error {
+	fams, err := ParseText(r)
+	if err != nil {
+		return []error{err}
+	}
+	var errs []error
+	seen := make(map[string]bool)
+	for _, f := range fams {
+		if seen[f.Name] {
+			errs = append(errs, fmt.Errorf("duplicate metric family %s", f.Name))
+		}
+		seen[f.Name] = true
+		if f.Type != "histogram" {
+			continue
+		}
+		errs = append(errs, lintHistogram(f)...)
+	}
+	return errs
+}
+
+// lintHistogram checks one histogram family, per distinct label tuple.
+func lintHistogram(f *ParsedFamily) []error {
+	var errs []error
+	// Group bucket lines by their non-le, non-suffix label signature.
+	type group struct {
+		les    []float64
+		cums   []int64
+		hasInf bool
+		count  float64
+		hasCnt bool
+	}
+	groups := make(map[string]*group)
+	sig := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k == "le" || k == "__suffix__" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k + "=" + labels[k] + ";")
+		}
+		return b.String()
+	}
+	for _, s := range f.Series {
+		g := groups[sig(s.Labels)]
+		if g == nil {
+			g = &group{}
+			groups[sig(s.Labels)] = g
+		}
+		switch s.Labels["__suffix__"] {
+		case "bucket":
+			le := s.Labels["le"]
+			if le == "+Inf" {
+				g.hasInf = true
+				g.les = append(g.les, inf)
+			} else {
+				v, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					errs = append(errs, fmt.Errorf("%s: bad le %q", f.Name, le))
+					continue
+				}
+				g.les = append(g.les, v)
+			}
+			g.cums = append(g.cums, int64(s.Value))
+		case "count":
+			g.count = s.Value
+			g.hasCnt = true
+		}
+	}
+	for lbls, g := range groups {
+		where := f.Name
+		if lbls != "" {
+			where += "{" + lbls + "}"
+		}
+		if !g.hasInf {
+			errs = append(errs, fmt.Errorf("%s: missing +Inf bucket", where))
+		}
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				errs = append(errs, fmt.Errorf("%s: bucket bounds not strictly increasing", where))
+				break
+			}
+		}
+		for i := 1; i < len(g.cums); i++ {
+			if g.cums[i] < g.cums[i-1] {
+				errs = append(errs, fmt.Errorf("%s: bucket counts not cumulative", where))
+				break
+			}
+		}
+		if g.hasCnt && g.hasInf && len(g.cums) > 0 && float64(g.cums[len(g.cums)-1]) != g.count {
+			errs = append(errs, fmt.Errorf("%s: +Inf bucket %d != _count %g", where, g.cums[len(g.cums)-1], g.count))
+		}
+	}
+	return errs
+}

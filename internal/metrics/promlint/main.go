@@ -1,0 +1,36 @@
+// Command promlint validates a Prometheus text exposition (from a file
+// argument or stdin): every line must parse, no metric family may
+// appear twice, and histogram buckets must be monotonically ordered,
+// cumulative, and +Inf-terminated with a matching _count. CI pipes a
+// live gfserver's /metrics through it. Exits non-zero on any problem.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"graphflow/internal/metrics"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	src := "<stdin>"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in, src = f, os.Args[1]
+	}
+	errs := metrics.Lint(in)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", src, e)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: %s: ok\n", src)
+}

@@ -1,0 +1,292 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"graphflow/internal/metrics"
+)
+
+// TestMetricsEndpoint drives traffic through every instrumented
+// endpoint and checks the exposition is valid Prometheus text (our own
+// linter: no duplicate families, cumulative monotone buckets, +Inf
+// present) covering the request, plan-cache, live-store and per-stage
+// families the observability contract promises.
+func TestMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if w := do(t, s, http.MethodPost, "/query", map[string]any{"pattern": triangle}); w.Code != http.StatusOK {
+		t.Fatalf("/query = %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, s, http.MethodPost, "/ingest", map[string]any{
+		"add_edges": []map[string]any{{"src": 1, "dst": 2, "label": 0}},
+	}); w.Code != http.StatusOK {
+		t.Fatalf("/ingest = %d: %s", w.Code, w.Body)
+	}
+	if w := do(t, s, http.MethodGet, "/explain?pattern="+url.QueryEscape(triangle), nil); w.Code != http.StatusOK {
+		t.Fatalf("/explain = %d: %s", w.Code, w.Body)
+	}
+
+	w := do(t, s, http.MethodGet, "/metrics", nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body := w.Body.Bytes()
+	if errs := metrics.Lint(bytes.NewReader(body)); len(errs) > 0 {
+		t.Fatalf("exposition fails lint: %v", errs)
+	}
+	for _, want := range []string{
+		"graphflow_http_request_seconds",
+		"graphflow_http_responses_total",
+		"graphflow_requests_served_total",
+		"graphflow_requests_rejected_total",
+		"graphflow_requests_in_flight",
+		"graphflow_exec_stage_seconds_total",
+		"graphflow_exec_kernel_dispatch_total",
+		"graphflow_plan_cache_hits_total",
+		"graphflow_plan_cache_misses_total",
+		"graphflow_graph_vertices",
+		"graphflow_graph_epoch",
+		"graphflow_overlay_delta_ops",
+		"graphflow_wal_enabled",
+		"graphflow_compaction_seconds",
+		"graphflow_ingest_batches_total",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+
+	// The /query traffic above must appear in the per-endpoint request
+	// histogram and in the per-stage time attribution.
+	fams, err := metrics.ParseText(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]*metrics.ParsedFamily, len(fams))
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	_, counts, ok := byName["graphflow_http_request_seconds"].Buckets(map[string]string{"endpoint": "/query"})
+	if !ok {
+		t.Fatal("no /query request histogram series")
+	}
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n != 1 {
+		t.Fatalf("/query request histogram holds %d observations, want 1", n)
+	}
+	var stageTotal float64
+	for _, srs := range byName["graphflow_exec_stage_seconds_total"].Series {
+		stageTotal += srs.Value
+	}
+	if stageTotal <= 0 {
+		t.Fatal("per-stage time attribution is zero after a served count query")
+	}
+}
+
+// TestMetricsResponseCodeLabels checks the middleware labels responses
+// by status: a bad request must land in the 400 series, not the 200 one.
+func TestMetricsResponseCodeLabels(t *testing.T) {
+	s := newTestServer(t, Config{})
+	do(t, s, http.MethodPost, "/query", map[string]any{"pattern": triangle})
+	do(t, s, http.MethodPost, "/query", `{"pattern":""}`) // 400: missing pattern
+	w := do(t, s, http.MethodGet, "/metrics", nil)
+	fams, err := metrics.ParseText(bytes.NewReader(w.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]float64{}
+	for _, f := range fams {
+		if f.Name != "graphflow_http_responses_total" {
+			continue
+		}
+		for _, srs := range f.Series {
+			if srs.Labels["endpoint"] == "/query" {
+				got[srs.Labels["code"]] = srs.Value
+			}
+		}
+	}
+	if got["200"] != 1 || got["400"] != 1 {
+		t.Fatalf("response counts by code = %v, want 200:1 400:1", got)
+	}
+}
+
+// TestExplainAnalyze exercises EXPLAIN ANALYZE through both spellings
+// (?analyze=true and the JSON body field): the response must carry the
+// actual match count, per-operator wall times in the plan tree, and the
+// stage breakdown.
+func TestExplainAnalyze(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, tc := range []struct {
+		name, method, path string
+		body               any
+	}{
+		{"query-param", http.MethodGet, "/explain?pattern=" + url.QueryEscape(triangle) + "&analyze=true", nil},
+		{"json-body", http.MethodPost, "/explain", map[string]any{"pattern": triangle, "analyze": true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			w := do(t, s, tc.method, tc.path, tc.body)
+			if w.Code != http.StatusOK {
+				t.Fatalf("status %d: %s", w.Code, w.Body)
+			}
+			var resp struct {
+				Analyzed   bool    `json:"analyzed"`
+				Matches    *int64  `json:"matches"`
+				Plan       string  `json:"plan"`
+				PlanDigest string  `json:"plan_digest"`
+				ElapsedMS  float64 `json:"elapsed_ms"`
+				Stages     *struct {
+					Scan float64 `json:"scan"`
+				} `json:"stage_ms"`
+			}
+			mustDecode(t, w.Body.Bytes(), &resp)
+			if !resp.Analyzed {
+				t.Fatal("analyzed = false")
+			}
+			if resp.Matches == nil || *resp.Matches <= 0 {
+				t.Fatalf("matches = %v, want > 0", resp.Matches)
+			}
+			if !strings.Contains(resp.Plan, "time=") {
+				t.Fatalf("analyzed plan lacks per-operator wall times:\n%s", resp.Plan)
+			}
+			if !strings.Contains(resp.Plan, "out=") {
+				t.Fatalf("analyzed plan lacks actual row counts:\n%s", resp.Plan)
+			}
+			if resp.PlanDigest == "" {
+				t.Fatal("empty plan digest")
+			}
+			if resp.Stages == nil {
+				t.Fatal("no stage breakdown")
+			}
+			if resp.ElapsedMS <= 0 {
+				t.Fatalf("elapsed_ms = %v", resp.ElapsedMS)
+			}
+		})
+	}
+	// Plain explain still must not execute: no matches field, analyzed false.
+	w := do(t, s, http.MethodGet, "/explain?pattern="+url.QueryEscape(triangle), nil)
+	var plain struct {
+		Analyzed bool   `json:"analyzed"`
+		Matches  *int64 `json:"matches"`
+	}
+	mustDecode(t, w.Body.Bytes(), &plain)
+	if plain.Analyzed || plain.Matches != nil {
+		t.Fatalf("plain explain executed: %+v", plain)
+	}
+}
+
+// TestElapsedMSConsistency pins satellite contract: /execute, /ingest
+// and /explain all report elapsed_ms, measured from the shared
+// middleware's arrival instant.
+func TestElapsedMSConsistency(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if w := do(t, s, http.MethodPost, "/prepare", map[string]any{"name": "tri", "pattern": triangle}); w.Code != http.StatusCreated {
+		t.Fatalf("/prepare = %d: %s", w.Code, w.Body)
+	}
+	for _, tc := range []struct {
+		path, method string
+		body         any
+	}{
+		{"/execute/tri", http.MethodPost, map[string]any{}},
+		{"/ingest", http.MethodPost, map[string]any{"add_edges": []map[string]any{{"src": 3, "dst": 4, "label": 0}}}},
+		{"/explain?pattern=" + url.QueryEscape(triangle), http.MethodGet, nil},
+	} {
+		w := do(t, s, tc.method, tc.path, tc.body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("%s = %d: %s", tc.path, w.Code, w.Body)
+		}
+		var resp struct {
+			ElapsedMS *float64 `json:"elapsed_ms"`
+		}
+		mustDecode(t, w.Body.Bytes(), &resp)
+		if resp.ElapsedMS == nil || *resp.ElapsedMS < 0 {
+			t.Fatalf("%s: elapsed_ms = %v", tc.path, resp.ElapsedMS)
+		}
+	}
+}
+
+// TestSlowQueryLogged checks the slow-query spine: a threshold of 1ns
+// makes every query slow, and the Warn record must carry the pattern,
+// plan digest and stage breakdown.
+func TestSlowQueryLogged(t *testing.T) {
+	var buf bytes.Buffer
+	s := newTestServer(t, Config{
+		SlowQueryThreshold: time.Nanosecond,
+		Logger:             slog.New(slog.NewTextHandler(&buf, nil)),
+	})
+	if w := do(t, s, http.MethodPost, "/query", map[string]any{"pattern": triangle}); w.Code != http.StatusOK {
+		t.Fatalf("/query = %d: %s", w.Code, w.Body)
+	}
+	out := buf.String()
+	for _, want := range []string{"slow query", "plan_digest=", "plan_kind=", "pattern=", "elapsed_ms=", "scan_ms="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slow-query log missing %q:\n%s", want, out)
+		}
+	}
+
+	// Above the threshold nothing is logged.
+	buf.Reset()
+	s2 := newTestServer(t, Config{
+		SlowQueryThreshold: time.Hour,
+		Logger:             slog.New(slog.NewTextHandler(&buf, nil)),
+	})
+	do(t, s2, http.MethodPost, "/query", map[string]any{"pattern": triangle})
+	if buf.Len() != 0 {
+		t.Fatalf("unexpected log output under threshold: %s", buf.String())
+	}
+}
+
+// TestPerTemplateHistogram checks /execute feeds the per-template
+// latency series under the statement's name.
+func TestPerTemplateHistogram(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if w := do(t, s, http.MethodPost, "/prepare", map[string]any{"name": "tmpl-metrics", "pattern": triangle}); w.Code != http.StatusCreated {
+		t.Fatalf("/prepare = %d: %s", w.Code, w.Body)
+	}
+	for i := 0; i < 3; i++ {
+		if w := do(t, s, http.MethodPost, "/execute/tmpl-metrics", map[string]any{}); w.Code != http.StatusOK {
+			t.Fatalf("/execute = %d: %s", w.Code, w.Body)
+		}
+	}
+	w := do(t, s, http.MethodGet, "/metrics", nil)
+	fams, err := metrics.ParseText(bytes.NewReader(w.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fams {
+		if f.Name != "graphflow_exec_template_seconds" {
+			continue
+		}
+		_, counts, ok := f.Buckets(map[string]string{"template": "tmpl-metrics"})
+		if !ok {
+			t.Fatal("no series for template tmpl-metrics")
+		}
+		var n int64
+		for _, c := range counts {
+			n += c
+		}
+		if n != 3 {
+			t.Fatalf("template histogram count = %d, want 3", n)
+		}
+		return
+	}
+	t.Fatal("graphflow_exec_template_seconds family missing")
+}
+
+func mustDecode(t *testing.T, b []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("decoding %s: %v", b, err)
+	}
+}

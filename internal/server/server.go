@@ -12,11 +12,21 @@
 //	POST /prepare          register a named prepared statement
 //	POST /execute/{name}   run a previously prepared statement
 //	DELETE /prepare/{name} drop a prepared statement
-//	GET/POST /explain      optimizer plan without executing
+//	GET/POST /explain      optimizer plan; ?analyze=true runs it and
+//	                       annotates each operator with actual rows and wall time
 //	POST /ingest           apply one mutation batch (vertices, edge adds/deletes)
 //	POST /compact          force a compaction of the delta overlay
 //	GET /stats             graph, epoch, plan-cache, prepared and request counters
+//	GET /metrics           Prometheus text exposition of every server and DB metric
 //	GET /healthz           liveness probe
+//
+// Every mutating or querying endpoint runs behind one timing middleware:
+// request latency histograms (per endpoint) and response counters (per
+// endpoint and status code) are observed in exactly one place, and the
+// ElapsedMS field every response carries is measured from the same
+// request-arrival instant the histograms use. Queries slower than
+// Config.SlowQueryThreshold are logged through slog with their plan
+// digest and per-stage time breakdown.
 //
 // Mutations go through the DB's live store: each /ingest batch becomes
 // one new epoch, queries already executing keep their snapshot, and
@@ -29,12 +39,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"graphflow"
+	"graphflow/internal/metrics"
 )
 
 // StatusClientClosedRequest is the non-standard 499 status (nginx
@@ -78,6 +91,14 @@ type Config struct {
 	// MaxIngestBodyBytes caps /ingest request bodies, which carry bulk
 	// edge data and routinely dwarf query bodies. Default 64 MiB.
 	MaxIngestBodyBytes int64
+	// SlowQueryThreshold, when positive, logs every query whose total
+	// request time meets it at Warn level with the pattern or template
+	// name, plan digest, plan kind and per-stage time breakdown. 0
+	// disables slow-query logging.
+	SlowQueryThreshold time.Duration
+	// Logger receives the server's structured log records. Nil takes
+	// slog.Default() (configure process-wide with internal/logx).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +122,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxIngestBodyBytes <= 0 {
 		c.MaxIngestBodyBytes = 64 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -135,7 +159,25 @@ type Server struct {
 	// prefixes that hit a factorized tail and the tuples whose
 	// materialisation the cross-product arithmetic avoided.
 	factorizedPrefixes, factorizedAvoided atomic.Int64
+
+	// stageNanos accumulates per-stage executor wall time across served
+	// count-mode queries, indexed by stageNames; /metrics exposes it as
+	// graphflow_exec_stage_seconds_total{stage=...}.
+	stageNanos [len(stageNames)]atomic.Int64
+
+	// reg holds every server and DB metric; /metrics serialises it.
+	reg *metrics.Registry
+	// httpSeconds/httpResponses are fed exclusively by the instrument
+	// middleware so all endpoints share one timing implementation.
+	httpSeconds   *metrics.HistogramVec
+	httpResponses *metrics.CounterVec
+	// templateSeconds tracks /execute latency per prepared-statement name.
+	templateSeconds *metrics.HistogramVec
 }
+
+// stageNames indexes Server.stageNanos and labels the per-stage time
+// series; order matches the executor's Profile stage breakdown.
+var stageNames = [...]string{"scan", "extend", "probe", "factorized", "build", "emit"}
 
 // New builds a Server over cfg.DB.
 func New(cfg Config) (*Server, error) {
@@ -148,18 +190,128 @@ func New(cfg Config) (*Server, error) {
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		prepared: make(map[string]*graphflow.PreparedQuery),
 	}
+	s.registerMetrics()
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /prepare", s.handlePrepare)
-	mux.HandleFunc("DELETE /prepare/{name}", s.handleUnprepare)
-	mux.HandleFunc("POST /execute/{name}", s.handleExecute)
-	mux.HandleFunc("/explain", s.handleExplain)
-	mux.HandleFunc("POST /ingest", s.handleIngest)
-	mux.HandleFunc("POST /compact", s.handleCompact)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("POST /query", s.instrument("/query", s.handleQuery))
+	mux.Handle("POST /prepare", s.instrument("/prepare", s.handlePrepare))
+	mux.Handle("DELETE /prepare/{name}", s.instrument("/prepare/{name}", s.handleUnprepare))
+	mux.Handle("POST /execute/{name}", s.instrument("/execute/{name}", s.handleExecute))
+	mux.Handle("/explain", s.instrument("/explain", s.handleExplain))
+	mux.Handle("POST /ingest", s.instrument("/ingest", s.handleIngest))
+	mux.Handle("POST /compact", s.instrument("/compact", s.handleCompact))
+	mux.Handle("GET /stats", s.instrument("/stats", s.handleStats))
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
 	return s, nil
+}
+
+// registerMetrics builds the server's registry: the DB's graphflow_*
+// internals plus the serving layer's request, admission, per-template
+// and per-stage series. The counter funcs read the same atomics /stats
+// reports, so the two views can never disagree.
+func (s *Server) registerMetrics() {
+	s.reg = metrics.NewRegistry()
+	s.cfg.DB.RegisterMetrics(s.reg)
+	s.httpSeconds = s.reg.HistogramVec("graphflow_http_request_seconds",
+		"End-to-end request latency by endpoint, decode through response write.",
+		metrics.DefBuckets, "endpoint")
+	s.httpResponses = s.reg.CounterVec("graphflow_http_responses_total",
+		"Responses by endpoint and status code.", "endpoint", "code")
+	s.templateSeconds = s.reg.HistogramVec("graphflow_exec_template_seconds",
+		"Query latency of /execute by prepared-statement name.",
+		metrics.DefBuckets, "template")
+	s.reg.CounterFunc("graphflow_requests_served_total", "Queries that completed successfully.",
+		func() float64 { return float64(s.served.Load()) })
+	s.reg.CounterFunc("graphflow_requests_rejected_total", "Requests shed at the admission limit (429).",
+		func() float64 { return float64(s.rejected.Load()) })
+	s.reg.CounterFunc("graphflow_requests_deadlined_total", "Queries that exceeded their deadline (504).",
+		func() float64 { return float64(s.deadlined.Load()) })
+	s.reg.GaugeFunc("graphflow_requests_in_flight", "Admission slots currently held.",
+		func() float64 { return float64(len(s.sem)) })
+	s.reg.CounterFunc("graphflow_ingest_batches_total", "Mutation batches applied via /ingest.",
+		func() float64 { return float64(s.ingested.Load()) })
+	s.reg.GaugeFunc("graphflow_prepared_statements", "Registered prepared statements.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.prepared))
+		})
+	for i, name := range stageNames {
+		n := &s.stageNanos[i]
+		s.reg.CounterFunc("graphflow_exec_stage_seconds_total",
+			"Executor wall time attributed to each pipeline stage across served count queries.",
+			func() float64 { return float64(n.Load()) / 1e9 }, "stage", name)
+	}
+	for _, k := range []struct {
+		name string
+		c    *atomic.Int64
+	}{
+		{"merge", &s.kernelMerge}, {"gallop", &s.kernelGallop},
+		{"bitset_probe", &s.kernelBitsetProbe}, {"bitset_and", &s.kernelBitsetAnd},
+	} {
+		c := k.c
+		s.reg.CounterFunc("graphflow_exec_kernel_dispatch_total",
+			"Intersection-kernel dispatches across served count queries.",
+			func() float64 { return float64(c.Load()) }, "kernel", k.name)
+	}
+	s.reg.CounterFunc("graphflow_exec_factorized_prefixes_total",
+		"Prefixes that reached a factorized tail across served count queries.",
+		func() float64 { return float64(s.factorizedPrefixes.Load()) })
+	s.reg.CounterFunc("graphflow_exec_factorized_avoided_tuples_total",
+		"Output tuples counted without materialisation by factorized execution.",
+		func() float64 { return float64(s.factorizedAvoided.Load()) })
+}
+
+// Metrics returns the server's registry so embedding processes (tests,
+// the gfserver binary) can add their own series to the same /metrics
+// exposition.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// startTimeKey carries the middleware's request-arrival instant through
+// the request context, so handler-level ElapsedMS fields and the
+// latency histograms measure from the same clock edge.
+type startTimeKey struct{}
+
+// statusRecorder captures the status code a handler wrote so the
+// middleware can label the response counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (rec *statusRecorder) WriteHeader(code int) {
+	rec.status = code
+	rec.ResponseWriter.WriteHeader(code)
+}
+
+// instrument is the shared timing middleware: one histogram observation
+// and one response-count increment per request, plus the arrival
+// timestamp every handler derives ElapsedMS from.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		r = r.WithContext(context.WithValue(r.Context(), startTimeKey{}, start))
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		s.httpSeconds.With(endpoint).ObserveDuration(time.Since(start))
+		s.httpResponses.With(endpoint, strconv.Itoa(rec.status)).Inc()
+	})
+}
+
+// requestStart returns the middleware's arrival instant (now, when the
+// handler runs outside the instrumented mux, e.g. in direct tests).
+func requestStart(r *http.Request) time.Time {
+	if t, ok := r.Context().Value(startTimeKey{}).(time.Time); ok {
+		return t
+	}
+	return time.Now()
+}
+
+// elapsedMS reports milliseconds since the request arrived, the value
+// every response's ElapsedMS field carries.
+func elapsedMS(r *http.Request) float64 {
+	return float64(time.Since(requestStart(r)).Microseconds()) / 1000
 }
 
 // Handler returns the server's HTTP handler.
@@ -208,7 +360,39 @@ type queryResponse struct {
 	// (count mode only): how many prefixes reached a factorized tail and
 	// how many output tuples were counted without materialisation.
 	Factorized *factorizedCounts `json:"factorized,omitempty"`
-	ElapsedMS  float64           `json:"elapsed_ms"`
+	// Stages attributes this run's executor wall time to pipeline stages
+	// (count mode only), in milliseconds.
+	Stages    *stageMillis `json:"stage_ms,omitempty"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+}
+
+// stageMillis is the JSON shape of the per-stage wall-time breakdown.
+type stageMillis struct {
+	Scan       float64 `json:"scan"`
+	Extend     float64 `json:"extend"`
+	Probe      float64 `json:"probe"`
+	Factorized float64 `json:"factorized"`
+	Build      float64 `json:"build"`
+	Emit       float64 `json:"emit"`
+}
+
+// stageMillisFrom converts a Stats stage breakdown to milliseconds,
+// returning nil when no stage time was attributed (oracle engine runs).
+func stageMillisFrom(st *graphflow.Stats) *stageMillis {
+	total := st.StageScanNanos + st.StageExtendNanos + st.StageProbeNanos +
+		st.StageFactorizedNanos + st.StageBuildNanos + st.StageEmitNanos
+	if total == 0 {
+		return nil
+	}
+	ms := func(n int64) float64 { return float64(n) / 1e6 }
+	return &stageMillis{
+		Scan:       ms(st.StageScanNanos),
+		Extend:     ms(st.StageExtendNanos),
+		Probe:      ms(st.StageProbeNanos),
+		Factorized: ms(st.StageFactorizedNanos),
+		Build:      ms(st.StageBuildNanos),
+		Emit:       ms(st.StageEmitNanos),
+	}
 }
 
 // factorizedCounts is the JSON shape of factorized-execution counters.
@@ -368,14 +552,16 @@ var errUnknownMode = errors.New("unknown mode")
 // maps it to 400.
 var errBadRequest = errors.New("bad request")
 
-// execute runs pq under the request's deadline and options. The caller
+// execute runs pq under the request's deadline and options. name is the
+// prepared-statement name ("" for ad-hoc /query), labelling the
+// per-template latency histogram and slow-query log lines. The caller
 // must hold an admission slot: planning and execution are the CPU-bound
 // phases the semaphore bounds.
-func (s *Server) execute(r *http.Request, pq *graphflow.PreparedQuery, req *queryRequest) (queryResponse, error) {
+func (s *Server) execute(r *http.Request, name string, pq *graphflow.PreparedQuery, req *queryRequest) (queryResponse, error) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req))
 	defer cancel()
 
-	start := time.Now()
+	start := requestStart(r)
 	resp := queryResponse{PlanKind: pq.PlanKind()}
 	switch req.Mode {
 	case "", "count":
@@ -404,6 +590,7 @@ func (s *Server) execute(r *http.Request, pq *graphflow.PreparedQuery, req *quer
 			Prefixes:      st.FactorizedPrefixes,
 			AvoidedTuples: st.FactorizedAvoided,
 		}
+		resp.Stages = stageMillisFrom(&st)
 		s.kernelMerge.Add(st.KernelMerge)
 		s.kernelGallop.Add(st.KernelGallop)
 		s.kernelBitsetProbe.Add(st.KernelBitsetProbe)
@@ -413,6 +600,12 @@ func (s *Server) execute(r *http.Request, pq *graphflow.PreparedQuery, req *quer
 		s.batchProbe.Add(st.ProbeBatches)
 		s.factorizedPrefixes.Add(st.FactorizedPrefixes)
 		s.factorizedAvoided.Add(st.FactorizedAvoided)
+		s.stageNanos[0].Add(st.StageScanNanos)
+		s.stageNanos[1].Add(st.StageExtendNanos)
+		s.stageNanos[2].Add(st.StageProbeNanos)
+		s.stageNanos[3].Add(st.StageFactorizedNanos)
+		s.stageNanos[4].Add(st.StageBuildNanos)
+		s.stageNanos[5].Add(st.StageEmitNanos)
 	case "match":
 		opts, err := s.queryOptions(req)
 		if err != nil {
@@ -439,8 +632,49 @@ func (s *Server) execute(r *http.Request, pq *graphflow.PreparedQuery, req *quer
 	default:
 		return resp, fmt.Errorf("%w %q (want \"count\" or \"match\")", errUnknownMode, req.Mode)
 	}
-	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	elapsed := time.Since(start)
+	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	if name != "" {
+		s.templateSeconds.With(name).ObserveDuration(elapsed)
+	}
+	s.maybeLogSlow(name, pq, req, elapsed, resp.Stages)
 	return resp, nil
+}
+
+// maybeLogSlow emits the slow-query Warn record when the run met the
+// configured threshold: enough to find the query (pattern or template),
+// group it across processes (plan digest), and see where the time went
+// (per-stage breakdown, when the vectorized engine attributed one).
+func (s *Server) maybeLogSlow(name string, pq *graphflow.PreparedQuery, req *queryRequest, elapsed time.Duration, stages *stageMillis) {
+	if s.cfg.SlowQueryThreshold <= 0 || elapsed < s.cfg.SlowQueryThreshold {
+		return
+	}
+	attrs := []any{
+		slog.Float64("elapsed_ms", float64(elapsed.Microseconds())/1000),
+		slog.String("plan_digest", pq.PlanDigest()),
+		slog.String("plan_kind", pq.PlanKind()),
+	}
+	if name != "" {
+		attrs = append(attrs, slog.String("template", name))
+	} else {
+		attrs = append(attrs, slog.String("pattern", req.Pattern))
+	}
+	if mode := req.Mode; mode == "" {
+		attrs = append(attrs, slog.String("mode", "count"))
+	} else {
+		attrs = append(attrs, slog.String("mode", mode))
+	}
+	if stages != nil {
+		attrs = append(attrs,
+			slog.Float64("scan_ms", stages.Scan),
+			slog.Float64("extend_ms", stages.Extend),
+			slog.Float64("probe_ms", stages.Probe),
+			slog.Float64("factorized_ms", stages.Factorized),
+			slog.Float64("build_ms", stages.Build),
+			slog.Float64("emit_ms", stages.Emit),
+		)
+	}
+	s.cfg.Logger.Warn("slow query", attrs...)
 }
 
 // respond writes the outcome of execute.
@@ -476,7 +710,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad pattern: %v", err)
 		return
 	}
-	resp, runErr := s.execute(r, pq, &req)
+	resp, runErr := s.execute(r, "", pq, &req)
 	s.release()
 	s.respond(w, r, resp, runErr)
 }
@@ -560,46 +794,95 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if !s.admit(w) {
 		return
 	}
-	resp, runErr := s.execute(r, pq, &req)
+	resp, runErr := s.execute(r, name, pq, &req)
 	s.release()
 	s.respond(w, r, resp, runErr)
 }
 
+// explainRequest is the POST body of /explain. Analyze switches from
+// plan inspection to EXPLAIN ANALYZE: the plan is executed
+// single-threaded under the request deadline and each operator is
+// annotated with its actual tuples, i-cost, cache hits and wall time.
+type explainRequest struct {
+	Pattern   string `json:"pattern"`
+	Analyze   bool   `json:"analyze"`
+	TimeoutMS int64  `json:"timeout_ms"`
+}
+
 type explainResponse struct {
-	PlanKind  string  `json:"plan_kind"`
-	Plan      string  `json:"plan"`
-	Estimated float64 `json:"estimated_cardinality"`
+	PlanKind   string  `json:"plan_kind"`
+	Plan       string  `json:"plan"`
+	PlanDigest string  `json:"plan_digest"`
+	Estimated  float64 `json:"estimated_cardinality"`
+	// Analyzed is true when the plan was actually executed; the fields
+	// below it are only present in that case.
+	Analyzed bool   `json:"analyzed,omitempty"`
+	Matches  *int64 `json:"matches,omitempty"`
+	// Stages attributes the analysis run's executor wall time to
+	// pipeline stages, in milliseconds.
+	Stages    *stageMillis `json:"stage_ms,omitempty"`
+	ElapsedMS float64      `json:"elapsed_ms"`
 }
 
 // handleExplain accepts the pattern either as a ?pattern= query
-// parameter (GET) or a JSON body (POST).
+// parameter (GET) or a JSON body (POST); ?analyze=true (or "analyze":
+// true in the body) upgrades the plan dump to EXPLAIN ANALYZE.
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	pattern := r.URL.Query().Get("pattern")
-	if pattern == "" && r.Method == http.MethodPost {
-		var req queryRequest
+	q := r.URL.Query()
+	pattern := q.Get("pattern")
+	analyze := q.Get("analyze") == "true" || q.Get("analyze") == "1"
+	var req explainRequest
+	if r.Method == http.MethodPost {
 		if !decodeBody(w, r, &req, s.cfg.MaxBodyBytes) {
 			return
 		}
-		pattern = req.Pattern
+		if pattern == "" {
+			pattern = req.Pattern
+		}
+		analyze = analyze || req.Analyze
 	}
 	if pattern == "" {
 		writeError(w, http.StatusBadRequest, "missing pattern")
 		return
 	}
+	// Admission covers planning, and for analyze the full execution.
 	if !s.admit(w) {
 		return
 	}
-	st, err := s.cfg.DB.Explain(pattern)
-	var est float64
-	if err == nil {
-		est, _ = s.cfg.DB.EstimateCardinality(pattern)
-	}
-	s.release()
+	pq, err := s.cfg.DB.Prepare(pattern)
 	if err != nil {
+		s.release()
 		writeError(w, http.StatusBadRequest, "bad pattern: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, explainResponse{PlanKind: st.PlanKind, Plan: st.Plan, Estimated: est})
+	pst := pq.Stats()
+	est, _ := s.cfg.DB.EstimateCardinality(pattern)
+	resp := explainResponse{
+		PlanKind:   pst.PlanKind,
+		Plan:       pst.Plan,
+		PlanDigest: pq.PlanDigest(),
+		Estimated:  est,
+	}
+	if analyze {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout(&queryRequest{TimeoutMS: req.TimeoutMS}))
+		ast, runErr := s.cfg.DB.AnalyzeCtx(ctx, pattern)
+		cancel()
+		s.release()
+		if runErr != nil {
+			s.writeRunError(w, r, runErr)
+			return
+		}
+		resp.Analyzed = true
+		resp.Plan = ast.Plan
+		resp.Matches = &ast.Matches
+		resp.Stages = stageMillisFrom(&ast)
+		resp.ElapsedMS = elapsedMS(r)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.release()
+	resp.ElapsedMS = elapsedMS(r)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ingestEdge is the JSON form of one directed labelled edge.
@@ -627,10 +910,11 @@ type ingestResponse struct {
 	// store (ID 0), leaving the client unable to tell what it created.
 	FirstNewVertex *uint32 `json:"first_new_vertex,omitempty"`
 	AddedVertices  int     `json:"added_vertices"`
-	AddedEdges     int    `json:"added_edges"`
-	DeletedEdges   int    `json:"deleted_edges"`
-	Vertices       int    `json:"vertices"`
-	Edges          int    `json:"edges"`
+	AddedEdges     int     `json:"added_edges"`
+	DeletedEdges   int     `json:"deleted_edges"`
+	Vertices       int     `json:"vertices"`
+	Edges          int     `json:"edges"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
 }
 
 // handleIngest applies one mutation batch. Ingest work runs inside the
@@ -677,6 +961,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		DeletedEdges:   res.DeletedEdges,
 		Vertices:       res.Vertices,
 		Edges:          res.Edges,
+		ElapsedMS:      elapsedMS(r),
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"graphflow/internal/graph"
 )
@@ -45,6 +46,17 @@ func parseCheckpointName(name string) (uint64, bool) {
 		return 0, false
 	}
 	return e, true
+}
+
+// CheckpointModTime reports when the checkpoint at epoch was written
+// (its file mtime). ok is false when no such checkpoint exists — the
+// caller's checkpoint-age gauge then has nothing to age against.
+func CheckpointModTime(dir string, epoch uint64) (time.Time, bool) {
+	fi, err := os.Stat(filepath.Join(dir, checkpointName(epoch)))
+	if err != nil {
+		return time.Time{}, false
+	}
+	return fi.ModTime(), true
 }
 
 // crcWriter tees writes through a running CRC32.

@@ -37,6 +37,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"graphflow/internal/metrics"
 )
 
 // SyncPolicy selects when appended records are fsynced to stable storage.
@@ -142,8 +144,35 @@ type Log struct {
 	dirty    bool     // writes since the last fsync
 	closed   bool
 
+	// fsyncSeconds observes the latency of every durability fsync (the
+	// SyncBatch per-append sync, the interval syncer's sync, and segment
+	// rotation). The histogram lives here, not in a registry, so it
+	// records from the moment the log opens; a metrics registry adopts
+	// it later via FsyncHistogram.
+	fsyncSeconds *metrics.Histogram
+
 	stop chan struct{} // interval syncer shutdown
 	done chan struct{}
+}
+
+// fsyncBuckets spans the realistic fsync range: tens of microseconds on
+// battery-backed or lying storage up to hundreds of milliseconds on a
+// busy spinning disk.
+var fsyncBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+}
+
+// FsyncHistogram exposes the log's fsync-latency histogram for
+// registration in a metrics registry.
+func (l *Log) FsyncHistogram() *metrics.Histogram { return l.fsyncSeconds }
+
+// syncFile fsyncs the current segment and observes the latency.
+func (l *Log) syncFile() error {
+	t0 := time.Now()
+	err := l.f.Sync()
+	l.fsyncSeconds.ObserveDuration(time.Since(t0))
+	return err
 }
 
 // ReplayInfo reports what opening the log recovered.
@@ -191,7 +220,11 @@ func Open(dir string, startEpoch uint64, opts Options, fn func(Record) error) (*
 		}
 		total += valid
 	}
-	l := &Log{dir: dir, opts: opts, stop: make(chan struct{}), done: make(chan struct{})}
+	l := &Log{
+		dir: dir, opts: opts,
+		fsyncSeconds: metrics.NewHistogram(fsyncBuckets),
+		stop:         make(chan struct{}), done: make(chan struct{}),
+	}
 	cur := startEpoch
 	if len(starts) > 0 {
 		cur = starts[len(starts)-1]
@@ -267,7 +300,7 @@ func (l *Log) Append(rec Record) error {
 	l.appended++
 	l.dirty = true
 	if l.opts.Policy == SyncBatch {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncFile(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
 		l.dirty = false
@@ -282,7 +315,7 @@ func (l *Log) Sync() error {
 	if l.closed || !l.dirty {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
+	if err := l.syncFile(); err != nil {
 		return err
 	}
 	l.dirty = false
@@ -304,7 +337,7 @@ func (l *Log) Rotate(start uint64) error {
 		return fmt.Errorf("wal: rotate to epoch %d not after current segment %d", start, l.start)
 	}
 	if l.dirty {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncFile(); err != nil {
 			return err
 		}
 		l.dirty = false
@@ -366,7 +399,7 @@ func (l *Log) Close() error {
 	l.closed = true
 	var err error
 	if l.dirty {
-		err = l.f.Sync()
+		err = l.syncFile()
 	}
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
