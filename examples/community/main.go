@@ -6,7 +6,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"graphflow/internal/logx"
 	"time"
 
 	"graphflow"
@@ -15,7 +15,7 @@ import (
 func main() {
 	db, err := graphflow.NewFromDataset("LiveJournal", 1, &graphflow.Options{CatalogueZ: 800})
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(err.Error())
 	}
 	fmt.Printf("social graph: %d users, %d edges\n", db.NumVertices(), db.NumEdges())
 
@@ -25,7 +25,7 @@ func main() {
 	start := time.Now()
 	n, stats, err := db.CountStats(clique, &graphflow.QueryOptions{Workers: 4})
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(err.Error())
 	}
 	fmt.Printf("4-cliques: %d in %v (plan kind %s, i-cost %d, cache hits %d)\n",
 		n, time.Since(start).Round(time.Millisecond), stats.PlanKind, stats.ICost, stats.CacheHits)
@@ -34,11 +34,11 @@ func main() {
 	start = time.Now()
 	n2, err := db.Count(clique, &graphflow.QueryOptions{Adaptive: true})
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(err.Error())
 	}
 	fmt.Printf("adaptive evaluation: %d in %v\n", n2, time.Since(start).Round(time.Millisecond))
 	if n != n2 {
-		log.Fatalf("adaptive disagreed: %d vs %d", n, n2)
+		logx.Fatal("adaptive disagreed", "plan", n, "adaptive", n2)
 	}
 
 	// Community seeds: feedback triangles (directed 3-cycles), the tightest
@@ -46,7 +46,7 @@ func main() {
 	seeds := "a->b, b->c, c->a"
 	ns, err := db.Count(seeds, nil)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(err.Error())
 	}
 	fmt.Printf("feedback triangles (community seeds): %d\n", ns)
 }

@@ -7,7 +7,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"graphflow/internal/logx"
 	"math/rand"
 
 	"graphflow"
@@ -41,7 +41,7 @@ func main() {
 
 	db, err := b.Open(&graphflow.Options{CatalogueZ: 500})
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(err.Error())
 	}
 	fmt.Printf("transaction graph: %d accounts, %d payments\n", db.NumVertices(), db.NumEdges())
 
@@ -49,7 +49,7 @@ func main() {
 	pattern := "a->b, b->c, c->d, d->a"
 	n, stats, err := db.CountStats(pattern, &graphflow.QueryOptions{Workers: 4})
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(err.Error())
 	}
 	// Each 4-cycle is found once per rotation; 4 rotations per ring.
 	fmt.Printf("4-cycle matches: %d (plan kind %s)\n", n, stats.PlanKind)
@@ -76,7 +76,7 @@ func main() {
 		return len(seen) < 10
 	}, nil)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(err.Error())
 	}
 	fmt.Printf("distinct rings reported: %d (3 planted)\n", len(seen))
 }

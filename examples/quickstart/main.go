@@ -4,7 +4,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"graphflow/internal/logx"
 
 	"graphflow"
 )
@@ -23,13 +23,13 @@ func main() {
 	}
 	db, err := b.Open(&graphflow.Options{CatalogueZ: 100})
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(err.Error())
 	}
 
 	// Count asymmetric triangles.
 	n, stats, err := db.CountStats("a->b, b->c, a->c", nil)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(err.Error())
 	}
 	fmt.Printf("triangles: %d (plan kind %s, i-cost %d)\n", n, stats.PlanKind, stats.ICost)
 	fmt.Println(stats.Plan)
@@ -40,13 +40,13 @@ func main() {
 		return true
 	}, nil)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(err.Error())
 	}
 
 	// EXPLAIN a larger pattern without running it.
 	st, err := db.Explain("a->b, b->c, c->d, a->d")
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(err.Error())
 	}
 	fmt.Printf("4-cycle plan (%s):\n%s", st.PlanKind, st.Plan)
 }

@@ -6,7 +6,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"graphflow/internal/logx"
 	"sort"
 
 	"graphflow"
@@ -16,7 +16,7 @@ func main() {
 	// A follower network with hubs and communities.
 	db, err := graphflow.NewFromDataset("Epinions", 1, &graphflow.Options{CatalogueZ: 500})
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(err.Error())
 	}
 	fmt.Printf("follower graph: %d users, %d follows\n", db.NumVertices(), db.NumEdges())
 
@@ -25,7 +25,7 @@ func main() {
 	pattern := "a1->a2, a1->a3, a2->a4, a3->a4"
 	st, err := db.Explain(pattern)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(err.Error())
 	}
 	fmt.Printf("diamond plan (%s):\n%s", st.PlanKind, st.Plan)
 
@@ -40,7 +40,7 @@ func main() {
 		return true
 	}, nil)
 	if err != nil {
-		log.Fatal(err)
+		logx.Fatal(err.Error())
 	}
 
 	type scored struct {

@@ -1,0 +1,69 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"graphflow/internal/analysis"
+	"graphflow/internal/analysis/analysistest"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "noalloc"), analysis.Noalloc)
+}
+
+func TestCtxpoll(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "ctxpoll"), analysis.Ctxpoll)
+}
+
+func TestAtomicfield(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "atomicfield"), analysis.Atomicfield)
+}
+
+func TestLogdiscipline(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "logdiscipline"), analysis.Logdiscipline)
+}
+
+func TestMetricreg(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "metricreg"), analysis.Metricreg)
+}
+
+// TestLoaderShape sanity-checks the loader itself: dependency order
+// and package discovery over a testdata module.
+func TestLoaderShape(t *testing.T) {
+	prog, err := analysis.Load(analysis.Config{Dir: filepath.Join("testdata", "noalloc")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.ModulePath != "sandbox" {
+		t.Fatalf("module path = %q, want sandbox", prog.ModulePath)
+	}
+	if len(prog.Packages) != 1 {
+		t.Fatalf("got %d packages, want 1", len(prog.Packages))
+	}
+	for _, pkg := range prog.Packages {
+		if pkg.Pkg == nil || pkg.Info == nil {
+			t.Fatalf("package %s not type-checked", pkg.Path)
+		}
+	}
+}
+
+// TestSelfModule is the acceptance gate in test form: the repo's own
+// module must load, type-check and come back clean from the full
+// analyzer suite. Skipped under -short (CI runs gfvet directly as its
+// own blocking step); run it when touching hot-path code locally.
+func TestSelfModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("self-module analysis runs as the gfvet CI step")
+	}
+	prog, err := analysis.Load(analysis.Config{Dir: filepath.Join("..", "..")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.ModulePath != "graphflow" {
+		t.Fatalf("module path = %q, want graphflow", prog.ModulePath)
+	}
+	for _, d := range analysis.Run(prog, analysis.All()) {
+		t.Errorf("gfvet finding on the repo: %s", d)
+	}
+}

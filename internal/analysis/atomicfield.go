@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicfield enforces atomic access discipline on struct fields — the
+// bug class the lock-free metrics registry and the live store's epoch
+// pointer are exposed to: one goroutine updating a counter through
+// sync/atomic while another reads the same field with a plain load is
+// a data race the race detector only catches when both paths run in
+// the same test.
+//
+// Two field populations are checked, program-wide:
+//
+//   - A field whose address is ever passed to a sync/atomic function
+//     (atomic.AddInt64(&s.n, 1), ...) must be accessed through
+//     sync/atomic everywhere; any plain read or write is flagged.
+//   - A field of an atomic.* type (atomic.Int64, atomic.Pointer[T],
+//     atomic.Value, ...) may only be used through its methods or by
+//     address; assigning it, or copying it out by value, is flagged.
+//
+// Deliberate plain accesses (e.g. a constructor initializing a field
+// before the value is published) carry //gf:nonatomic with a reason.
+// Composite-literal keys are exempt: a literal builds a value no other
+// goroutine can see yet.
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic anywhere must never be read or written plainly elsewhere",
+	Run:  runAtomicfield,
+}
+
+func runAtomicfield(prog *Program, report Reporter) {
+	// Phase 1, program-wide: find fields used with sync/atomic
+	// functions, remembering the exact selector nodes of those sanctioned
+	// uses.
+	atomicFields := make(map[*types.Var]token.Pos) // field -> first atomic use
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := StaticCallee(pkg.Info, call)
+				if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || u.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if fv := fieldVar(pkg.Info, sel); fv != nil {
+						if _, seen := atomicFields[fv]; !seen {
+							atomicFields[fv] = sel.Pos()
+						}
+						sanctioned[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Phase 2: flag plain accesses of phase-1 fields, and misuse of
+	// atomic.*-typed fields.
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			WalkParents(f, func(n ast.Node, parents []ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fv := fieldVar(pkg.Info, sel)
+				if fv == nil {
+					return true
+				}
+				if _, mixed := atomicFields[fv]; mixed && !sanctioned[sel] {
+					flagPlain(prog, report, sel, fv)
+					return true
+				}
+				if isAtomicType(fv.Type()) {
+					checkAtomicTypedUse(prog, pkg, report, sel, fv, parents)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// flagPlain reports a non-atomic access to a sync/atomic-managed
+// field, honoring the //gf:nonatomic waiver.
+func flagPlain(prog *Program, report Reporter, sel *ast.SelectorExpr, fv *types.Var) {
+	if reason, ok := prog.DirectiveAt(sel.Pos(), "nonatomic"); ok {
+		if reason == "" {
+			report(sel.Pos(), "//gf:nonatomic needs a reason")
+		}
+		return
+	}
+	report(sel.Pos(), "plain access to field %s, which is accessed via sync/atomic elsewhere", fv.Name())
+}
+
+// checkAtomicTypedUse flags assignments to and value copies of an
+// atomic.*-typed field; method calls and address-taking are the
+// sanctioned uses.
+func checkAtomicTypedUse(prog *Program, pkg *Package, report Reporter, sel *ast.SelectorExpr, fv *types.Var, parents []ast.Node) {
+	p := nearestParent(parents)
+	if p == nil {
+		return
+	}
+	bad := ""
+	switch p := p.(type) {
+	case *ast.SelectorExpr:
+		// sel.Method(...) — the sanctioned access.
+	case *ast.UnaryExpr:
+		if p.Op != token.AND {
+			bad = "operates on"
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == sel {
+				bad = "assigns over"
+			}
+		}
+		if bad == "" {
+			bad = "copies"
+		}
+	case *ast.ValueSpec, *ast.CallExpr, *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr:
+		bad = "copies"
+	case *ast.StarExpr:
+		// Part of a type expression or deref chain; harmless.
+	}
+	if bad == "" {
+		return
+	}
+	if reason, ok := prog.DirectiveAt(sel.Pos(), "nonatomic"); ok {
+		if reason == "" {
+			report(sel.Pos(), "//gf:nonatomic needs a reason")
+		}
+		return
+	}
+	report(sel.Pos(), "%s atomic-typed field %s; use its methods", bad, fv.Name())
+}
+
+// fieldVar resolves a selector to the struct field it names, or nil.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// isAtomicType reports named types from sync/atomic (Int64, Bool,
+// Pointer[T], Value, ...).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxpoll enforces the engine's amortized-cancellation contract:
+// executor stage bodies — methods named pushBatch (the vectorized
+// stage interface) and functions annotated //gf:stage — must not
+// contain an outermost loop that can spin without ever consulting the
+// run's context. A loop complies when a cancellation poll is reachable
+// from its body: a call, possibly through a chain of same-module
+// static calls (function literals passed along the way are followed),
+// to a function annotated //gf:pollpoint. Deliberately unpolled loops
+// (bounded by batch capacity, polled by their caller) carry
+// //gf:nopoll with a reason.
+//
+// Reachability is control-flow-insensitive: a conditional poll counts,
+// because amortized polling is inherently conditional (the countdown
+// only reaches zero every few thousand tuples).
+var Ctxpoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "outermost loops in executor stage bodies must reach a //gf:pollpoint cancellation poll",
+	Run:  runCtxpoll,
+}
+
+func runCtxpoll(prog *Program, report Reporter) {
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				_, isStage := FuncDirective(fd, "stage")
+				if !isStage {
+					isStage = fd.Name.Name == "pushBatch" && fd.Recv != nil
+				}
+				if !isStage {
+					continue
+				}
+				checkStageLoops(prog, pkg, fd, report)
+			}
+		}
+	}
+}
+
+// checkStageLoops verifies every outermost loop of one stage body.
+func checkStageLoops(prog *Program, pkg *Package, fd *ast.FuncDecl, report Reporter) {
+	WalkParents(fd.Body, func(n ast.Node, parents []ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		// Only outermost loops: nested loops are covered by their
+		// enclosing loop's per-iteration poll.
+		for _, p := range parents {
+			switch p.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				return true
+			}
+		}
+		if reason, waived := prog.DirectiveAt(n.Pos(), "nopoll"); waived {
+			if reason == "" {
+				report(n.Pos(), "//gf:nopoll needs a reason")
+			}
+			return false
+		}
+		if !reachesPollpoint(prog, pkg, body, make(map[*types.Func]bool)) {
+			report(n.Pos(), "loop in stage %s never reaches a cancellation poll (//gf:pollpoint); annotate //gf:nopoll <reason> if it is bounded", fd.Name.Name)
+		}
+		return false // inner loops inherit the verdict
+	})
+}
+
+// reachesPollpoint reports whether any call reachable from node —
+// through same-module static callees and function literals — targets a
+// //gf:pollpoint function.
+func reachesPollpoint(prog *Program, pkg *Package, node ast.Node, visited map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := StaticCallee(pkg.Info, call)
+		fi := prog.FuncDecl(callee)
+		if fi == nil {
+			return true
+		}
+		if _, isPoll := FuncDirective(fi.Decl, "pollpoint"); isPoll {
+			found = true
+			return false
+		}
+		if fi.Decl.Body != nil && !visited[callee] {
+			visited[callee] = true
+			if reachesPollpoint(prog, fi.Pkg, fi.Decl.Body, visited) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

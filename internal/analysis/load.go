@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Config parameterizes Load.
+type Config struct {
+	// Dir is any directory inside the module to analyze. Load walks up
+	// to the enclosing go.mod. Empty means the current directory.
+	Dir string
+}
+
+// cgoOff disables cgo in the shared build context exactly once, before
+// the first stdlib source import: the source importer type-checks
+// dependencies from GOROOT source, and the pure-Go build of packages
+// like net is the one that type-checks without running cgo.
+var cgoOff sync.Once
+
+// Load parses and type-checks every package of the enclosing module
+// (test files and testdata trees excluded) in dependency order.
+// Module-internal imports resolve to the freshly checked packages;
+// standard-library imports are type-checked from GOROOT source, so the
+// loader needs no pre-built export data and no tooling beyond the
+// stdlib. Type errors do not abort the load — they are recorded per
+// package (and surfaced by Run as "typecheck" diagnostics) so the
+// analyzers can still inspect the parts that did check.
+func Load(cfg Config) (*Program, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+
+	prog := &Program{
+		Fset:       token.NewFileSet(),
+		ModulePath: modPath,
+		ModuleDir:  modDir,
+		byPath:     make(map[string]*Package),
+	}
+	if prog.Sizes = types.SizesFor("gc", build.Default.GOARCH); prog.Sizes == nil {
+		prog.Sizes = types.SizesFor("gc", "amd64")
+	}
+
+	// Discover and parse packages.
+	pkgs := make(map[string]*parsedPkg)
+	walkErr := filepath.Walk(modDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if path != modDir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		pdir := filepath.Dir(path)
+		rel, err := filepath.Rel(modDir, pdir)
+		if err != nil {
+			return err
+		}
+		ipath := modPath
+		if rel != "." {
+			ipath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		p := pkgs[ipath]
+		if p == nil {
+			p = &parsedPkg{
+				pkg:     &Package{Path: ipath, Dir: pdir},
+				imports: make(map[string]bool),
+			}
+			pkgs[ipath] = p
+		}
+		f, err := parser.ParseFile(prog.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		p.pkg.Files = append(p.pkg.Files, f)
+		for _, imp := range f.Imports {
+			if ip, err := strconv.Unquote(imp.Path.Value); err == nil {
+				p.imports[ip] = true
+			}
+		}
+		return nil
+	})
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("no Go packages under %s", modDir)
+	}
+
+	// Topological order over module-internal imports.
+	order, err := topoSort(pkgs)
+	if err != nil {
+		return nil, err
+	}
+
+	cgoOff.Do(func() { build.Default.CgoEnabled = false })
+	std := importer.ForCompiler(prog.Fset, "source", nil)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := prog.byPath[path]; ok && p.Pkg != nil {
+			return p.Pkg, nil
+		}
+		return std.Import(path)
+	})
+
+	for _, ipath := range order {
+		p := pkgs[ipath]
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { p.pkg.TypeErrors = append(p.pkg.TypeErrors, err) },
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		// Check returns an error on any type problem; partial results are
+		// still delivered, and the problems are already in TypeErrors.
+		tpkg, _ := conf.Check(ipath, prog.Fset, p.pkg.Files, info)
+		p.pkg.Pkg = tpkg
+		p.pkg.Info = info
+		prog.byPath[ipath] = p.pkg
+		prog.Packages = append(prog.Packages, p.pkg)
+	}
+	prog.buildIndexes()
+	return prog, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// findModule walks up from dir to the enclosing go.mod and returns its
+// directory and module path.
+func findModule(dir string) (modDir, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// parsedPkg pairs a parsed package with its import set during loading.
+type parsedPkg struct {
+	pkg     *Package
+	imports map[string]bool
+}
+
+// topoSort orders import paths so that every module-internal import
+// precedes its importer, detecting cycles.
+func topoSort(pkgs map[string]*parsedPkg) ([]string, error) {
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int, len(pkgs))
+	order := make([]string, 0, len(pkgs))
+	var visit func(ip string, path []string) error
+	visit = func(ip string, path []string) error {
+		switch state[ip] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("import cycle: %s", strings.Join(append(path, ip), " -> "))
+		}
+		state[ip] = visiting
+		p := pkgs[ip]
+		deps := make([]string, 0, len(p.imports))
+		for d := range p.imports {
+			if _, internal := pkgs[d]; internal {
+				deps = append(deps, d)
+			}
+		}
+		sort.Strings(deps)
+		for _, d := range deps {
+			if err := visit(d, append(path, ip)); err != nil {
+				return err
+			}
+		}
+		state[ip] = done
+		order = append(order, ip)
+		return nil
+	}
+	roots := make([]string, 0, len(pkgs))
+	for ip := range pkgs {
+		roots = append(roots, ip)
+	}
+	sort.Strings(roots)
+	for _, ip := range roots {
+		if err := visit(ip, nil); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

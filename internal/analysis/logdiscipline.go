@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// Logdiscipline bans the legacy stdlib "log" package module-wide in
+// favor of internal/logx (the process-wide log/slog spine): a stray
+// log.Printf bypasses the -log-format text|json decision and breaks
+// downstream log ingestion, and log.Fatal skips the graceful-drain
+// path. The println/print builtins are flagged too — they are debug
+// leftovers by definition. log/slog itself is fine; internal/logx is
+// the one place allowed to decide how records are rendered.
+var Logdiscipline = &Analyzer{
+	Name: "logdiscipline",
+	Doc:  `the stdlib "log" package and println/print builtins are banned; log through internal/logx (log/slog)`,
+	Run:  runLogdiscipline,
+}
+
+func runLogdiscipline(prog *Program, report Reporter) {
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "log" {
+					report(imp.Pos(), `import of "log" is banned; log through internal/logx (log/slog)`)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.SelectorExpr:
+					if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok &&
+						fn.Pkg() != nil && fn.Pkg().Path() == "log" {
+						report(call.Pos(), "call to log.%s; use internal/logx (log/slog) instead", fn.Name())
+					}
+				case *ast.Ident:
+					if b, ok := pkg.Info.Uses[fun].(*types.Builtin); ok &&
+						(b.Name() == "println" || b.Name() == "print") {
+						report(call.Pos(), "%s builtin left in; use internal/logx (log/slog)", b.Name())
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Noalloc enforces the engine's zero-alloc hot-path contract: a
+// function annotated //gf:noalloc — the E/I kernels, the batch
+// pipeline stages, the factorized count loop — must not contain
+// allocation-causing constructs, and neither may any same-module
+// function it statically calls. The check complements the dynamic
+// AllocsPerRun guards: those prove one benchmarked entry point is
+// clean on one input; this proves the whole transitive closure has no
+// construct that *could* allocate on any input.
+//
+// Flagged constructs: make and new, slice/map composite literals,
+// address-taken composite literals, function literals (closure
+// capture), appends that do not feed back into their own operand (the
+// amortized-growth idiom `x = append(x, ...)` and `x = append(x[:n],
+// ...)` is allowed), string concatenation and string<->byte/rune
+// conversions, interface boxing of concrete non-pointer values
+// (zero-size types are exempt: boxing them costs nothing), go
+// statements, and calls into allocation-heavy stdlib packages (fmt,
+// errors, sort, strings, strconv, bytes, regexp, reflect, log).
+//
+// Known limits, by design: calls through interfaces and function
+// values are not followed (the View seam is the main such boundary —
+// its implementations carry their own annotations), and a waived
+// warm-up allocation (//gf:allowalloc with a reason) is trusted, not
+// proven amortized. The dynamic guards backstop both holes.
+var Noalloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "//gf:noalloc functions and their same-module callees must be free of allocation-causing constructs",
+	Run:  runNoalloc,
+}
+
+// allocHeavyStdlib are stdlib packages whose exported API virtually
+// always allocates; a call into one from a hot path is a finding even
+// though the framework does not traverse stdlib bodies.
+var allocHeavyStdlib = map[string]bool{
+	"bytes": true, "errors": true, "fmt": true, "log": true,
+	"reflect": true, "regexp": true, "sort": true, "strconv": true,
+	"strings": true,
+}
+
+func runNoalloc(prog *Program, report Reporter) {
+	type workItem struct {
+		fn   *FuncInfo
+		root string
+	}
+	var queue []workItem
+	visited := make(map[*types.Func]bool)
+
+	enqueue := func(fn *FuncInfo, root string) {
+		if fn == nil || fn.Decl.Body == nil || visited[fn.Obj] {
+			return
+		}
+		visited[fn.Obj] = true
+		queue = append(queue, workItem{fn, root})
+	}
+
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if _, ok := FuncDirective(fd, "noalloc"); !ok {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					enqueue(prog.FuncDecl(obj), fd.Name.Name)
+				}
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		checkNoallocFunc(prog, item.fn, item.root, report, func(callee *types.Func) {
+			fi := prog.FuncDecl(callee)
+			if fi == nil {
+				return
+			}
+			if reason, cold := FuncDirective(fi.Decl, "allowalloc"); cold {
+				if reason == "" {
+					report(fi.Decl.Pos(), "//gf:allowalloc on %s needs a reason", fi.Obj.Name())
+				}
+				return
+			}
+			enqueue(fi, item.root)
+		})
+	}
+}
+
+// checkNoallocFunc inspects one function body for allocation-causing
+// constructs and feeds same-module static callees to traverse.
+func checkNoallocFunc(prog *Program, fn *FuncInfo, root string, report Reporter, traverse func(*types.Func)) {
+	info := fn.Pkg.Info
+	where := fn.Obj.Name()
+	if where != root {
+		where = fmt.Sprintf("%s (hot path via //gf:noalloc %s)", where, root)
+	}
+
+	flag := func(pos token.Pos, format string, args ...any) {
+		if reason, ok := prog.DirectiveAt(pos, "allowalloc"); ok {
+			if reason == "" {
+				report(pos, "//gf:allowalloc needs a reason")
+			}
+			return
+		}
+		report(pos, format+" in "+where, args...)
+	}
+
+	WalkParents(fn.Decl.Body, func(n ast.Node, parents []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkNoallocCall(prog, info, n, parents, flag, traverse)
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				flag(n.Pos(), "slice literal allocates")
+			case *types.Map:
+				flag(n.Pos(), "map literal allocates")
+			default:
+				if p := nearestParent(parents); p != nil {
+					if u, ok := p.(*ast.UnaryExpr); ok && u.Op == token.AND {
+						flag(n.Pos(), "address-taken composite literal allocates")
+					}
+				}
+			}
+		case *ast.FuncLit:
+			flag(n.Pos(), "function literal allocates a closure")
+			return false // its body runs at another time; do not double-report
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && isStringType(tv.Type) {
+					flag(n.Pos(), "string concatenation allocates")
+				}
+			}
+		case *ast.GoStmt:
+			flag(n.Pos(), "go statement allocates a goroutine")
+		case *ast.ReturnStmt:
+			sig, _ := fn.Obj.Type().(*types.Signature)
+			if sig == nil || len(n.Results) != sig.Results().Len() {
+				return true
+			}
+			for i, res := range n.Results {
+				checkBoxing(prog, info, res, sig.Results().At(i).Type(), flag)
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if lt, ok := info.Types[n.Lhs[i]]; ok {
+					checkBoxing(prog, info, rhs, lt.Type, flag)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkNoallocCall handles every call form: builtins, conversions,
+// static calls (traversed or denylisted) and boxing at argument
+// positions.
+func checkNoallocCall(prog *Program, info *types.Info, call *ast.CallExpr, parents []ast.Node, flag Reporter, traverse func(*types.Func)) {
+	// Conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		to := tv.Type
+		av, ok := info.Types[call.Args[0]]
+		if !ok {
+			return
+		}
+		from := av.Type
+		switch {
+		case isStringType(to) && !isStringType(from) && !isUntyped(from):
+			flag(call.Pos(), "conversion to string allocates")
+		case isStringType(from) && isByteOrRuneSlice(to):
+			flag(call.Pos(), "string to slice conversion allocates")
+		default:
+			checkBoxing(prog, info, call.Args[0], to, flag)
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				flag(call.Pos(), "make allocates")
+			case "new":
+				flag(call.Pos(), "new allocates")
+			case "append":
+				checkAppend(info, call, parents, flag)
+			case "panic":
+				// The unwind value is boxed; zero-size sentinel types (the
+				// stopRun idiom) are exempt via checkBoxing.
+				for _, arg := range call.Args {
+					checkBoxing(prog, info, arg, types.NewInterfaceType(nil, nil), flag)
+				}
+			}
+			return
+		}
+	}
+
+	// Boxing at argument positions, for every call with a signature
+	// (including interface-method and func-value calls we cannot
+	// traverse).
+	if ftv, ok := info.Types[call.Fun]; ok {
+		if sig, ok := ftv.Type.Underlying().(*types.Signature); ok {
+			checkCallArgsBoxing(prog, info, call, sig, flag)
+		}
+	}
+
+	callee := StaticCallee(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return
+	}
+	if prog.FuncDecl(callee) != nil {
+		traverse(callee)
+		return
+	}
+	if allocHeavyStdlib[callee.Pkg().Path()] {
+		flag(call.Pos(), "call to %s.%s allocates", callee.Pkg().Name(), callee.Name())
+	}
+}
+
+// checkAppend allows only the amortized-growth idiom: the append's
+// result must be assigned back to the expression it appends to (a
+// reslice of it counts), so growth is retained and amortizes to zero.
+func checkAppend(info *types.Info, call *ast.CallExpr, parents []ast.Node, flag Reporter) {
+	if len(call.Args) == 0 {
+		return
+	}
+	operand := ast.Unparen(call.Args[0])
+	if sl, ok := operand.(*ast.SliceExpr); ok {
+		operand = ast.Unparen(sl.X)
+	}
+	if p := nearestParent(parents); p != nil {
+		if as, ok := p.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+			for i, rhs := range as.Rhs {
+				if ast.Unparen(rhs) == call && i < len(as.Lhs) &&
+					ExprString(as.Lhs[i]) == ExprString(operand) {
+					return
+				}
+			}
+		}
+	}
+	flag(call.Pos(), "append result does not feed back into %q; growth is not amortized", ExprString(operand))
+}
+
+// checkCallArgsBoxing flags concrete non-pointer values passed to
+// interface-typed parameters.
+func checkCallArgsBoxing(prog *Program, info *types.Info, call *ast.CallExpr, sig *types.Signature, flag Reporter) {
+	np := sig.Params().Len()
+	if np == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < np-1 || (!sig.Variadic() && i < np):
+			pt = sig.Params().At(i).Type()
+		case sig.Variadic():
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = sig.Params().At(np - 1).Type()
+			if sl, ok := pt.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		default:
+			continue
+		}
+		checkBoxing(prog, info, arg, pt, flag)
+	}
+}
+
+// checkBoxing reports arg when assigning it to target requires an
+// interface box that heap-allocates: target is an interface, arg's
+// type is concrete and not pointer-shaped, its size is non-zero, and
+// it is not a constant (small constants are interned by the runtime).
+func checkBoxing(prog *Program, info *types.Info, arg ast.Expr, target types.Type, flag Reporter) {
+	if target == nil || !types.IsInterface(target.Underlying()) {
+		return
+	}
+	av, ok := info.Types[arg]
+	if !ok || av.Value != nil { // constants: interned or compile-time folded
+		return
+	}
+	at := av.Type
+	if at == nil || isUntyped(at) {
+		return
+	}
+	if _, isParam := at.(*types.TypeParam); isParam {
+		return
+	}
+	if types.IsInterface(at.Underlying()) {
+		return
+	}
+	if isPointerShaped(at) {
+		return
+	}
+	if prog.Sizes != nil && prog.Sizes.Sizeof(at) == 0 {
+		return
+	}
+	flag(arg.Pos(), "interface boxing of %s allocates", types.TypeString(at, types.RelativeTo(nil)))
+}
+
+// nearestParent returns the closest ancestor that is not a ParenExpr.
+func nearestParent(parents []ast.Node) ast.Node {
+	for i := len(parents) - 1; i >= 0; i-- {
+		if _, ok := parents[i].(*ast.ParenExpr); ok {
+			continue
+		}
+		return parents[i]
+	}
+	return nil
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isUntyped(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsUntyped != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isPointerShaped reports types whose interface representation reuses
+// the value itself — no heap box needed.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+// Package sandbox seeds mixed atomic/plain field accesses — the bug
+// class atomicfield exists for — plus the sanctioned access forms.
+package sandbox
+
+import "sync/atomic"
+
+type counters struct {
+	legacy int64
+	typed  atomic.Int64
+	plain  int
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.legacy, 1)
+	c.typed.Add(1)
+	c.plain++ // never touched atomically; plain access is fine
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.legacy)
+}
+
+func (c *counters) mixed() int64 {
+	x := c.legacy // want "plain access to field legacy"
+	c.legacy = 0  // want "plain access to field legacy"
+	return x
+}
+
+func newCounters() *counters {
+	c := &counters{}
+	c.legacy = 42 //gf:nonatomic not yet published; no concurrent reader exists
+	return c
+}
+
+func (c *counters) typedMisuse() {
+	c.typed = atomic.Int64{} // want "assigns over atomic-typed field typed"
+	v := c.typed             // want "copies atomic-typed field typed"
+	_ = v
+}
+
+func (c *counters) typedSanctioned() int64 {
+	p := &c.typed
+	return p.Load() + c.typed.Load()
+}

@@ -1,0 +1,72 @@
+// Package sandbox seeds stage loops that do and do not reach a
+// cancellation poll, mirroring the executor's pushBatch stage shape.
+package sandbox
+
+type batch struct{ n int }
+
+// poll stands in for the executor's pollCancel.
+//
+//gf:pollpoint
+func poll() {}
+
+// helper reaches the poll one static call deep.
+func helper() { poll() }
+
+// run invokes its argument, as worker.recovered does.
+func run(f func()) { f() }
+
+type stage struct{}
+
+func (s *stage) pushBatch(b *batch) {
+	for i := 0; i < b.n; i++ { // compliant: reaches poll via helper
+		helper()
+	}
+	for i := 0; i < b.n; i++ { // want "never reaches a cancellation poll"
+		_ = i
+	}
+	//gf:nopoll bounded by batch capacity; caller polled in dispatch
+	for i := 0; i < b.n; i++ {
+		_ = i
+	}
+	//gf:nopoll
+	for i := 0; i < b.n; i++ { // want "//gf:nopoll needs a reason"
+		_ = i
+	}
+}
+
+func (s *stage) flush() {}
+
+// A closure passed along the call path is followed.
+//
+//gf:stage
+func scanLoop(n int) {
+	for i := 0; i < n; i++ { // compliant: the literal's body reaches poll
+		run(func() { helper() })
+	}
+}
+
+// Inner loops inherit the outer loop's verdict; exactly one finding.
+//
+//gf:stage
+func nested(n int) {
+	for i := 0; i < n; i++ { // want "never reaches a cancellation poll"
+		for j := 0; j < n; j++ {
+			_ = j
+		}
+	}
+}
+
+// Range loops are loops too.
+//
+//gf:stage
+func ranges(xs []int) {
+	for range xs { // want "never reaches a cancellation poll"
+	}
+}
+
+// Ordinary functions are not stages; their loops are unchecked.
+func notAStage(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}

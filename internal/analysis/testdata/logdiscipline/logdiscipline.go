@@ -1,0 +1,14 @@
+// Package sandbox seeds the legacy logging forms logdiscipline bans.
+package sandbox
+
+import (
+	"log"      // want "import of \"log\" is banned"
+	"log/slog" // the sanctioned spine
+)
+
+func boom(err error) {
+	log.Fatal(err)          // want "call to log.Fatal"
+	log.Printf("x %v", err) // want "call to log.Printf"
+	println("debug")        // want "println builtin left in"
+	slog.Error("failed", "err", err)
+}

@@ -1,0 +1,117 @@
+// Package sandbox seeds one violation of every construct the noalloc
+// analyzer flags, plus the compliant idioms it must stay quiet on.
+package sandbox
+
+import "fmt"
+
+type payload struct{ a, b int }
+
+type sentinel struct{}
+
+type view interface {
+	degree(v int) int
+}
+
+var global any
+
+//gf:noalloc
+func constructs(n int) {
+	_ = make([]int, n) // want "make allocates"
+	_ = new(payload)   // want "new allocates"
+	_ = []int{1, 2, 3} // want "slice literal allocates"
+	_ = map[int]int{}  // want "map literal allocates"
+	_ = &payload{a: 1} // want "address-taken composite literal allocates"
+	f := func() {}     // want "function literal allocates a closure"
+	f()
+	go noop() // want "go statement allocates a goroutine"
+}
+
+//gf:noalloc
+func values(x int, s string, bs []byte) {
+	_ = s + s       // want "string concatenation allocates"
+	_ = string(bs)  // want "conversion to string allocates"
+	_ = []byte(s)   // want "string to slice conversion allocates"
+	global = x      // want "interface boxing of int"
+	fmt.Println(&x) // want "call to fmt.Println allocates"
+}
+
+//gf:noalloc
+func appends(xs, ys []int) []int {
+	xs = append(xs, 1)     // amortized self-append: allowed
+	xs = append(xs[:0], 2) // resliced self-append: allowed
+	zs := append(ys, 3)    // want "append result does not feed back"
+	_ = zs
+	return xs
+}
+
+//gf:noalloc
+func root() {
+	helper()
+}
+
+func helper() {
+	_ = new(int) // want "new allocates in helper"
+}
+
+// values flowing through a plain struct literal stay on the stack.
+//
+//gf:noalloc
+func structValue(a, b int) payload {
+	return payload{a: a, b: b}
+}
+
+// A guarded warm-up growth is waived line by line, with a reason.
+//
+//gf:noalloc
+func warm(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n) //gf:allowalloc one-time warm-up growth, amortized across runs
+	}
+	return buf[:n]
+}
+
+// A cold branch of a hot caller is pruned from the traversal.
+//
+//gf:allowalloc hub-split side path, parallel runs only
+func coldSplit() []int {
+	return make([]int, 64)
+}
+
+//gf:noalloc
+func hotCaller(split bool) {
+	if split {
+		coldSplit()
+	}
+}
+
+// A function-level waiver without a reason is itself a finding.
+//
+//gf:allowalloc
+func badWaiver() { // want "//gf:allowalloc on badWaiver needs a reason"
+	_ = make([]int, 1)
+}
+
+//gf:noalloc
+func reachesBadWaiver() {
+	badWaiver()
+}
+
+// Zero-size sentinel panics (the stopRun unwind idiom) are exempt;
+// boxing a sized value into panic is not.
+//
+//gf:noalloc
+func panics(x int, bad bool) {
+	if !bad {
+		panic(sentinel{})
+	}
+	panic(x) // want "interface boxing of int"
+}
+
+// Interface-method calls are a traversal boundary, not a finding.
+//
+//gf:noalloc
+func throughInterface(g view, v int) int {
+	return g.degree(v)
+}
+
+func noop() {}

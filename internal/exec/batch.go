@@ -114,6 +114,8 @@ type batchStage interface {
 // sink). Every produced row at every stage flows through here — the
 // batch-granular counterpart of countOutput: exact row accounting for
 // the profile plus the amortized cancellation poll.
+//
+//gf:noalloc
 func (w *worker) dispatchBatch(i int, b *tupleBatch) {
 	if b.n == 0 {
 		return
@@ -156,7 +158,7 @@ func (w *worker) sinkBatch(b *tupleBatch) {
 	}
 	width := len(b.cols)
 	if cap(w.tuple) < width {
-		w.tuple = make([]graph.VertexID, width)
+		w.tuple = make([]graph.VertexID, width) //gf:allowalloc one-time growth to the sink width, reused for every emitted row
 	}
 	t := w.tuple[:width]
 	w.tuple = t
@@ -194,6 +196,8 @@ func (w *worker) flushBatches() {
 // directly from the adjacency runs of vertices [start, end) and drives
 // each full batch through the stage chain. Hub-sized adjacency runs are
 // split into morsels for sibling workers when a queue is attached.
+//
+//gf:noalloc
 func (w *worker) runBatchRange(start, end int) {
 	scan := w.pipe.scan
 	srcLabel := scan.SrcLabel
@@ -295,6 +299,7 @@ func (s *batchExtendState) extFor(w *worker, in *tupleBatch, r int, runs bool, p
 	return s.es.extensionSetFor(w, s.vals)
 }
 
+//gf:noalloc
 func (s *batchExtendState) pushBatch(w *worker, in *tupleBatch) {
 	width := len(in.cols)
 	runs := s.es.useCache
@@ -302,6 +307,7 @@ func (s *batchExtendState) pushBatch(w *worker, in *tupleBatch) {
 		// Factorized counting (Section 10): the last extension's Cartesian
 		// product is counted, not enumerated.
 		var ext []graph.VertexID
+		//gf:nopoll bounded by one batch (<= w.batchSize rows); dispatchBatch polled before delivering it
 		for r := 0; r < in.n; r++ {
 			ext = s.extFor(w, in, r, runs, ext)
 			w.profile.Matches += int64(len(ext))
@@ -366,6 +372,7 @@ func (s *batchProbeState) reset(rc *runContext) {
 	s.out.clear()
 }
 
+//gf:noalloc
 func (s *batchProbeState) pushBatch(w *worker, in *tupleBatch) {
 	slots := s.ps.spec.probeSlots
 	appendIdx := s.ps.spec.appendIdx
@@ -475,6 +482,8 @@ func (q *morselQueue) nextRange() (int, int, bool) {
 // pushHubs splits nbrs into hubChunkEdges-sized morsels and enqueues
 // them. When needCopy is set the slices are copied out of the caller's
 // reusable buffer; otherwise they alias immutable graph storage.
+//
+//gf:allowalloc hub splitting is the cold path (vertices over hubSplitDegree only) and hands memory across workers
 func (q *morselQueue) pushHubs(src graph.VertexID, nbrs []graph.VertexID, needCopy bool) {
 	if needCopy {
 		nbrs = append([]graph.VertexID(nil), nbrs...)

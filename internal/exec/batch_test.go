@@ -279,40 +279,67 @@ func steadyWorker(tb testing.TB, g *graph.Graph, p *plan.Plan) (*worker, int) {
 	return w, n
 }
 
-// TestBatchSteadyStateZeroAllocs is the AllocsPerRun guard of the batch
-// E/I hot loop: after warm-up, scanning the whole graph through the
-// pipeline must not allocate at all — the scan fills reused columns, the
-// intersections reuse the stage scratch, and no per-tuple closures
-// exist.
-func TestBatchSteadyStateZeroAllocs(t *testing.T) {
+// TestZeroAllocs is the dynamic backstop of the //gf:noalloc static
+// contract: every steady-state hot loop is table-tested with
+// AllocsPerRun after warm-up. Where gfvet's noalloc analyzer stops at
+// interface calls and func values, these guards measure straight through
+// them. CI runs the whole suite with one `go test -run 'ZeroAllocs'`
+// step across packages.
+func TestZeroAllocs(t *testing.T) {
 	g := datagen.Epinions(1)
-	w, n := steadyWorker(t, g, buildWCO(t, query.Q4(), []int{0, 1, 2, 3}))
-	allocs := testing.AllocsPerRun(3, func() {
-		w.runBatchRange(0, n)
-		w.flushBatches()
-	})
-	if allocs != 0 {
-		t.Errorf("steady-state batch E/I loop allocates %.1f times per scan, want 0", allocs)
+	cases := []struct {
+		name  string
+		setup func(t *testing.T) func()
+	}{
+		{
+			// The batch E/I pipeline: the scan fills reused columns, the
+			// intersections reuse stage scratch, no per-tuple closures.
+			name: "batchEI",
+			setup: func(t *testing.T) func() {
+				w, n := steadyWorker(t, g, buildWCO(t, query.Q4(), []int{0, 1, 2, 3}))
+				return func() {
+					w.runBatchRange(0, n)
+					w.flushBatches()
+				}
+			},
+		},
+		{
+			// The factorized count tail: leaf sets land in reused stage
+			// scratch and products are pure arithmetic.
+			name: "factorizedCount",
+			setup: func(t *testing.T) func() {
+				w, n := steadyFactorizedWorker(t, g)
+				return func() {
+					w.runBatchRange(0, n)
+					w.flushBatches()
+				}
+			},
+		},
+		{
+			// The oracle scan: per-scan-vertex Neighbors lookups go through
+			// the reusable per-worker reader.
+			name: "oracleScan",
+			setup: func(t *testing.T) func() {
+				cp, err := Compile(g, buildWCO(t, query.Q1(), []int{0, 1, 2}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				rc := &runContext{cp: cp, cfg: RunConfig{TupleAtATime: true, FastCount: true}}
+				var stopped atomic.Bool
+				w := newWorker(rc, cp.pipes[0], true, nil, &stopped, nil)
+				n := g.NumVertices()
+				w.runRange(0, n)
+				return func() { w.runRange(0, n) }
+			},
+		},
 	}
-}
-
-// TestOracleScanSteadyStateZeroAllocs guards the oracle-path satellite
-// fix: the per-scan-vertex Neighbors lookup goes through the reusable
-// per-worker reader, so a full scan pass allocates nothing either.
-func TestOracleScanSteadyStateZeroAllocs(t *testing.T) {
-	g := datagen.Epinions(1)
-	cp, err := Compile(g, buildWCO(t, query.Q1(), []int{0, 1, 2}))
-	if err != nil {
-		t.Fatal(err)
-	}
-	rc := &runContext{cp: cp, cfg: RunConfig{TupleAtATime: true, FastCount: true}}
-	var stopped atomic.Bool
-	w := newWorker(rc, cp.pipes[0], true, nil, &stopped, nil)
-	n := g.NumVertices()
-	w.runRange(0, n)
-	allocs := testing.AllocsPerRun(3, func() { w.runRange(0, n) })
-	if allocs != 0 {
-		t.Errorf("oracle scan loop allocates %.1f times per scan, want 0", allocs)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			body := tc.setup(t)
+			if allocs := testing.AllocsPerRun(3, body); allocs != 0 {
+				t.Errorf("steady-state %s allocates %.1f times per scan, want 0", tc.name, allocs)
+			}
+		})
 	}
 }
 

@@ -95,6 +95,7 @@ func (s *factorizedTail) leafSet(w *worker, in *tupleBatch, r, i int) []graph.Ve
 	return ext
 }
 
+//gf:noalloc
 func (s *factorizedTail) pushBatch(w *worker, in *tupleBatch) {
 	counting := w.emit == nil
 	budget := w.rc.budget
@@ -173,6 +174,7 @@ func (s *factorizedTail) unfoldRow(w *worker, in *tupleBatch, r int) {
 // capacity.
 func (s *factorizedTail) fillRun(w *worker, in *tupleBatch, r int, last []graph.VertexID) {
 	out, pw := s.out, s.prefixWidth
+	lastCol := pw + len(s.leaves) - 1
 	off := 0
 	for off < len(last) {
 		k := len(last) - off
@@ -185,7 +187,7 @@ func (s *factorizedTail) fillRun(w *worker, in *tupleBatch, r int, last []graph.
 		for i := 0; i < len(s.leaves)-1; i++ {
 			out.cols[pw+i] = appendFill(out.cols[pw+i], s.sets[i][s.odo[i]], k)
 		}
-		out.cols[pw+len(s.leaves)-1] = append(out.cols[pw+len(s.leaves)-1], last[off:off+k]...)
+		out.cols[lastCol] = append(out.cols[lastCol], last[off:off+k]...)
 		out.n += k
 		off += k
 		if out.n >= w.batchSize {

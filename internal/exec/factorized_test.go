@@ -270,22 +270,6 @@ func TestWorkerPoolReuseAcrossRuns(t *testing.T) {
 	}
 }
 
-// TestFactorizedSteadyStateZeroAllocs is the AllocsPerRun guard of the
-// factorized count loop: after warm-up, scanning the whole graph through
-// a pipeline ending in a factorized tail must not allocate — leaf sets
-// land in reused stage scratch and products are pure arithmetic.
-func TestFactorizedSteadyStateZeroAllocs(t *testing.T) {
-	g := datagen.Epinions(1)
-	w, n := steadyFactorizedWorker(t, g)
-	allocs := testing.AllocsPerRun(3, func() {
-		w.runBatchRange(0, n)
-		w.flushBatches()
-	})
-	if allocs != 0 {
-		t.Errorf("steady-state factorized count loop allocates %.1f times per scan, want 0", allocs)
-	}
-}
-
 // steadyFactorizedWorker compiles a star-suffix plan over g and returns
 // a warmed-up batch worker whose factorized tail has reached steady
 // state.

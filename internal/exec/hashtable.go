@@ -53,6 +53,8 @@ func (h *hashTable) packKey(tuple []graph.VertexID, slots []int) uint64 {
 // wideKey is the single encoding of a >2-vertex join key as a byte
 // string. nil slots means tuple already is the gathered key (the
 // vectorized probe path).
+//
+//gf:allowalloc wide (>2 join vertices) keys are the cold fallback; the packed uint64 layout covers the paper's plans
 func (h *hashTable) wideKey(tuple []graph.VertexID, slots []int) string {
 	n := len(slots)
 	if slots == nil {

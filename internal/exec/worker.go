@@ -265,7 +265,10 @@ func (w *worker) countOutput(stageIdx int) {
 // pollCancel consults the run's context and unwinds the pipeline via the
 // same stopRun machinery as emit-driven early termination when it has
 // been cancelled. The run driver reads ctx.Err() afterwards, so the
-// cancellation reason is never lost in the unwind.
+// cancellation reason is never lost in the unwind. It is the ctxpoll
+// analyzer's anchor: a stage loop complies by reaching this call.
+//
+//gf:pollpoint
 func (w *worker) pollCancel() {
 	w.cancelCountdown = cancelCheckInterval
 	if w.rc.ctx != nil && w.rc.ctx.Err() != nil {
@@ -443,6 +446,7 @@ func (s *extendState) reset(useCache bool) {
 	s.outTuples, s.icost, s.hits = 0, 0, 0
 }
 
+//gf:noalloc
 func (s *extendState) push(w *worker, next func()) {
 	s.extendWith(w, s.extensionSet(w), next)
 }
@@ -460,6 +464,8 @@ func (s *extendState) extensionSet(w *worker) []graph.VertexID {
 // extensionSetFor computes (or serves from the intersection cache) the
 // extension set for the given descriptor source vertices, one per
 // descriptor in declaration order.
+//
+//gf:noalloc
 func (s *extendState) extensionSetFor(w *worker, vals []graph.VertexID) []graph.VertexID {
 	op := s.spec.op
 	descs := op.Descriptors
@@ -482,7 +488,7 @@ func (s *extendState) extensionSetFor(w *worker, vals []graph.VertexID) []graph.
 		s.cacheKey = append(s.cacheKey[:0], vals...)
 	}
 	if s.readers == nil {
-		s.readers = make([]graph.NeighborReader, len(descs))
+		s.readers = make([]graph.NeighborReader, len(descs)) //gf:allowalloc one-time per-descriptor reader setup, retained across tuples
 	}
 	// Gather descriptor lists; i-cost counts every accessed list's size
 	// (Equation 1).
@@ -545,6 +551,7 @@ type probeState struct {
 	outTuples, probes int64
 }
 
+//gf:noalloc
 func (s *probeState) push(w *worker, next func()) {
 	w.profile.ProbedTuples++
 	s.probes++

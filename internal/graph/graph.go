@@ -13,7 +13,6 @@ package graph
 
 import (
 	"fmt"
-	"sort"
 )
 
 // VertexID identifies a vertex in the data graph.
@@ -126,13 +125,18 @@ func (a *adjacency) segment(v VertexID) []VertexID {
 func (a *adjacency) findPartition(v VertexID, eLabel, nLabel Label) (int, bool) {
 	lo, hi := int(a.pOff[v]), int(a.pOff[v+1])
 	// Binary search the partition directory on (eLabel, nLabel).
-	i := sort.Search(hi-lo, func(k int) bool {
-		p := lo + k
-		if a.pELabel[p] != eLabel {
-			return a.pELabel[p] > eLabel
+	// Open-coded rather than sort.Search: the closure would escape and
+	// cost a heap allocation on every descriptor lookup of every E/I
+	// extension.
+	i, j := lo, hi
+	for i < j {
+		mid := int(uint(i+j) >> 1)
+		if a.pELabel[mid] < eLabel || (a.pELabel[mid] == eLabel && a.pNLabel[mid] < nLabel) {
+			i = mid + 1
+		} else {
+			j = mid
 		}
-		return a.pNLabel[p] >= nLabel
-	}) + lo
+	}
 	if i >= hi || a.pELabel[i] != eLabel || a.pNLabel[i] != nLabel {
 		return 0, false
 	}
@@ -399,13 +403,24 @@ func MergeRuns(runs [][]VertexID, buf []VertexID) []VertexID {
 	case 0:
 		return buf[:0]
 	case 1:
-		return append(buf[:0], runs[0]...)
+		buf = append(buf[:0], runs[0]...)
+		return buf
 	}
 	return mergeSortedRuns(runs, buf)
 }
 
 func containsSorted(list []VertexID, x VertexID) bool {
-	i := sort.Search(len(list), func(k int) bool { return list[k] >= x })
+	// Open-coded binary search; sort.Search's closure would heap-escape
+	// on the HasEdge hot path.
+	i, j := 0, len(list)
+	for i < j {
+		mid := int(uint(i+j) >> 1)
+		if list[mid] < x {
+			i = mid + 1
+		} else {
+			j = mid
+		}
+	}
 	return i < len(list) && list[i] == x
 }
 
@@ -429,7 +444,7 @@ func mergeSortedRuns(runs [][]VertexID, buf []VertexID) []VertexID {
 		out = append(out, b[j:]...)
 		return out
 	}
-	idx := make([]int, len(runs))
+	idx := make([]int, len(runs)) //gf:allowalloc k-way (>2 run) wildcard merges are rare; the 2-run fast path above covers label-pair lookups
 	for {
 		best := -1
 		var bestV VertexID

@@ -1,7 +1,5 @@
 package graph
 
-import "sort"
-
 // gallopThreshold is the size ratio beyond which the sorted-array kernel
 // switches from in-tandem merging to galloping (exponential) search into
 // the longer list.
@@ -42,6 +40,8 @@ func (c *KernelCounters) Add(other KernelCounters) {
 // The kernel is the paper's iterative 2-way in-tandem intersection; when one
 // list is much longer than the other it gallops into the longer list, which
 // matters on skewed adjacency lists.
+//
+//gf:noalloc
 func Intersect(a, b, out []VertexID) []VertexID {
 	r, _ := intersectSorted(a, b, out)
 	return r
@@ -93,7 +93,20 @@ func gallopIntersect(short, long, out []VertexID) []VertexID {
 		if hi > len(long) {
 			hi = len(long)
 		}
-		k := lo + sort.Search(hi-lo, func(i int) bool { return long[lo+i] >= x })
+		// Binary search long[lo:hi] for the first element >= x. Open-coded
+		// rather than sort.Search: the closure sort.Search takes captures
+		// long and x and escapes, costing one heap allocation per probed
+		// element on this zero-alloc path.
+		i, j := lo, hi
+		for i < j {
+			mid := int(uint(i+j) >> 1)
+			if long[mid] < x {
+				i = mid + 1
+			} else {
+				j = mid
+			}
+		}
+		k := i
 		if k < len(long) && long[k] == x {
 			out = append(out, x)
 			lo = k + 1
@@ -186,6 +199,8 @@ func (it *Intersector) intersectInto(r []VertexID, ref listRef, out []VertexID) 
 // scratch between steps exactly like the package-level IntersectK; the
 // caller keeps both returned buffers. After warm-up the call performs no
 // allocations.
+//
+//gf:noalloc
 func (it *Intersector) IntersectK(lists [][]VertexID, bits []*Bitset, out, scratch []VertexID) (result, newScratch []VertexID) {
 	switch len(lists) {
 	case 0:
@@ -231,6 +246,8 @@ func (it *Intersector) IntersectK(lists [][]VertexID, bits []*Bitset, out, scrat
 // This entry point allocates a fresh ordering scratch per call; hot
 // paths hold an Intersector instead, which also enables the bitset
 // kernels over hub-indexed lists.
+//
+//gf:noalloc
 func IntersectK(lists [][]VertexID, out, scratch []VertexID) (result, newScratch []VertexID) {
 	var it Intersector
 	return it.IntersectK(lists, nil, out, scratch)

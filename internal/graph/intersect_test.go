@@ -178,29 +178,69 @@ func TestBitsetBeyondUniverse(t *testing.T) {
 	}
 }
 
-// TestIntersectorZeroAllocs asserts the E/I hot path's contract: after
-// warm-up (AllocsPerRun runs the body once before measuring), a k-way
-// intersection performs zero allocations on both the sorted-list and the
-// bitset-kernel paths.
+// TestIntersectorZeroAllocs asserts the E/I hot path's contract, kernel
+// by kernel: after warm-up (AllocsPerRun runs the body once before
+// measuring), a k-way intersection performs zero allocations no matter
+// which kernel the sizes and indexes select. Each case checks the
+// Intersector's own dispatch counters first, so a kernel silently
+// falling back to another would fail loudly instead of vacuously
+// passing the alloc check. It is the dynamic counterpart of the
+// //gf:noalloc annotations gfvet enforces statically.
 func TestIntersectorZeroAllocs(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	lists := [][]VertexID{
-		randomSortedList(rng, 900, 3),
-		randomSortedList(rng, 40, 60),
-		randomSortedList(rng, 700, 4),
+	short := randomSortedList(rng, 40, 60)
+	mid := randomSortedList(rng, 700, 4)
+	long := randomSortedList(rng, 900, 3)
+	skewed := randomSortedList(rng, 64*len(short), 2)
+	cases := []struct {
+		name   string
+		lists  [][]VertexID
+		bits   []*Bitset
+		kernel func(c KernelCounters) int64
+	}{
+		{
+			name:   "merge",
+			lists:  [][]VertexID{mid, long},
+			kernel: func(c KernelCounters) int64 { return c.Merge },
+		},
+		{
+			name:   "gallop",
+			lists:  [][]VertexID{short, skewed},
+			kernel: func(c KernelCounters) int64 { return c.Gallop },
+		},
+		{
+			name:   "bitsetProbe",
+			lists:  [][]VertexID{short, long},
+			bits:   []*Bitset{nil, NewBitsetFromSorted(long)},
+			kernel: func(c KernelCounters) int64 { return c.BitsetProbe },
+		},
+		{
+			name:   "bitsetAnd",
+			lists:  [][]VertexID{mid, long},
+			bits:   []*Bitset{NewBitsetFromSorted(mid), NewBitsetFromSorted(long)},
+			kernel: func(c KernelCounters) int64 { return c.BitsetAnd },
+		},
+		{
+			name:   "kWayMixed",
+			lists:  [][]VertexID{long, short, mid},
+			bits:   []*Bitset{NewBitsetFromSorted(long), nil, NewBitsetFromSorted(mid)},
+			kernel: func(c KernelCounters) int64 { return c.Merge + c.Gallop + c.BitsetProbe + c.BitsetAnd },
+		},
 	}
-	bits := []*Bitset{NewBitsetFromSorted(lists[0]), nil, NewBitsetFromSorted(lists[2])}
-	var it Intersector
-	var out, scratch []VertexID
-	if allocs := testing.AllocsPerRun(100, func() {
-		out, scratch = it.IntersectK(lists, nil, out, scratch)
-	}); allocs != 0 {
-		t.Errorf("sorted-path IntersectK allocates %.1f per run, want 0", allocs)
-	}
-	if allocs := testing.AllocsPerRun(100, func() {
-		out, scratch = it.IntersectK(lists, bits, out, scratch)
-	}); allocs != 0 {
-		t.Errorf("bitset-path IntersectK allocates %.1f per run, want 0", allocs)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var it Intersector
+			var out, scratch []VertexID
+			out, scratch = it.IntersectK(tc.lists, tc.bits, out, scratch)
+			if got := tc.kernel(it.Counters); got == 0 {
+				t.Fatalf("intended kernel never dispatched (counters %+v)", it.Counters)
+			}
+			if allocs := testing.AllocsPerRun(100, func() {
+				out, scratch = it.IntersectK(tc.lists, tc.bits, out, scratch)
+			}); allocs != 0 {
+				t.Errorf("%s-path IntersectK allocates %.1f per run, want 0", tc.name, allocs)
+			}
+		})
 	}
 }
 

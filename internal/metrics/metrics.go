@@ -37,9 +37,13 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//gf:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n; negative deltas are ignored (counters are monotone).
+//
+//gf:noalloc
 func (c *Counter) Add(n int64) {
 	if n > 0 {
 		c.v.Add(n)
@@ -55,9 +59,13 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//gf:noalloc
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adds delta via a CAS loop.
+//
+//gf:noalloc
 func (g *Gauge) Add(delta float64) {
 	for {
 		old := g.bits.Load()
@@ -106,6 +114,8 @@ func NewHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one sample.
+//
+//gf:noalloc
 func (h *Histogram) Observe(v float64) {
 	// Branchless-ish linear scan beats sort.SearchFloat64s for the
 	// typical 16-bucket layout and avoids the func-value indirection.
@@ -124,6 +134,8 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // ObserveDuration records d in seconds.
+//
+//gf:noalloc
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
 // Snapshot captures a consistent-enough view for quantile math and

@@ -332,12 +332,31 @@ func TestParsedBuckets(t *testing.T) {
 	}
 }
 
-// TestObserveZeroAlloc guards the hot path: Observe and Inc must not
-// allocate, since they sit on the executor's per-batch path.
-func TestObserveZeroAlloc(t *testing.T) {
+// TestZeroAllocs guards the instrument hot paths: every mutation method
+// that sits on the executor's per-batch or per-query path must not
+// allocate. The table mirrors the //gf:noalloc annotations gfvet checks
+// statically; CI runs it via the shared `go test -run 'ZeroAllocs'`
+// step.
+func TestZeroAllocs(t *testing.T) {
 	h := NewHistogram(DefBuckets)
 	var c Counter
-	if a := testing.AllocsPerRun(100, func() { h.Observe(0.003); c.Inc() }); a != 0 {
-		t.Fatalf("Observe/Inc allocates %v per run, want 0", a)
+	var g Gauge
+	cases := []struct {
+		name string
+		body func()
+	}{
+		{"Counter.Inc", func() { c.Inc() }},
+		{"Counter.Add", func() { c.Add(3) }},
+		{"Gauge.Set", func() { g.Set(1.5) }},
+		{"Gauge.Add", func() { g.Add(-0.25) }},
+		{"Histogram.Observe", func() { h.Observe(0.003) }},
+		{"Histogram.ObserveDuration", func() { h.ObserveDuration(3 * time.Millisecond) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if a := testing.AllocsPerRun(100, tc.body); a != 0 {
+				t.Fatalf("%s allocates %v per run, want 0", tc.name, a)
+			}
+		})
 	}
 }
