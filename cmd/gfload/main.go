@@ -42,6 +42,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed for template selection and ingest batches")
 		jsonPath = flag.String("json", "", "write the report as BENCH-envelope JSON to this file instead of text output")
 		logFmt   = flag.String("log-format", "text", `structured log rendering: "text" or "json"`)
+		retries  = flag.Int("retries", 0, "retries per shed (429/503) request, honouring Retry-After with capped exponential backoff (0 = default 3, negative disables)")
+		backoff  = flag.Duration("backoff-cap", 0, "ceiling on one retry backoff sleep (0 = default 2s)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,8 @@ func main() {
 		Concurrency: *conc,
 		TargetQPS:   *qps,
 		Seed:        *seed,
+		MaxRetries:  *retries,
+		BackoffCap:  *backoff,
 	})
 	if err != nil {
 		slog.Error("load run failed", "err", err)
@@ -78,11 +82,11 @@ func main() {
 		slog.Info("report written", "path", *jsonPath, "server_rows", len(rep.Server))
 		return
 	}
-	fmt.Printf("%-18s %9s %7s %9s %9s %9s %9s %10s\n",
-		"template", "requests", "errors", "p50(ms)", "p95(ms)", "p99(ms)", "mean(ms)", "qps")
+	fmt.Printf("%-18s %9s %7s %6s %7s %9s %9s %9s %9s %10s\n",
+		"template", "requests", "errors", "sheds", "retries", "p50(ms)", "p95(ms)", "p99(ms)", "mean(ms)", "qps")
 	for _, r := range rep.Results {
-		fmt.Printf("%-18s %9d %7d %9.2f %9.2f %9.2f %9.2f %10.1f\n",
-			r.Name, r.Requests, r.Errors, r.P50MS, r.P95MS, r.P99MS, r.MeanMS, r.AchievedQPS)
+		fmt.Printf("%-18s %9d %7d %6d %7d %9.2f %9.2f %9.2f %9.2f %10.1f\n",
+			r.Name, r.Requests, r.Errors, r.Sheds, r.Retries, r.P50MS, r.P95MS, r.P99MS, r.MeanMS, r.AchievedQPS)
 	}
 	if len(rep.Server) > 0 {
 		fmt.Printf("\nserver-side (from /metrics bucket deltas):\n")

@@ -46,12 +46,14 @@ import (
 	"graphflow/internal/catalogue"
 	"graphflow/internal/datagen"
 	"graphflow/internal/exec"
+	"graphflow/internal/faultinject"
 	"graphflow/internal/graph"
 	"graphflow/internal/live"
 	"graphflow/internal/metrics"
 	"graphflow/internal/optimizer"
 	"graphflow/internal/plan"
 	"graphflow/internal/query"
+	"graphflow/internal/resource"
 	"graphflow/internal/wal"
 )
 
@@ -105,6 +107,20 @@ type Options struct {
 	// cluster, since bitsets are range-compressed to the partition's ID
 	// span; LiveStats.BitsetIndexBytes reports the actual total.
 	HubDegreeThreshold int
+	// MemBudgetBytes is the default per-query memory ceiling: every
+	// evaluation meters its major allocators (hash-join build tables,
+	// worker batch scratch, extension-set caches) and aborts with an
+	// error wrapping resource.ErrBudgetExceeded once it reserves more.
+	// 0 disables the per-query ceiling (queries still draw on the
+	// global pool when MemGlobalBytes is set). QueryOptions.
+	// MemBudgetBytes can tighten — never widen — this per query.
+	MemBudgetBytes int64
+	// MemGlobalBytes is the process-wide ceiling apportioned across all
+	// in-flight queries first-come-first-served: a query whose next
+	// reservation would cross it aborts even with per-query headroom
+	// left, so one DB never OOMs the process under concurrency. 0
+	// disables the global pool.
+	MemGlobalBytes int64
 }
 
 func (o *Options) withDefaults() Options {
@@ -149,7 +165,16 @@ type DB struct {
 	catMu    sync.Mutex
 	cat      *catalogue.Catalogue
 	catEpoch uint64
+
+	// gov is the process-wide memory governor (nil when MemGlobalBytes
+	// is 0 and no per-query ceiling is set): every query's budget draws
+	// on it, and Governor reports the pool for metrics.
+	gov *resource.Governor
 }
+
+// Governor exposes the DB's memory governor (nil when memory
+// governance is disabled) for observability surfaces.
+func (db *DB) Governor() *resource.Governor { return db.gov }
 
 // QueryOptions tunes one query evaluation.
 type QueryOptions struct {
@@ -200,6 +225,14 @@ type QueryOptions struct {
 	// tuple-at-a-time oracle (BatchSize < 0) always run fully enumerated,
 	// regardless of this knob.
 	DisableFactorization bool
+	// MemBudgetBytes tightens this query's memory ceiling below the
+	// DB-wide Options.MemBudgetBytes default. The effective ceiling is
+	// the smaller of the two non-zero values — a request can never widen
+	// the operator's limit. 0 keeps the DB default.
+	MemBudgetBytes int64
+	// Faults installs a fault-injection schedule for this evaluation
+	// (chaos testing only; leave nil in production).
+	Faults *faultinject.Injector
 }
 
 // Stats reports what one evaluation did.
@@ -264,6 +297,7 @@ func newDB(g *graph.Graph, opts Options) (*DB, error) {
 		opts: opts,
 		w1:   optimizer.DefaultW1,
 		w2:   optimizer.DefaultW2,
+		gov:  resource.NewGovernor(opts.MemGlobalBytes),
 	}
 	if opts.HubDegreeThreshold != 0 && opts.HubDegreeThreshold != g.HubThreshold() {
 		// Graphs from paths that could not thread the knob into their
@@ -605,6 +639,9 @@ func (pq *PreparedQuery) Match(fn func(map[string]uint32) bool, opts *QueryOptio
 		names[slot] = pq.names[v]
 	}
 	cfg := qo.execConfig()
+	mem := pq.db.memBudget(&qo)
+	defer mem.Close()
+	cfg.MemBudget = mem
 	// delivered needs no synchronisation: RunUntil serialises emit.
 	var delivered int64
 	_, err = pp.compiled.RunUntilCtx(qo.context(), cfg, func(t []graph.VertexID) bool {
@@ -668,7 +705,7 @@ func (pq *PreparedQuery) PlanKind() string { return pq.cur.Load().plan.Kind() }
 // the vectorized engine by default, the tuple-at-a-time oracle when
 // BatchSize is negative.
 func (qo *QueryOptions) execConfig() exec.RunConfig {
-	cfg := exec.RunConfig{Workers: qo.Workers, DisableCache: qo.DisableCache}
+	cfg := exec.RunConfig{Workers: qo.Workers, DisableCache: qo.DisableCache, Faults: qo.Faults}
 	if qo.BatchSize < 0 {
 		cfg.TupleAtATime = true
 	} else {
@@ -681,10 +718,29 @@ func (qo *QueryOptions) execConfig() exec.RunConfig {
 	return cfg
 }
 
+// memBudget mints the memory budget of one evaluation: the tighter of
+// the DB-wide default and the query's own ceiling, drawing on the
+// process governor. Nil — no metering at all — when neither a per-query
+// nor a global ceiling is configured. The caller owns the budget and
+// must Close it to return the reservation to the governor.
+func (db *DB) memBudget(qo *QueryOptions) *resource.Budget {
+	limit := db.opts.MemBudgetBytes
+	if qo.MemBudgetBytes > 0 && (limit <= 0 || qo.MemBudgetBytes < limit) {
+		limit = qo.MemBudgetBytes
+	}
+	if limit <= 0 && db.gov.Limit() <= 0 {
+		return nil
+	}
+	return resource.NewBudget(limit, db.gov)
+}
+
 // runCount executes a compiled plan under the given options.
 func (db *DB) runCount(pp *preparedPlan, qo QueryOptions) (int64, exec.Profile, error) {
 	ctx := qo.context()
 	cfg := qo.execConfig()
+	mem := db.memBudget(&qo)
+	defer mem.Close()
+	cfg.MemBudget = mem
 	switch {
 	case qo.Distinct:
 		if qo.Limit > 0 {
@@ -719,6 +775,8 @@ func (db *DB) runCount(pp *preparedPlan, qo QueryOptions) (int64, exec.Profile, 
 				Workers:      qo.Workers,
 				HubThreshold: db.opts.HubDegreeThreshold,
 				BatchSize:    qo.BatchSize,
+				MemBudget:    mem,
+				Faults:       qo.Faults,
 			},
 		}
 		if qo.Limit > 0 {
@@ -1092,6 +1150,11 @@ func (db *DB) RegisterMetrics(reg *metrics.Registry) {
 		func() float64 { return float64(db.PlanCacheStats().Misses) })
 	reg.CounterFunc("graphflow_plan_cache_evictions_total", "Plans evicted to respect the cache size bound.",
 		func() float64 { return float64(db.PlanCacheStats().Evictions) })
+
+	reg.GaugeFunc("graphflow_mem_reserved_bytes", "Bytes currently reserved from the memory governor by in-flight queries.",
+		func() float64 { return float64(db.gov.InUse()) })
+	reg.GaugeFunc("graphflow_mem_limit_bytes", "Process-wide query-memory ceiling (0 = unlimited).",
+		func() float64 { return float64(db.gov.Limit()) })
 	reg.GaugeFunc("graphflow_plan_cache_entries", "Currently cached plans.",
 		func() float64 { return float64(db.PlanCacheStats().Entries) })
 

@@ -19,9 +19,11 @@ import (
 
 	"graphflow/internal/catalogue"
 	"graphflow/internal/exec"
+	"graphflow/internal/faultinject"
 	"graphflow/internal/graph"
 	"graphflow/internal/plan"
 	"graphflow/internal/query"
+	"graphflow/internal/resource"
 )
 
 // Config controls adaptive evaluation.
@@ -47,6 +49,15 @@ type Config struct {
 	// negative values clamp to 1 (per-tuple re-estimation, the
 	// pre-vectorization behavior).
 	BatchSize int
+	// MemBudget meters the evaluation's buffers — the source batch and
+	// every step's intersection cache — alongside the source pipeline's
+	// own accounting (see exec.RunConfig.MemBudget). Exhaustion stops
+	// the chain at its amortized poll and surfaces as the budget's
+	// structured error.
+	MemBudget *resource.Budget
+	// Faults is the fault-injection hook threaded to the source
+	// pipeline (see exec.RunConfig.Faults).
+	Faults *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -129,7 +140,7 @@ func (e *Evaluator) RunCtx(ctx context.Context, p *plan.Plan, emit func([]graph.
 		return exec.Profile{}, err
 	}
 	chain, source := splitChain(p.Root)
-	runner := &exec.Runner{Graph: e.Graph, Workers: cfg.Workers}
+	runner := &exec.Runner{Graph: e.Graph, Workers: cfg.Workers, MemBudget: cfg.MemBudget, Faults: cfg.Faults}
 	if len(chain) < 2 {
 		return runner.RunPlanCtx(ctx, p, emit)
 	}
@@ -138,10 +149,11 @@ func (e *Evaluator) RunCtx(ctx context.Context, p *plan.Plan, emit func([]graph.
 		return exec.Profile{}, err
 	}
 	ad.ctx = ctx
+	ad.mem = cfg.MemBudget
 	// Drive the source; adaptation is stateful per ordering, so the source
 	// must feed tuples sequentially. Tuples buffer into a columnar batch
 	// and the chain consumes it at batch boundaries.
-	srcRunner := &exec.Runner{Graph: e.Graph, Workers: cfg.Workers}
+	srcRunner := &exec.Runner{Graph: e.Graph, Workers: cfg.Workers, MemBudget: cfg.MemBudget, Faults: cfg.Faults}
 	prof, err := srcRunner.RunSubplanCtx(ctx, source, func(t []graph.VertexID) {
 		ad.process(t, emit)
 	})
@@ -158,6 +170,11 @@ func (e *Evaluator) RunCtx(ctx context.Context, p *plan.Plan, emit func([]graph.
 	prof.Add(ad.profile)
 	if err != nil {
 		return prof, err
+	}
+	// The chain may have latched budget exhaustion after the source
+	// pipeline finished (mid-flush); surface it like the executor does.
+	if berr := cfg.MemBudget.Err(); berr != nil {
+		return prof, berr
 	}
 	if ctx != nil && ctx.Err() != nil {
 		return prof, ctx.Err()
@@ -185,6 +202,9 @@ type step struct {
 	cacheValid bool
 	cacheBuf   []graph.VertexID
 	scratch    []graph.VertexID
+	// meteredCap is the cache/scratch capacity (vertices) already charged
+	// to the memory budget; only growth beyond it is reserved.
+	meteredCap int
 }
 
 type desc struct {
@@ -227,6 +247,13 @@ type adaptiveChain struct {
 	ctx             context.Context
 	cancelled       bool
 	cancelCountdown int
+	// mem meters the chain's buffers (source batch, per-step caches)
+	// against the query's memory budget; exhaustion — latched here or by
+	// any other allocator sharing the budget — cancels the chain at its
+	// amortized poll. meteredBatchCap tracks the batch capacity already
+	// charged, so the steady state pays one compare per buffered tuple.
+	mem             *resource.Budget
+	meteredBatchCap int
 }
 
 // cancelCheckInterval matches the executor's amortized polling cadence.
@@ -336,6 +363,10 @@ func (ad *adaptiveChain) process(t []graph.VertexID, emit func([]graph.VertexID)
 		return
 	}
 	ad.batchBuf = append(ad.batchBuf, t...)
+	if c := cap(ad.batchBuf); c > ad.meteredBatchCap {
+		ad.mem.Reserve(int64(c-ad.meteredBatchCap) * 4)
+		ad.meteredBatchCap = c
+	}
 	ad.batchRows++
 	if ad.batchRows >= ad.batchCap {
 		ad.flush(emit)
@@ -428,6 +459,9 @@ func (ad *adaptiveChain) runStep(o *ordering, s int, emit func([]graph.VertexID)
 	ad.cancelCountdown--
 	if ad.cancelCountdown <= 0 {
 		ad.cancelCountdown = cancelCheckInterval
+		if ad.mem.Exceeded() {
+			ad.cancelled = true
+		}
 		if ad.ctx != nil && ad.ctx.Err() != nil {
 			ad.cancelled = true
 		}
@@ -484,6 +518,12 @@ func (ad *adaptiveChain) runStep(o *ordering, s int, emit func([]graph.VertexID)
 				}
 			}
 			st.cacheBuf, st.scratch = ad.it.IntersectK(ad.lists, ad.bits, st.cacheBuf[:0], st.scratch)
+		}
+		// Charge cache growth (capacity deltas only; a warm cache pays one
+		// compare). Exhaustion is observed at the amortized poll above.
+		if c := cap(st.cacheBuf) + cap(st.scratch); c > st.meteredCap {
+			ad.mem.Reserve(int64(c-st.meteredCap) * 4)
+			st.meteredCap = c
 		}
 		st.cacheValid = true
 		ext = st.cacheBuf

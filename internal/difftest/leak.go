@@ -1,0 +1,108 @@
+package difftest
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the zero-dependency goroutine-leak gate used by the
+// chaos sweep and the CI -race step: snapshot the goroutines before a
+// storm, snapshot them after, and fail with the leaked stacks if the
+// count did not return to baseline. Runtime-internal goroutines come
+// and go (GC workers, timer goroutines), so the comparison retries for
+// a grace period and ignores goroutines created by the runtime itself.
+
+// LeakCheck captures the current goroutine population as a baseline.
+// Call Check (typically deferred) after the workload to assert every
+// goroutine it started has exited.
+type LeakCheck struct {
+	baseline map[string]int
+}
+
+// NewLeakCheck snapshots the current goroutines.
+func NewLeakCheck() *LeakCheck {
+	return &LeakCheck{baseline: goroutineCensus()}
+}
+
+// Check reports nil once the live goroutines are back to the baseline
+// population, retrying for up to five seconds to let workers drain; on
+// timeout it returns an error listing each leaked goroutine's creation
+// site and count.
+func (lc *LeakCheck) Check() error {
+	deadline := time.Now().Add(5 * time.Second)
+	var leaked map[string]int
+	for {
+		leaked = diffCensus(lc.baseline, goroutineCensus())
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	sites := make([]string, 0, len(leaked))
+	for site, n := range leaked {
+		sites = append(sites, fmt.Sprintf("%d leaked from %s", n, site))
+	}
+	sort.Strings(sites)
+	return fmt.Errorf("goroutine leak: %s", strings.Join(sites, "; "))
+}
+
+// goroutineCensus counts live goroutines by creation site (the
+// "created by" line of their stack), skipping runtime-internal ones
+// whose lifecycle the test cannot control.
+func goroutineCensus() map[string]int {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	census := make(map[string]int)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		site := creationSite(g)
+		if site == "" || strings.HasPrefix(site, "runtime.") || strings.HasPrefix(site, "testing.") {
+			continue
+		}
+		census[site]++
+	}
+	return census
+}
+
+// creationSite extracts the function named on a goroutine dump's
+// "created by" line ("" for the main goroutine and runtime workers
+// without one).
+func creationSite(stack string) string {
+	i := strings.LastIndex(stack, "created by ")
+	if i < 0 {
+		return ""
+	}
+	line := stack[i+len("created by "):]
+	if j := strings.IndexByte(line, '\n'); j >= 0 {
+		line = line[:j]
+	}
+	// Trim the " in goroutine N" suffix newer runtimes append.
+	if j := strings.Index(line, " in goroutine"); j >= 0 {
+		line = line[:j]
+	}
+	return strings.TrimSpace(line)
+}
+
+// diffCensus returns the sites whose goroutine count now exceeds the
+// baseline.
+func diffCensus(before, after map[string]int) map[string]int {
+	leaked := make(map[string]int)
+	for site, n := range after {
+		if extra := n - before[site]; extra > 0 {
+			leaked[site] = extra
+		}
+	}
+	return leaked
+}

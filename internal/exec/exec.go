@@ -24,11 +24,14 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"graphflow/internal/faultinject"
 	"graphflow/internal/graph"
 	"graphflow/internal/plan"
+	"graphflow/internal/resource"
 )
 
 // Profile aggregates the runtime counters of one plan execution.
@@ -154,6 +157,20 @@ type RunConfig struct {
 	// Opt-in; batch engine only (the tuple-at-a-time oracle always
 	// enumerates).
 	Factorized bool
+	// MemBudget, when non-nil, meters this run's major allocators —
+	// hash-join build tables, worker batch checkouts, extension-set
+	// cache growth — against a per-query (and, through its governor, a
+	// process-wide) memory ceiling. Exhaustion is observed at the
+	// amortized //gf:pollpoint sites and surfaces as a *resource.
+	// BudgetError wrapping resource.ErrBudgetExceeded; the steady-state
+	// hot loops stay allocation-free. The budget is not closed by the
+	// run — its owner returns the reservation to the governor.
+	MemBudget *resource.Budget
+	// Faults, when non-nil, is the fault-injection hook consulted at the
+	// engine's instrumented points (pollpoints, worker start, hash-build
+	// insert). Production runs leave it nil; the chaos harness installs
+	// deterministic panic/stall schedules through it.
+	Faults *faultinject.Injector
 }
 
 // batchSize resolves an explicitly configured batch row capacity.
@@ -215,6 +232,28 @@ func (cp *CompiledPlan) EffectiveBatchSize(cfg RunConfig) int {
 // ErrBuildTooLarge is returned when MaxBuildRows is exceeded.
 var ErrBuildTooLarge = fmt.Errorf("exec: hash-join build side exceeds MaxBuildRows")
 
+// Memory-accounting coefficients. The budget meters bytes of tuple
+// storage, not malloc-exact footprints: VertexID is 4 bytes, and every
+// materialised hash-table row additionally pays its slice header plus
+// amortised map-entry overhead.
+const (
+	vertexIDBytes        = 4
+	hashRowOverheadBytes = 48
+)
+
+// PanicError is a worker panic recovered into a per-query error: the
+// run drains cleanly (no leaked goroutines, no stuck admission slots)
+// and the query fails with the panic value and captured stack instead
+// of the process dying.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: query panicked: %v", e.Value)
+}
+
 // runContext owns every piece of mutable state of one execution of a
 // CompiledPlan: the materialised hash tables, the aggregate profile, and
 // the optional per-operator analysis counters. A fresh runContext is
@@ -229,11 +268,51 @@ type runContext struct {
 	// batch is the resolved batch row capacity of this run (see
 	// CompiledPlan.EffectiveBatchSize).
 	batch int
-	// budget, when non-nil, is the shared remaining-match allowance of a
-	// factorized CountUpTo: each factorizedTail prefix atomically claims
-	// min(product, remaining) and stops the run when it is exhausted, so
-	// the total claimed never exceeds the limit even across workers.
-	budget *atomic.Int64
+	// countBudget, when non-nil, is the shared remaining-match allowance
+	// of a factorized CountUpTo: each factorizedTail prefix atomically
+	// claims min(product, remaining) and stops the run when it is
+	// exhausted, so the total claimed never exceeds the limit even
+	// across workers.
+	countBudget *atomic.Int64
+	// mem is the run's memory budget (nil = unmetered); see
+	// RunConfig.MemBudget.
+	mem *resource.Budget
+	// faults is the fault-injection hook (nil in production).
+	faults *faultinject.Injector
+	// failure records the first worker panic recovered during the run;
+	// runErr surfaces it as the run's error.
+	failure atomic.Pointer[PanicError]
+}
+
+// fail records rec (with the current stack) as the run's failure; the
+// first panic wins, later ones are dropped.
+func (rc *runContext) fail(rec any) {
+	rc.failure.CompareAndSwap(nil, &PanicError{Value: rec, Stack: debug.Stack()})
+}
+
+// recoverPanic converts a panic escaping a worker goroutine into the
+// run's failure record: wg.Done (deferred after this, so run before it)
+// always executes, sibling workers observe stopped, and the driver
+// reports the failure through runErr — panic isolation for the whole
+// parallel runtime.
+func (rc *runContext) recoverPanic(stopped *atomic.Bool) {
+	if rec := recover(); rec != nil {
+		rc.fail(rec)
+		stopped.Store(true)
+	}
+}
+
+// runErr reports why the run ended early, in severity order: a
+// recovered worker panic, then memory-budget exhaustion, then context
+// cancellation.
+func (rc *runContext) runErr() error {
+	if pe := rc.failure.Load(); pe != nil {
+		return pe
+	}
+	if rc.mem.Exceeded() {
+		return rc.mem.Err()
+	}
+	return rc.ctxErr()
 }
 
 // Run evaluates the compiled plan, invoking emit for every match. The
@@ -392,8 +471,8 @@ func (cp *CompiledPlan) run(ctx context.Context, cfg RunConfig, analyze *nodeCou
 }
 
 // runBudget is run with an optional factorized count budget (see
-// runContext.budget).
-func (cp *CompiledPlan) runBudget(ctx context.Context, cfg RunConfig, analyze *nodeCounters, emit func([]graph.VertexID) bool, budget *atomic.Int64) (Profile, error) {
+// runContext.countBudget).
+func (cp *CompiledPlan) runBudget(ctx context.Context, cfg RunConfig, analyze *nodeCounters, emit func([]graph.VertexID) bool, countBudget *atomic.Int64) (Profile, error) {
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
@@ -403,10 +482,11 @@ func (cp *CompiledPlan) runBudget(ctx context.Context, cfg RunConfig, analyze *n
 	}
 	rc := &runContext{
 		cp: cp, cfg: cfg, ctx: ctx, tables: make(map[*plan.HashJoin]*hashTable),
-		analyze: analyze, batch: cp.EffectiveBatchSize(cfg), budget: budget,
+		analyze: analyze, batch: cp.EffectiveBatchSize(cfg), countBudget: countBudget,
+		mem: cfg.MemBudget, faults: cfg.Faults,
 	}
 	for _, pipe := range cp.pipes {
-		if err := rc.ctxErr(); err != nil {
+		if err := rc.runErr(); err != nil {
 			return rc.profile, err
 		}
 		if pipe.feeds != nil {
@@ -421,9 +501,10 @@ func (cp *CompiledPlan) runBudget(ctx context.Context, cfg RunConfig, analyze *n
 		}
 		rc.profile.Add(prof)
 	}
-	// Workers unwind on cancellation without an error of their own; the
-	// context is the single source of truth for why the run ended early.
-	if err := rc.ctxErr(); err != nil {
+	// Workers unwind on early termination without an error of their own;
+	// runErr is the single source of truth for why the run ended early:
+	// a recovered panic, budget exhaustion, or the context.
+	if err := rc.runErr(); err != nil {
 		return rc.profile, err
 	}
 	return rc.profile, nil
@@ -443,11 +524,19 @@ func (rc *runContext) buildTable(pipe *compiledPipeline, workers int) error {
 	ht := newHashTable(pipe.keySlots, pipe.outWidth)
 	var mu sync.Mutex
 	overflow := false
+	rowBytes := int64(pipe.outWidth)*vertexIDBytes + hashRowOverheadBytes
 	prof, err := rc.runPipeline(pipe, workers, false, func(t []graph.VertexID) bool {
 		mu.Lock()
 		defer mu.Unlock()
+		rc.faults.Visit(faultinject.PointHashBuild)
 		if rc.cfg.MaxBuildRows > 0 && int64(ht.len()) >= rc.cfg.MaxBuildRows {
 			overflow = true
+			return false
+		}
+		// Every materialised build row is charged to the query's memory
+		// budget before it is copied in; a refused reservation latches the
+		// budget's exceeded state (surfaced by runErr) and stops the build.
+		if !rc.mem.Reserve(rowBytes) {
 			return false
 		}
 		ht.insert(t)
@@ -478,14 +567,22 @@ func (rc *runContext) runPipeline(pipe *compiledPipeline, workers int, isRoot bo
 	n := rc.cp.graph.NumVertices()
 	var stopped atomic.Bool
 	if workers <= 1 {
-		w := newWorker(rc, pipe, isRoot, emit, &stopped, nil)
-		w.runRecovered(0, n)
-		if w.scanBatch != nil && !stopped.Load() {
-			w.recovered(w.flushBatches)
-		}
-		w.finish()
-		prof := w.profile
-		w.release()
+		var prof Profile
+		// The recover mirrors the parallel goroutine bodies: a panic
+		// outside the worker's own recovered sections (construction, batch
+		// flush bookkeeping) still lands in the run's failure record
+		// instead of unwinding the caller.
+		func() {
+			defer rc.recoverPanic(&stopped)
+			w := newWorker(rc, pipe, isRoot, emit, &stopped, nil)
+			w.runRecovered(0, n)
+			if w.scanBatch != nil && !stopped.Load() {
+				w.recovered(w.flushBatches)
+			}
+			w.finish()
+			prof = w.profile
+			w.release()
+		}()
 		return prof, nil
 	}
 	var wg sync.WaitGroup
@@ -499,6 +596,7 @@ func (rc *runContext) runPipeline(pipe *compiledPipeline, workers int, isRoot bo
 			wg.Add(1)
 			go func(wi int) {
 				defer wg.Done()
+				defer rc.recoverPanic(&stopped)
 				w := newWorker(rc, pipe, isRoot, emit, &stopped, nil)
 				for !stopped.Load() {
 					start := int(next.Add(int64(chunk))) - chunk
@@ -522,6 +620,7 @@ func (rc *runContext) runPipeline(pipe *compiledPipeline, workers int, isRoot bo
 			wg.Add(1)
 			go func(wi int) {
 				defer wg.Done()
+				defer rc.recoverPanic(&stopped)
 				w := newWorker(rc, pipe, isRoot, emit, &stopped, q)
 				w.runWorkerLoop(q)
 				w.finish()
@@ -554,6 +653,11 @@ type Runner struct {
 	// Factorized enables the factorized execution tier (see
 	// RunConfig.Factorized).
 	Factorized bool
+	// MemBudget meters the run's major allocators (see
+	// RunConfig.MemBudget).
+	MemBudget *resource.Budget
+	// Faults is the fault-injection hook (see RunConfig.Faults).
+	Faults *faultinject.Injector
 }
 
 func (r *Runner) config() RunConfig {
@@ -563,6 +667,8 @@ func (r *Runner) config() RunConfig {
 		MaxBuildRows: r.MaxBuildRows,
 		FastCount:    r.FastCount,
 		Factorized:   r.Factorized,
+		MemBudget:    r.MemBudget,
+		Faults:       r.Faults,
 	}
 }
 

@@ -98,7 +98,7 @@ func (s *factorizedTail) leafSet(w *worker, in *tupleBatch, r, i int) []graph.Ve
 //gf:noalloc
 func (s *factorizedTail) pushBatch(w *worker, in *tupleBatch) {
 	counting := w.emit == nil
-	budget := w.rc.budget
+	budget := w.rc.countBudget
 	for r := 0; r < in.n; r++ {
 		w.profile.FactorizedPrefixes++
 		product := int64(1)

@@ -1,0 +1,291 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphflow/internal/faultinject"
+	"graphflow/internal/graph"
+	"graphflow/internal/plan"
+	"graphflow/internal/query"
+	"graphflow/internal/resource"
+)
+
+// assertGoroutinesReturn fails if the live goroutine count has not
+// returned to the pre-run baseline within a grace period — the
+// executor must not leak workers on abort, panic or cancellation.
+func assertGoroutinesReturn(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d live, baseline %d\n%s", runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// compiledHashJoin compiles Q8's two-triangle hybrid plan over a graph
+// big enough that the build side does real work.
+func compiledHashJoin(t *testing.T) (*CompiledPlan, int64) {
+	t.Helper()
+	g := smallRandomGraph(4, 800, 20)
+	q := query.Q8()
+	left := buildWCO(t, q, []int{0, 1, 2}).Root
+	right := buildWCO(t, q, []int{2, 3, 4}).Root
+	hj, err := plan.NewHashJoin(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := Compile(g, &plan.Plan{Query: q, Root: hj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := cp.Count(RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp, want
+}
+
+// TestBudgetAbortReturnsErrBudgetExceeded pins the per-query budget
+// contract: a run whose metered allocations exceed the budget aborts
+// with a BudgetError wrapping ErrBudgetExceeded, and the same plan
+// (same pooled workers) still counts exactly afterwards.
+func TestBudgetAbortReturnsErrBudgetExceeded(t *testing.T) {
+	cp, _, total := compiledTriangle(t)
+	for _, workers := range []int{1, 4} {
+		baseline := runtime.NumGoroutine()
+		b := resource.NewBudget(512, nil) // cannot cover even one batch checkout
+		_, _, err := cp.Count(RunConfig{Workers: workers, MemBudget: b})
+		if !errors.Is(err, resource.ErrBudgetExceeded) {
+			t.Fatalf("workers=%d: err = %v, want ErrBudgetExceeded", workers, err)
+		}
+		var be *resource.BudgetError
+		if !errors.As(err, &be) {
+			t.Fatalf("workers=%d: err %v does not unwrap to *BudgetError", workers, err)
+		}
+		if be.Limit != 512 || be.Global {
+			t.Errorf("workers=%d: BudgetError = %+v, want per-query limit 512", workers, be)
+		}
+		b.Close()
+		assertGoroutinesReturn(t, baseline)
+
+		n, _, err := cp.Count(RunConfig{Workers: workers})
+		if err != nil || n != total {
+			t.Fatalf("workers=%d: post-abort count = %d, %v; want %d, nil", workers, n, err, total)
+		}
+	}
+}
+
+// TestGovernorExhaustionFlagsGlobal pins the process-wide ceiling: a
+// query with no per-query limit still aborts when the shared governor
+// pool runs dry, and the error is marked Global. Closing the budget
+// returns the reservation so later queries run.
+func TestGovernorExhaustionFlagsGlobal(t *testing.T) {
+	cp, _, total := compiledTriangle(t)
+	gov := resource.NewGovernor(1024)
+	b := resource.NewBudget(0, gov)
+	_, _, err := cp.Count(RunConfig{MemBudget: b})
+	var be *resource.BudgetError
+	if !errors.As(err, &be) || !be.Global {
+		t.Fatalf("err = %v, want a Global BudgetError", err)
+	}
+	b.Close()
+	if gov.InUse() != 0 {
+		t.Fatalf("governor holds %d bytes after Close", gov.InUse())
+	}
+	b2 := resource.NewBudget(0, resource.NewGovernor(1<<30))
+	defer b2.Close()
+	n, _, err := cp.Count(RunConfig{MemBudget: b2})
+	if err != nil || n != total {
+		t.Fatalf("generous governor: count = %d, %v; want %d, nil", n, err, total)
+	}
+}
+
+// TestBudgetDoesNotDisturbCountBudget pins the independence of the two
+// budgets: CountUpTo's tuple budget still caps exactly while a generous
+// memory budget meters the same run.
+func TestBudgetDoesNotDisturbCountBudget(t *testing.T) {
+	cp, _, total := compiledTriangle(t)
+	limit := total / 2
+	if limit < 1 {
+		t.Skip("triangle fixture too small")
+	}
+	b := resource.NewBudget(1<<30, nil)
+	defer b.Close()
+	n, _, err := cp.CountUpTo(RunConfig{MemBudget: b}, limit)
+	if err != nil || n != limit {
+		t.Fatalf("CountUpTo = %d, %v; want %d, nil", n, err, limit)
+	}
+}
+
+// TestInjectedPanicIsIsolated fires a deterministic panic at each
+// instrumented point and checks the contract: the run fails with a
+// stack-carrying *PanicError whose value is the injected fault, no
+// goroutine leaks, and the same compiled plan counts exactly on the
+// next run (poisoned workers were discarded, not pooled).
+func TestInjectedPanicIsIsolated(t *testing.T) {
+	tri, _, triTotal := compiledTriangle(t)
+	hj, hjTotal := compiledHashJoin(t)
+	// The poll case needs a plan big enough to cross the amortized
+	// cancelCheckInterval; the tiny triangle fixture never polls.
+	heavy := heavyPlan(t)
+	heavyTotal, _, err := heavy.Count(RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		point faultinject.Point
+		cp    *CompiledPlan
+		total int64
+	}{
+		{faultinject.PointPoll, heavy, heavyTotal},
+		{faultinject.PointWorkerStart, tri, triTotal},
+		{faultinject.PointHashBuild, hj, hjTotal},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 4} {
+			baseline := runtime.NumGoroutine()
+			inj := &faultinject.Injector{PanicEvery: 1, Points: 1 << tc.point}
+			_, _, err := tc.cp.Count(RunConfig{Workers: workers, Faults: inj})
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("%s workers=%d: err = %v, want *PanicError", tc.point, workers, err)
+			}
+			inj2, ok := pe.Value.(faultinject.Injected)
+			if !ok || inj2.Point != tc.point {
+				t.Fatalf("%s workers=%d: recovered value %v, want Injected at the same point", tc.point, workers, pe.Value)
+			}
+			if len(pe.Stack) == 0 {
+				t.Errorf("%s workers=%d: PanicError carries no stack", tc.point, workers)
+			}
+			if inj.Panics() == 0 {
+				t.Errorf("%s workers=%d: injector never fired", tc.point, workers)
+			}
+			assertGoroutinesReturn(t, baseline)
+
+			n, _, err := tc.cp.Count(RunConfig{Workers: workers})
+			if err != nil || n != tc.total {
+				t.Fatalf("%s workers=%d: post-panic count = %d, %v; want %d, nil", tc.point, workers, n, err, tc.total)
+			}
+		}
+	}
+}
+
+// TestInjectedStallOnlySlows pins the slow-stage fault: sleeps at the
+// pollpoint delay the run but never change its answer.
+func TestInjectedStallOnlySlows(t *testing.T) {
+	cp := heavyPlan(t)
+	total, _, err := cp.Count(RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &faultinject.Injector{SleepEvery: 2, Sleep: time.Microsecond, Points: 1 << faultinject.PointPoll}
+	n, _, err := cp.Count(RunConfig{Faults: inj})
+	if err != nil || n != total {
+		t.Fatalf("stalled count = %d, %v; want %d, nil", n, err, total)
+	}
+	if inj.Sleeps() == 0 {
+		t.Error("injector never stalled; fixture too small to reach a pollpoint")
+	}
+}
+
+// flakyCtx reports Canceled after a fixed number of Err polls — a
+// deterministic mid-run cancellation lever that does not depend on
+// timer races. Done() stays nil (never readable): the engine must
+// notice cancellation through its amortized Err polls alone.
+type flakyCtx struct {
+	context.Context
+	polls atomic.Int64
+	after int64
+}
+
+func (c *flakyCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCancelMidHashBuild cancels while the build side of a hybrid plan
+// is still inserting: the run returns context.Canceled promptly, no
+// goroutine outlives it, and the pooled workers serve the next run
+// exactly.
+func TestCancelMidHashBuild(t *testing.T) {
+	cp, total := compiledHashJoin(t)
+	for _, workers := range []int{1, 4} {
+		baseline := runtime.NumGoroutine()
+		ctx := &flakyCtx{Context: context.Background(), after: 2}
+		_, _, err := cp.CountCtx(ctx, RunConfig{Workers: workers})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		assertGoroutinesReturn(t, baseline)
+
+		n, _, err := cp.Count(RunConfig{Workers: workers})
+		if err != nil || n != total {
+			t.Fatalf("workers=%d: post-cancel count = %d, %v; want %d, nil", workers, n, err, total)
+		}
+	}
+}
+
+// TestCancelMidFactorizedUnfold cancels from inside the emit callback
+// while a factorized tail's odometer is mid-product: emission stops at
+// the next poll with the odometer partially unfolded, the partial rows
+// already emitted stand, and a clean rerun enumerates the exact total.
+func TestCancelMidFactorizedUnfold(t *testing.T) {
+	g := smallRandomGraph(7, 500, 30)
+	q := query.MustParse("a->b, a->c, a->d")
+	p := buildWCO(t, q, []int{0, 1, 2, 3})
+	cp, err := Compile(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.StarSuffixLen() < 2 {
+		t.Fatalf("star suffix len %d; fixture no longer exercises the factorized tail", cp.StarSuffixLen())
+	}
+	var total int64
+	fullProf, err := cp.Run(RunConfig{Factorized: true}, func([]graph.VertexID) { total++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullProf.FactorizedPrefixes == 0 {
+		t.Fatal("factorized tail never engaged")
+	}
+	if total < 10000 {
+		t.Skipf("only %d rows; too few to observe mid-unfold cancellation", total)
+	}
+
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var emitted int64
+	_, err = cp.RunUntilCtx(ctx, RunConfig{Factorized: true}, func([]graph.VertexID) bool {
+		if emitted++; emitted == 1000 {
+			cancel() // mid-unfold: the odometer is partway through a product
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if emitted < 1000 || emitted >= total {
+		t.Fatalf("emitted %d rows before stopping, want in [1000, %d)", emitted, total)
+	}
+	assertGoroutinesReturn(t, baseline)
+
+	var again int64
+	if _, err := cp.Run(RunConfig{Factorized: true}, func([]graph.VertexID) { again++ }); err != nil {
+		t.Fatal(err)
+	}
+	if again != total {
+		t.Fatalf("post-cancel rerun enumerated %d rows, want %d", again, total)
+	}
+}

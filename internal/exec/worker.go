@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"graphflow/internal/faultinject"
 	"graphflow/internal/graph"
 )
 
@@ -62,6 +63,14 @@ type worker struct {
 	stageNanos []int64
 	curStage   int
 	lastStamp  time.Time
+	// memBytes is the metered size of the worker's batch scratch (scan
+	// batch plus every stage's retained output batch), charged to the
+	// run's memory budget on checkout — including pooled reuse, since
+	// the reusing query is the one holding the memory.
+	memBytes int64
+	// poisoned marks a worker whose run ended in a recovered foreign
+	// panic: its scratch may be inconsistent, so release never pools it.
+	poisoned bool
 }
 
 // cancelCheckInterval is the number of produced tuples between context
@@ -86,6 +95,7 @@ func newWorker(rc *runContext, pipe *compiledPipeline, isRoot bool, emit func([]
 		if pooled, _ := pipe.pool.Get().(*worker); pooled != nil &&
 			pooled.batchSize == rc.batch && pooled.factorized == fact {
 			pooled.rebind(rc, emit, stopped, mq)
+			pooled.chargeCheckout()
 			return pooled
 		}
 	}
@@ -126,8 +136,26 @@ func newWorker(rc *runContext, pipe *compiledPipeline, isRoot bool, emit func([]
 	if w.scanBatch != nil {
 		w.stageNanos = make([]int64, len(w.bstages)+2)
 		w.lastStamp = time.Now()
+		words := 2 * w.batchSize
+		for _, st := range w.bstages {
+			words += st.outWidth() * w.batchSize
+		}
+		w.memBytes = int64(words) * vertexIDBytes
 	}
+	w.chargeCheckout()
 	return w
+}
+
+// chargeCheckout reserves the worker's batch scratch against the run's
+// memory budget and visits the worker-start fault point. A refused
+// reservation latches the budget's exceeded state and raises the shared
+// stopped flag, so the worker's scan loop exits at its first vertex and
+// the driver reports the budget error.
+func (w *worker) chargeCheckout() {
+	if !w.rc.mem.Reserve(w.memBytes) {
+		w.stopped.Store(true)
+	}
+	w.rc.faults.Visit(faultinject.PointWorkerStart)
 }
 
 // rebind readies a pooled batch-engine worker for a fresh run: the
@@ -158,10 +186,12 @@ func (w *worker) rebind(rc *runContext, emit func([]graph.VertexID) bool, stoppe
 // release returns a batch-engine worker's scratch to its pipeline's pool
 // once its profile has been collected. Oracle workers are not pooled —
 // the tuple-at-a-time engine is the differential baseline, kept free of
-// reuse machinery. References that could pin caller state (emit
-// closures, the run context) are dropped before pooling.
+// reuse machinery. Poisoned workers (a foreign panic unwound through
+// their stages, so batches and caches may be mid-mutation) are dropped
+// for the garbage collector. References that could pin caller state
+// (emit closures, the run context) are dropped before pooling.
 func (w *worker) release() {
-	if w.scanBatch == nil {
+	if w.scanBatch == nil || w.poisoned {
 		return
 	}
 	w.rc = nil
@@ -176,15 +206,23 @@ func (w *worker) release() {
 type stopRun struct{}
 
 // recovered runs f, converting a stopRun unwind into the shared stopped
-// flag so sibling workers cease at their next check.
+// flag so sibling workers cease at their next check. A foreign panic —
+// an engine bug, a panicking emit callback, or an injected fault — is
+// isolated to this query: it is recorded (with its stack) as the run's
+// failure instead of unwinding the process, the worker is poisoned so
+// its possibly inconsistent scratch never re-enters the pool, and the
+// runner drains cleanly through the same stopped flag.
 func (w *worker) recovered(f func()) {
 	defer func() {
-		if rec := recover(); rec != nil {
-			if _, ok := rec.(stopRun); !ok {
-				panic(rec)
-			}
-			w.stopped.Store(true)
+		rec := recover()
+		if rec == nil {
+			return
 		}
+		if _, ok := rec.(stopRun); !ok {
+			w.poisoned = true
+			w.rc.fail(rec)
+		}
+		w.stopped.Store(true)
 	}()
 	f()
 }
@@ -262,15 +300,23 @@ func (w *worker) countOutput(stageIdx int) {
 	}
 }
 
-// pollCancel consults the run's context and unwinds the pipeline via the
-// same stopRun machinery as emit-driven early termination when it has
-// been cancelled. The run driver reads ctx.Err() afterwards, so the
-// cancellation reason is never lost in the unwind. It is the ctxpoll
-// analyzer's anchor: a stage loop complies by reaching this call.
+// pollCancel consults the run's context and memory budget and unwinds
+// the pipeline via the same stopRun machinery as emit-driven early
+// termination when either demands a stop. The run driver reads runErr
+// afterwards, so the reason (panic > budget > context) is never lost in
+// the unwind. It is the ctxpoll analyzer's anchor: a stage loop
+// complies by reaching this call — which also makes it the one place
+// budget exhaustion and injected faults are observed, preserving the
+// zero-alloc steady state of the hot loops.
 //
 //gf:pollpoint
 func (w *worker) pollCancel() {
 	w.cancelCountdown = cancelCheckInterval
+	w.rc.faults.Visit(faultinject.PointPoll)
+	if w.rc.mem.Exceeded() {
+		w.stopped.Store(true)
+		panic(stopRun{})
+	}
 	if w.rc.ctx != nil && w.rc.ctx.Err() != nil {
 		w.stopped.Store(true)
 		panic(stopRun{})
@@ -433,6 +479,11 @@ type extendState struct {
 	// the E/I hot path runs allocation-free after warm-up.
 	it graph.Intersector
 
+	// meteredCap is the cache/scratch capacity (in vertices) already
+	// charged to the current run's memory budget; only growth beyond it
+	// is reserved, so the steady state pays one integer compare.
+	meteredCap int
+
 	// Per-operator analysis counters (collected by worker.finish).
 	outTuples, icost, hits int64
 }
@@ -443,6 +494,9 @@ type extendState struct {
 func (s *extendState) reset(useCache bool) {
 	s.useCache = useCache
 	s.cacheValid = false
+	// The retained buffers are now held on behalf of the next run: its
+	// budget is recharged for their full capacity on first use.
+	s.meteredCap = 0
 	s.outTuples, s.icost, s.hits = 0, 0, 0
 }
 
@@ -518,6 +572,14 @@ func (s *extendState) extensionSetFor(w *worker, vals []graph.VertexID) []graph.
 			}
 		}
 		ext, s.scratch = s.it.IntersectK(s.lists, s.bits, s.cacheBuf[:0], s.scratch)
+		// Charge kernel-buffer growth (the factorized extension-set caches
+		// of the memory budget) — capacity deltas only, so a warm cache
+		// costs one compare per intersection. Exhaustion is observed at
+		// the next pollpoint.
+		if n := cap(ext) + cap(s.scratch); n > s.meteredCap {
+			w.rc.mem.Reserve(int64(n-s.meteredCap) * vertexIDBytes)
+			s.meteredCap = n
+		}
 	}
 	if s.useCache {
 		if len(s.lists) > 1 {

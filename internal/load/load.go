@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +70,14 @@ type Config struct {
 	// Vertices is the live vertex-ID range ingest batches draw from; 0
 	// asks the server's /stats once at startup.
 	Vertices int
+	// MaxRetries bounds how many times one shed request (429/503) is
+	// re-issued, honouring the server's Retry-After with capped
+	// exponential backoff. Default 3; negative disables retries.
+	MaxRetries int
+	// BackoffCap clamps one backoff sleep (default 2s). The server's
+	// Retry-After seeds the delay when present, else 100ms, doubling per
+	// attempt up to this cap, with up to 25% jitter.
+	BackoffCap time.Duration
 }
 
 // Result is one template's (or the overall) aggregate outcome — a row
@@ -83,6 +92,13 @@ type Result struct {
 	MeanMS      float64 `json:"mean_ms"`
 	AchievedQPS float64 `json:"achieved_qps"`
 	TargetQPS   float64 `json:"target_qps,omitempty"`
+	// Sheds counts 429/503 responses the server returned for this
+	// template (including ones a retry then got through); Retries counts
+	// re-issued requests; ShedRate is Sheds over issued requests
+	// (requests + retries), the fraction of sends the server refused.
+	Sheds    int64   `json:"sheds,omitempty"`
+	Retries  int64   `json:"retries,omitempty"`
+	ShedRate float64 `json:"shed_rate,omitempty"`
 }
 
 // ServerResult is one endpoint's server-side latency distribution over
@@ -148,6 +164,15 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 8
 	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = 2 * time.Second
+	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
@@ -194,6 +219,8 @@ func Run(cfg Config) (*Report, error) {
 		mu      sync.Mutex
 		samples []sample
 	)
+	shedCounts := make([]atomic.Int64, len(tpls))
+	retryCounts := make([]atomic.Int64, len(tpls))
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Concurrency; w++ {
@@ -238,8 +265,10 @@ func Run(cfg Config) (*Report, error) {
 					path, body = "/query", bodies[ti]
 				}
 				t0 := time.Now()
-				ok := post(ctx, client, cfg.BaseURL+path, body)
+				ok, sheds, retries := post(ctx, client, cfg.BaseURL+path, body, rng, &cfg)
 				lat := time.Since(t0)
+				shedCounts[ti].Add(sheds)
+				retryCounts[ti].Add(retries)
 				if ctx.Err() != nil {
 					// Don't count a request the deadline chopped mid-flight.
 					break
@@ -268,10 +297,21 @@ func Run(cfg Config) (*Report, error) {
 		perTpl[s.tpl] = append(perTpl[s.tpl], s.latency)
 		all = append(all, s.latency)
 	}
+	var totalSheds, totalRetries int64
 	for i, t := range tpls {
-		rep.Results = append(rep.Results, aggregate("load/"+t.Name, perTpl[i], errCounts[i], elapsed, 0))
+		row := aggregate("load/"+t.Name, perTpl[i], errCounts[i], elapsed, 0)
+		row.Sheds = shedCounts[i].Load()
+		row.Retries = retryCounts[i].Load()
+		row.ShedRate = shedRate(row.Sheds, row.Requests+row.Retries)
+		totalSheds += row.Sheds
+		totalRetries += row.Retries
+		rep.Results = append(rep.Results, row)
 	}
-	rep.Results = append(rep.Results, aggregate("load/overall", all, allErrs, elapsed, cfg.TargetQPS))
+	overall := aggregate("load/overall", all, allErrs, elapsed, cfg.TargetQPS)
+	overall.Sheds = totalSheds
+	overall.Retries = totalRetries
+	overall.ShedRate = shedRate(totalSheds, overall.Requests+totalRetries)
+	rep.Results = append(rep.Results, overall)
 	if before != nil {
 		if after := scrapeRequestLatency(client, cfg.BaseURL); after != nil {
 			rep.Server = serverDelta(before, after)
@@ -441,21 +481,70 @@ func ingestBody(rng *rand.Rand, vertices int) []byte {
 	return b
 }
 
-// post issues one request and reports success. 2xx is success; every
-// transport error or non-2xx status counts as an error sample.
-func post(ctx context.Context, client *http.Client, url string, body []byte) bool {
+// shedRate is sheds over issued sends, 0 when nothing was sent.
+func shedRate(sheds, issued int64) float64 {
+	if issued <= 0 {
+		return 0
+	}
+	return float64(sheds) / float64(issued)
+}
+
+// post issues one request, honouring load-shedding responses (429 and
+// 503) by re-issuing up to cfg.MaxRetries times with capped exponential
+// backoff: the server's Retry-After seeds the delay when present (else
+// 100ms), doubling per attempt, clamped to cfg.BackoffCap, plus up to
+// 25% jitter from the worker's rng so synchronized workers do not
+// re-converge on the saturated server. Reports success plus how many
+// sheds were observed and how many sends were retries.
+func post(ctx context.Context, client *http.Client, url string, body []byte, rng *rand.Rand, cfg *Config) (ok bool, sheds, retries int64) {
+	delay := 100 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		status, retryAfter := postOnce(ctx, client, url, body)
+		if status != http.StatusTooManyRequests && status != http.StatusServiceUnavailable {
+			return status >= 200 && status < 300, sheds, retries
+		}
+		sheds++
+		if attempt >= cfg.MaxRetries || ctx.Err() != nil {
+			return false, sheds, retries
+		}
+		d := delay
+		if retryAfter > 0 {
+			d = retryAfter
+		}
+		if d > cfg.BackoffCap {
+			d = cfg.BackoffCap
+		}
+		d += time.Duration(rng.Int63n(int64(d)/4 + 1))
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return false, sheds, retries
+		}
+		retries++
+		delay *= 2
+	}
+}
+
+// postOnce issues one request, reporting the status code (0 on
+// transport error) and any Retry-After hint the response carried.
+func postOnce(ctx context.Context, client *http.Client, url string, body []byte) (status int, retryAfter time.Duration) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return false
+		return 0, 0
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := client.Do(req)
 	if err != nil {
-		return false
+		return 0, 0
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode >= 200 && resp.StatusCode < 300
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, retryAfter
 }
 
 // fetchVertexCount reads the live vertex count from /stats.

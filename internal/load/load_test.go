@@ -2,7 +2,10 @@ package load
 
 import (
 	"encoding/json"
+	"fmt"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -137,5 +140,74 @@ func TestRunPacedToTargetQPS(t *testing.T) {
 func TestRunRejectsEmptyMix(t *testing.T) {
 	if _, err := Run(Config{BaseURL: "http://x", Templates: []Template{{Name: "z", Weight: 0}}}); err == nil {
 		t.Fatal("empty mix accepted")
+	}
+}
+
+// TestRunRetriesShedRequests pins the backoff satellite: a server that
+// sheds every first attempt with 429 + Retry-After sees the driver
+// retry (honouring the hint, clamped to BackoffCap) until the request
+// lands, and the envelope reports the shed and retry counts.
+func TestRunRetriesShedRequests(t *testing.T) {
+	var attempts atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if attempts.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"admission refused: queue_full","code":"queue_full"}`)
+			return
+		}
+		fmt.Fprint(w, `{"count":1,"elapsed_ms":0.1}`)
+	}))
+	defer stub.Close()
+
+	rep, err := Run(Config{
+		BaseURL:     stub.URL,
+		Templates:   []Template{{Name: "tri", Weight: 1, Body: map[string]any{"pattern": "a->b, b->c, a->c"}}},
+		Duration:    10 * time.Second,
+		MaxRequests: 20,
+		// One worker so the stub's strict 429/200 alternation holds: every
+		// request sheds exactly once and lands on its first retry.
+		Concurrency: 1,
+		Seed:        3,
+		Client:      stub.Client(),
+		Vertices:    32,
+		BackoffCap:  5 * time.Millisecond, // clamp the 1s Retry-After so the test stays fast
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overall := rep.Results[len(rep.Results)-1]
+	if overall.Errors != 0 {
+		t.Fatalf("%d errors: every shed should have been retried through (%+v)", overall.Errors, overall)
+	}
+	if overall.Sheds == 0 || overall.Retries == 0 {
+		t.Fatalf("sheds/retries not reported: %+v", overall)
+	}
+	if overall.ShedRate <= 0 || overall.ShedRate >= 1 {
+		t.Fatalf("shed rate %v out of (0,1)", overall.ShedRate)
+	}
+
+	// With retries disabled the same server produces hard errors.
+	attempts.Store(0)
+	rep, err = Run(Config{
+		BaseURL:     stub.URL,
+		Templates:   []Template{{Name: "tri", Weight: 1, Body: map[string]any{"pattern": "a->b, b->c, a->c"}}},
+		Duration:    10 * time.Second,
+		MaxRequests: 10,
+		Concurrency: 1,
+		Seed:        3,
+		Client:      stub.Client(),
+		Vertices:    32,
+		MaxRetries:  -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	overall = rep.Results[len(rep.Results)-1]
+	if overall.Errors == 0 {
+		t.Fatalf("retries disabled but no errors surfaced: %+v", overall)
+	}
+	if overall.Retries != 0 {
+		t.Fatalf("retries disabled but %d retries issued", overall.Retries)
 	}
 }

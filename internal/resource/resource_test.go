@@ -1,0 +1,128 @@
+package resource
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilBudgetIsUnmetered(t *testing.T) {
+	var b *Budget
+	if !b.Reserve(1 << 40) {
+		t.Error("nil budget refused a reservation")
+	}
+	if b.Exceeded() {
+		t.Error("nil budget reports exceeded")
+	}
+	if err := b.Err(); err != nil {
+		t.Errorf("nil budget Err = %v", err)
+	}
+	b.Close() // must not panic
+}
+
+func TestPerQueryLimit(t *testing.T) {
+	b := NewBudget(100, nil)
+	if !b.Reserve(60) || !b.Reserve(40) {
+		t.Fatal("reservations within the limit refused")
+	}
+	if b.Exceeded() {
+		t.Fatal("exceeded latched before the limit was crossed")
+	}
+	if b.Reserve(1) {
+		t.Fatal("reservation past the limit accepted")
+	}
+	if !b.Exceeded() {
+		t.Fatal("exceeded not latched")
+	}
+	// The failed claim must have been rolled back.
+	if got := b.Used(); got != 100 {
+		t.Errorf("Used = %d after rollback, want 100", got)
+	}
+	// Sticky: even a tiny reservation now fails.
+	if b.Reserve(0) {
+		t.Error("Reserve(0) on an exceeded budget reported ok")
+	}
+	var be *BudgetError
+	err := b.Err()
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Err = %v, want ErrBudgetExceeded via Is", err)
+	}
+	if !errors.As(err, &be) || be.Limit != 100 || be.Global {
+		t.Errorf("Err = %+v, want per-query BudgetError with Limit 100", err)
+	}
+}
+
+func TestGovernorCeiling(t *testing.T) {
+	gov := NewGovernor(150)
+	a := NewBudget(0, gov)
+	b := NewBudget(0, gov)
+	if !a.Reserve(100) {
+		t.Fatal("first reservation refused")
+	}
+	if b.Reserve(100) {
+		t.Fatal("reservation past the global ceiling accepted")
+	}
+	var be *BudgetError
+	if err := b.Err(); !errors.As(err, &be) || !be.Global {
+		t.Fatalf("Err = %v, want Global BudgetError", b.Err())
+	}
+	if a.Exceeded() {
+		t.Error("sibling budget was poisoned by the governor abort")
+	}
+	if got := gov.InUse(); got != 100 {
+		t.Errorf("governor InUse = %d, want 100 (failed claim rolled back)", got)
+	}
+	// Close returns the pool; a second Close must not double-release.
+	a.Close()
+	a.Close()
+	b.Close()
+	if got := gov.InUse(); got != 0 {
+		t.Errorf("governor InUse = %d after Close, want 0", got)
+	}
+	// With headroom back, a fresh budget reserves fine.
+	c := NewBudget(0, gov)
+	defer c.Close()
+	if !c.Reserve(150) {
+		t.Error("reservation refused after pool was returned")
+	}
+}
+
+func TestConcurrentReserveAccounting(t *testing.T) {
+	gov := NewGovernor(0) // unlimited: pure accounting
+	b := NewBudget(0, gov)
+	const goroutines, per, n = 8, 1000, 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				b.Reserve(n)
+			}
+		}()
+	}
+	wg.Wait()
+	want := int64(goroutines * per * n)
+	if got := b.Used(); got != want {
+		t.Errorf("Used = %d, want %d", got, want)
+	}
+	if got := gov.InUse(); got != want {
+		t.Errorf("governor InUse = %d, want %d", got, want)
+	}
+	b.Close()
+	if got := gov.InUse(); got != 0 {
+		t.Errorf("governor InUse = %d after Close, want 0", got)
+	}
+}
+
+func TestReserveAllocFree(t *testing.T) {
+	gov := NewGovernor(1 << 30)
+	b := NewBudget(1<<30, gov)
+	defer b.Close()
+	if allocs := testing.AllocsPerRun(100, func() {
+		b.Reserve(64)
+		b.Exceeded()
+	}); allocs != 0 {
+		t.Errorf("Reserve+Exceeded allocated %v per op, want 0", allocs)
+	}
+}

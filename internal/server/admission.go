@@ -1,0 +1,285 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// This file is the admission controller: the flat semaphore of the
+// original serving layer upgraded to a bounded priority queue with
+// per-tenant quotas, deadline-aware waiting and drain support. The
+// controller owns exactly two resources — execution slots (capacity)
+// and queue positions (queueCap) — and every refusal is labelled with
+// one of the shed reasons below so overload is diagnosable from the
+// graphflow_admission_shed_total metric alone.
+
+// Shed reasons label admission refusals in metrics and error bodies.
+const (
+	// shedQueueFull: the wait queue is at MaxQueueDepth (or queueing is
+	// disabled) and every execution slot is busy.
+	shedQueueFull = "queue_full"
+	// shedQueueTimeout: the request queued but no slot freed within
+	// MaxQueueWait.
+	shedQueueTimeout = "queue_timeout"
+	// shedTenantQuota: the request's tenant already holds its quota of
+	// concurrent slots.
+	shedTenantQuota = "tenant_quota"
+	// shedDraining: the server is draining for shutdown and refuses new
+	// work.
+	shedDraining = "draining"
+)
+
+// Priority classes of the wait queue, highest first. Requests select
+// one with the X-Priority header; slots freed under contention go to
+// the highest non-empty class in FIFO order.
+const (
+	priHigh = iota
+	priNormal
+	priLow
+	numPriorities
+)
+
+// priorityFrom maps the X-Priority header onto a queue class; anything
+// unrecognised (including absence) is normal.
+func priorityFrom(h string) int {
+	switch h {
+	case "high":
+		return priHigh
+	case "low":
+		return priLow
+	}
+	return priNormal
+}
+
+// waiter is one request queued for an execution slot. Its outcome
+// fields (granted, shed) are written under admission.mu before ready is
+// signalled; the channel send orders them for the waiting goroutine.
+type waiter struct {
+	ready   chan struct{} // buffered 1: grant/shed never blocks
+	done    bool          // outcome decided (or waiter abandoned); guarded by admission.mu
+	granted bool
+	shed    string
+	tenant  string
+	pri     int
+}
+
+// admitResult is the outcome of one acquire call.
+type admitResult struct {
+	ok bool
+	// shed is the refusal reason when !ok (empty when the client went
+	// away instead).
+	shed string
+	// clientGone: the request context was cancelled while queued — a
+	// client disappearance, not a load-shedding decision.
+	clientGone bool
+	// waited is the time spent queued (0 for fast-path grants).
+	waited time.Duration
+}
+
+// admission is the slot controller. All state is guarded by mu; the
+// only blocking happens in acquire, outside the lock, on the waiter's
+// ready channel.
+type admission struct {
+	mu       sync.Mutex
+	capacity int
+	inFlight int
+	queues   [numPriorities][]*waiter
+	queued   int
+	queueCap int
+	maxWait  time.Duration
+	quotas   map[string]int
+	defQuota int
+	held     map[string]int // concurrent slots per tenant
+	draining bool
+	drained  chan struct{} // closed when draining and inFlight hits 0
+}
+
+func newAdmission(capacity, queueCap int, maxWait time.Duration, quotas map[string]int, defQuota int) *admission {
+	return &admission{
+		capacity: capacity,
+		queueCap: queueCap,
+		maxWait:  maxWait,
+		quotas:   quotas,
+		defQuota: defQuota,
+		held:     make(map[string]int),
+	}
+}
+
+// quotaFor resolves a tenant's concurrent-slot cap (0 = unlimited).
+// The empty tenant (no header) is never quota-limited per tenant — it
+// is bounded by capacity alone.
+func (a *admission) quotaFor(tenant string) int {
+	if tenant == "" {
+		return 0
+	}
+	if q, ok := a.quotas[tenant]; ok {
+		return q
+	}
+	return a.defQuota
+}
+
+// acquire obtains an execution slot for tenant at priority pri,
+// queueing for at most maxWait when the server is at capacity. The
+// caller must pass the request context so a client that disconnects
+// while queued releases its queue position promptly.
+func (a *admission) acquire(ctx context.Context, pri int, tenant string) admitResult {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return admitResult{shed: shedDraining}
+	}
+	if q := a.quotaFor(tenant); q > 0 && a.held[tenant] >= q {
+		a.mu.Unlock()
+		return admitResult{shed: shedTenantQuota}
+	}
+	if a.inFlight < a.capacity {
+		a.inFlight++
+		a.held[tenant]++
+		a.mu.Unlock()
+		return admitResult{ok: true}
+	}
+	if a.queueCap <= 0 || a.maxWait <= 0 || a.queued >= a.queueCap {
+		a.mu.Unlock()
+		return admitResult{shed: shedQueueFull}
+	}
+	w := &waiter{ready: make(chan struct{}, 1), tenant: tenant, pri: pri}
+	a.queues[pri] = append(a.queues[pri], w)
+	a.queued++
+	a.mu.Unlock()
+
+	start := time.Now()
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		return a.outcome(w, start)
+	case <-timer.C:
+		return a.abandon(w, start, shedQueueTimeout, false)
+	case <-ctx.Done():
+		return a.abandon(w, start, "", true)
+	}
+}
+
+// outcome reads a signalled waiter's grant/shed decision.
+func (a *admission) outcome(w *waiter, start time.Time) admitResult {
+	waited := time.Since(start)
+	if w.granted {
+		return admitResult{ok: true, waited: waited}
+	}
+	return admitResult{shed: w.shed, waited: waited}
+}
+
+// abandon removes w from the queue after a timeout or client
+// disconnect. A grant (or drain shed) may have raced in first: the
+// done flag decides under the lock, and a raced-in outcome wins so a
+// granted slot is never dropped on the floor.
+func (a *admission) abandon(w *waiter, start time.Time, shed string, clientGone bool) admitResult {
+	a.mu.Lock()
+	if w.done {
+		a.mu.Unlock()
+		<-w.ready
+		return a.outcome(w, start)
+	}
+	w.done = true
+	a.removeLocked(w)
+	a.mu.Unlock()
+	return admitResult{shed: shed, clientGone: clientGone, waited: time.Since(start)}
+}
+
+// removeLocked deletes w from its priority queue.
+func (a *admission) removeLocked(w *waiter) {
+	q := a.queues[w.pri]
+	for i, cand := range q {
+		if cand == w {
+			a.queues[w.pri] = append(q[:i], q[i+1:]...)
+			a.queued--
+			return
+		}
+	}
+}
+
+// nextLocked pops the next grantable waiter: highest priority class
+// first, FIFO within a class, skipping waiters whose tenant is at
+// quota (they stay queued and become grantable when their own tenant
+// releases a slot, or time out).
+func (a *admission) nextLocked() *waiter {
+	for p := 0; p < numPriorities; p++ {
+		for i, w := range a.queues[p] {
+			if q := a.quotaFor(w.tenant); q > 0 && a.held[w.tenant] >= q {
+				continue
+			}
+			a.queues[p] = append(a.queues[p][:i], a.queues[p][i+1:]...)
+			a.queued--
+			return w
+		}
+	}
+	return nil
+}
+
+// release returns tenant's slot. If a grantable waiter is queued the
+// slot is handed over directly — inFlight never dips, so capacity is
+// never transiently under-used while waiters exist; otherwise the slot
+// is freed, and during a drain the last release closes the drained
+// channel.
+func (a *admission) release(tenant string) {
+	a.mu.Lock()
+	if a.held[tenant] <= 1 {
+		delete(a.held, tenant)
+	} else {
+		a.held[tenant]--
+	}
+	if w := a.nextLocked(); w != nil {
+		w.done, w.granted = true, true
+		a.held[w.tenant]++
+		w.ready <- struct{}{}
+	} else {
+		a.inFlight--
+		if a.draining && a.inFlight == 0 {
+			close(a.drained)
+		}
+	}
+	a.mu.Unlock()
+}
+
+// beginDrain flips the controller into draining: every queued waiter
+// is shed immediately, new arrivals are refused with shedDraining, and
+// the returned channel closes once the last in-flight slot releases.
+// Idempotent — later calls return the same channel.
+func (a *admission) beginDrain() <-chan struct{} {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.draining {
+		a.draining = true
+		a.drained = make(chan struct{})
+		for p := range a.queues {
+			for _, w := range a.queues[p] {
+				if !w.done {
+					w.done = true
+					w.shed = shedDraining
+					w.ready <- struct{}{}
+				}
+			}
+			a.queues[p] = nil
+		}
+		a.queued = 0
+		if a.inFlight == 0 {
+			close(a.drained)
+		}
+	}
+	return a.drained
+}
+
+// queueDepth reports how many requests are waiting for a slot.
+func (a *admission) queueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued
+}
+
+// inFlightCount reports how many slots are currently held.
+func (a *admission) inFlightCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inFlight
+}

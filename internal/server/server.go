@@ -3,8 +3,13 @@
 // compiled-plan cache, plan inspection, and operational stats. Every
 // query executes under a per-request deadline threaded through the
 // ctx-aware execution core, so a pathological worst-case-optimal query
-// cannot pin a worker past its budget, and a semaphore admission limit
-// sheds load once the configured number of queries are in flight.
+// cannot pin a worker past its budget, and an admission controller —
+// a bounded priority queue with per-tenant quotas over a fixed number
+// of execution slots — sheds load with Retry-After once the server is
+// saturated. Queries aborted by their memory budget come back as 422
+// with a machine-readable code; panics recovered inside the engine are
+// logged with their stack and reported as 500 without killing the
+// process.
 //
 // Endpoints (all JSON):
 //
@@ -47,7 +52,10 @@ import (
 	"time"
 
 	"graphflow"
+	"graphflow/internal/exec"
+	"graphflow/internal/faultinject"
 	"graphflow/internal/metrics"
+	"graphflow/internal/resource"
 )
 
 // StatusClientClosedRequest is the non-standard 499 status (nginx
@@ -66,10 +74,30 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps request-supplied timeouts. Default 5m.
 	MaxTimeout time.Duration
-	// MaxConcurrent is the admission limit: requests that would exceed
-	// this many concurrently executing queries are rejected with 429.
-	// Default 64.
+	// MaxConcurrent is the admission limit: at most this many requests
+	// plan or execute concurrently; the rest queue (up to MaxQueueDepth
+	// for MaxQueueWait) and are then shed with 429. Default 64.
 	MaxConcurrent int
+	// MaxQueueDepth bounds how many requests may wait for an execution
+	// slot before new arrivals are shed immediately. Default
+	// 2×MaxConcurrent; negative disables queueing (saturation sheds at
+	// once, the pre-queue behaviour).
+	MaxQueueDepth int
+	// MaxQueueWait bounds how long one queued request waits for a slot
+	// before it is shed with 429 queue_timeout. Default 1s; negative
+	// disables queueing.
+	MaxQueueWait time.Duration
+	// TenantHeader names the request header whose value identifies the
+	// tenant for quota accounting. Default "X-Tenant"; requests without
+	// the header share the unquota'd anonymous tenant.
+	TenantHeader string
+	// TenantQuotas caps concurrent execution slots per tenant value;
+	// tenants at quota are shed with 429 tenant_quota even when slots
+	// are free, so one tenant cannot monopolise the server.
+	TenantQuotas map[string]int
+	// DefaultTenantQuota caps tenants absent from TenantQuotas
+	// (0 = unlimited).
+	DefaultTenantQuota int
 	// MaxRows clamps the number of rows a match request may return.
 	// Default 10000.
 	MaxRows int
@@ -99,6 +127,9 @@ type Config struct {
 	// Logger receives the server's structured log records. Nil takes
 	// slog.Default() (configure process-wide with internal/logx).
 	Logger *slog.Logger
+	// Faults, when non-nil, threads a fault injector into every query
+	// execution — the chaos-test hook. Leave nil in production.
+	Faults *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +141,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 64
+	}
+	if c.MaxQueueDepth == 0 {
+		c.MaxQueueDepth = 2 * c.MaxConcurrent
+	}
+	if c.MaxQueueDepth < 0 {
+		c.MaxQueueDepth = 0
+	}
+	if c.MaxQueueWait == 0 {
+		c.MaxQueueWait = time.Second
+	}
+	if c.MaxQueueWait < 0 {
+		c.MaxQueueWait = 0
+	}
+	if c.TenantHeader == "" {
+		c.TenantHeader = "X-Tenant"
 	}
 	if c.MaxRows <= 0 {
 		c.MaxRows = 10000
@@ -134,16 +180,20 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
-	// sem is the admission semaphore: a slot is held while a request
+	// adm is the admission controller: a slot is held while a request
 	// plans or executes a query — the CPU-bound phases — and released
 	// before the response is encoded, so a slow-reading client cannot
 	// hold admission capacity with no query running.
-	sem chan struct{}
+	adm *admission
 
 	mu       sync.RWMutex
 	prepared map[string]*graphflow.PreparedQuery
 
 	served, rejected, deadlined, ingested atomic.Int64
+
+	// budgetAborts counts queries stopped by their memory budget (422);
+	// panicked counts queries failed by a recovered execution panic.
+	budgetAborts, panicked atomic.Int64
 
 	// Per-kernel intersection dispatch totals accumulated across served
 	// count-mode queries (match mode streams rows and does not report
@@ -173,6 +223,13 @@ type Server struct {
 	httpResponses *metrics.CounterVec
 	// templateSeconds tracks /execute latency per prepared-statement name.
 	templateSeconds *metrics.HistogramVec
+	// shedTotal counts admission refusals by reason; admissionWait is
+	// the queueing delay of requests that waited for a slot;
+	// budgetAbortBytes records how much memory a budget-aborted query
+	// had reserved when it hit its ceiling.
+	shedTotal        *metrics.CounterVec
+	admissionWait    *metrics.Histogram
+	budgetAbortBytes *metrics.Histogram
 }
 
 // stageNames indexes Server.stageNanos and labels the per-stage time
@@ -186,8 +243,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		cfg: cfg,
+		adm: newAdmission(cfg.MaxConcurrent, cfg.MaxQueueDepth, cfg.MaxQueueWait,
+			cfg.TenantQuotas, cfg.DefaultTenantQuota),
 		prepared: make(map[string]*graphflow.PreparedQuery),
 	}
 	s.registerMetrics()
@@ -228,7 +286,22 @@ func (s *Server) registerMetrics() {
 	s.reg.CounterFunc("graphflow_requests_deadlined_total", "Queries that exceeded their deadline (504).",
 		func() float64 { return float64(s.deadlined.Load()) })
 	s.reg.GaugeFunc("graphflow_requests_in_flight", "Admission slots currently held.",
-		func() float64 { return float64(len(s.sem)) })
+		func() float64 { return float64(s.adm.inFlightCount()) })
+	s.reg.GaugeFunc("graphflow_admission_queue_depth", "Requests queued for an admission slot.",
+		func() float64 { return float64(s.adm.queueDepth()) })
+	s.shedTotal = s.reg.CounterVec("graphflow_admission_shed_total",
+		"Requests shed at admission by reason.", "reason")
+	s.admissionWait = s.reg.Histogram("graphflow_admission_wait_seconds",
+		"Time requests spent queued for an admission slot.", metrics.DefBuckets)
+	s.reg.CounterFunc("graphflow_query_budget_aborts_total",
+		"Queries aborted by a per-query or global memory budget (422).",
+		func() float64 { return float64(s.budgetAborts.Load()) })
+	s.budgetAbortBytes = s.reg.Histogram("graphflow_query_budget_abort_bytes",
+		"Bytes a budget-aborted query had reserved when it hit its ceiling.",
+		[]float64{1 << 16, 1 << 20, 1 << 24, 1 << 28, 1 << 32})
+	s.reg.CounterFunc("graphflow_query_panics_total",
+		"Queries failed by a panic recovered inside the execution engine.",
+		func() float64 { return float64(s.panicked.Load()) })
 	s.reg.CounterFunc("graphflow_ingest_batches_total", "Mutation batches applied via /ingest.",
 		func() float64 { return float64(s.ingested.Load()) })
 	s.reg.GaugeFunc("graphflow_prepared_statements", "Registered prepared statements.",
@@ -339,6 +412,10 @@ type queryRequest struct {
 	// NoFactorize disables factorized execution of star-shaped suffixes
 	// for this request (it is on by default for count mode).
 	NoFactorize bool `json:"no_factorize"`
+	// MemBudgetBytes tightens the per-query memory budget for this
+	// request (0 = server default). It can only lower the configured
+	// default, never widen it.
+	MemBudgetBytes int64 `json:"mem_budget_bytes"`
 }
 
 // queryResponse is the body of a successful /query or /execute response.
@@ -419,6 +496,14 @@ type kernelCounts struct {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code is the machine-readable error class, present on
+	// resource-governance refusals: "budget_exceeded",
+	// "global_budget_exceeded", or an admission shed reason.
+	Code string `json:"code,omitempty"`
+	// LimitBytes/ReservedBytes detail a budget abort: the ceiling that
+	// was hit and the bytes reserved when the query crossed it.
+	LimitBytes    int64 `json:"limit_bytes,omitempty"`
+	ReservedBytes int64 `json:"reserved_bytes,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -450,20 +535,64 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any, limit int64) bool
 	return true
 }
 
-// admit acquires an execution slot without blocking; false means the
-// admission limit is reached and a 429 was written.
-func (s *Server) admit(w http.ResponseWriter) bool {
-	select {
-	case s.sem <- struct{}{}:
-		return true
-	default:
-		s.rejected.Add(1)
-		writeError(w, http.StatusTooManyRequests, "admission limit reached (%d queries in flight)", s.cfg.MaxConcurrent)
-		return false
+// admit acquires an execution slot through the admission controller,
+// queueing up to Config.MaxQueueWait when the server is saturated. On
+// success it returns the release closure the handler must call once
+// the CPU-bound phase ends. On refusal the shed response — 429 (or 503
+// while draining), always with Retry-After — is already written and
+// admit returns nil, false.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	tenant := r.Header.Get(s.cfg.TenantHeader)
+	res := s.adm.acquire(r.Context(), priorityFrom(r.Header.Get("X-Priority")), tenant)
+	if res.waited > 0 {
+		s.admissionWait.ObserveDuration(res.waited)
 	}
+	if res.ok {
+		return func() { s.adm.release(tenant) }, true
+	}
+	if res.clientGone {
+		writeError(w, StatusClientClosedRequest, "client closed request while queued for admission")
+		return nil, false
+	}
+	s.rejected.Add(1)
+	s.shedTotal.With(res.shed).Inc()
+	w.Header().Set("Retry-After", s.retryAfter(res.shed))
+	status := http.StatusTooManyRequests
+	if res.shed == shedDraining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorResponse{
+		Error: fmt.Sprintf("admission refused: %s (limit %d in flight, queue %d deep)",
+			res.shed, s.cfg.MaxConcurrent, s.cfg.MaxQueueDepth),
+		Code: res.shed,
+	})
+	return nil, false
 }
 
-func (s *Server) release() { <-s.sem }
+// retryAfter suggests a client backoff per shed reason, in whole
+// seconds (the only unit the header carries portably).
+func (s *Server) retryAfter(reason string) string {
+	switch reason {
+	case shedDraining:
+		return "5"
+	case shedQueueFull, shedQueueTimeout:
+		return strconv.Itoa(int(s.cfg.MaxQueueWait/time.Second) + 1)
+	}
+	return "1" // tenant_quota: retry as soon as one of your queries ends
+}
+
+// Drain refuses new work (queued waiters are shed, new arrivals get
+// 503 + Retry-After) and waits until every in-flight request has
+// released its slot or ctx expires. Call before closing the DB so a
+// late /ingest cannot race a shutdown.
+func (s *Server) Drain(ctx context.Context) error {
+	select {
+	case <-s.adm.beginDrain():
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
 
 // maxRequestBatchSize bounds request-supplied batch_size values; larger
 // batches only waste memory without improving throughput.
@@ -499,6 +628,9 @@ func (s *Server) queryOptions(req *queryRequest) (*graphflow.QueryOptions, error
 	if req.BatchSize != 0 {
 		batch = req.BatchSize
 	}
+	if req.MemBudgetBytes < 0 {
+		return nil, fmt.Errorf("%w: mem_budget_bytes %d is negative (0 = server default)", errBadRequest, req.MemBudgetBytes)
+	}
 	return &graphflow.QueryOptions{
 		Workers:              workers,
 		Limit:                limit,
@@ -507,6 +639,8 @@ func (s *Server) queryOptions(req *queryRequest) (*graphflow.QueryOptions, error
 		WCOOnly:              req.WCO,
 		BatchSize:            batch,
 		DisableFactorization: s.cfg.NoFactorize || req.NoFactorize,
+		MemBudgetBytes:       req.MemBudgetBytes,
+		Faults:               s.cfg.Faults,
 	}, nil
 }
 
@@ -527,11 +661,36 @@ func (s *Server) timeout(req *queryRequest) time.Duration {
 	return d
 }
 
-// writeRunError maps an execution error onto timeout/cancellation
-// semantics: 504 when the server-side deadline expired, 499 when the
+// writeRunError maps an execution error onto resource-governance and
+// timeout/cancellation semantics: 422 when the query's memory budget
+// aborted it (with the ceiling and reservation in the body), 500 with
+// a stack-carrying log record when a panic was recovered inside the
+// engine, 504 when the server-side deadline expired, 499 when the
 // client went away, 500 otherwise.
 func (s *Server) writeRunError(w http.ResponseWriter, r *http.Request, err error) {
+	var pe *exec.PanicError
 	switch {
+	case errors.Is(err, resource.ErrBudgetExceeded):
+		s.budgetAborts.Add(1)
+		resp := errorResponse{Error: fmt.Sprintf("query aborted: %v", err), Code: "budget_exceeded"}
+		var be *resource.BudgetError
+		if errors.As(err, &be) {
+			s.budgetAbortBytes.Observe(float64(be.Reserved))
+			resp.LimitBytes = be.Limit
+			resp.ReservedBytes = be.Reserved
+			if be.Global {
+				resp.Code = "global_budget_exceeded"
+			}
+		}
+		writeJSON(w, http.StatusUnprocessableEntity, resp)
+	case errors.As(err, &pe):
+		// The engine recovered a panic, poisoned the worker and failed
+		// only this query; the stack goes to the log, not the client.
+		s.panicked.Add(1)
+		s.cfg.Logger.Error("query panicked",
+			slog.Any("panic", pe.Value),
+			slog.String("stack", string(pe.Stack)))
+		writeError(w, http.StatusInternalServerError, "query failed: internal execution panic (see server log)")
 	case errors.Is(err, context.DeadlineExceeded):
 		s.deadlined.Add(1)
 		writeError(w, http.StatusGatewayTimeout, "query exceeded its deadline: %v", err)
@@ -700,18 +859,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Planning runs inside the admission slot too: a flood of novel
-	// patterns is optimizer work the semaphore must bound.
-	if !s.admit(w) {
+	// patterns is optimizer work the admission limit must bound.
+	release, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
 	pq, err := s.prepare(req.Pattern, req.WCO)
 	if err != nil {
-		s.release()
+		release()
 		writeError(w, http.StatusBadRequest, "bad pattern: %v", err)
 		return
 	}
 	resp, runErr := s.execute(r, "", pq, &req)
-	s.release()
+	release()
 	s.respond(w, r, resp, runErr)
 }
 
@@ -744,11 +904,12 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "both name and pattern are required")
 		return
 	}
-	if !s.admit(w) {
+	release, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
 	pq, err := s.prepare(req.Pattern, req.WCO)
-	s.release()
+	release()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad pattern: %v", err)
 		return
@@ -791,11 +952,12 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req, s.cfg.MaxBodyBytes) {
 		return
 	}
-	if !s.admit(w) {
+	release, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
 	resp, runErr := s.execute(r, name, pq, &req)
-	s.release()
+	release()
 	s.respond(w, r, resp, runErr)
 }
 
@@ -846,12 +1008,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Admission covers planning, and for analyze the full execution.
-	if !s.admit(w) {
+	release, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
 	pq, err := s.cfg.DB.Prepare(pattern)
 	if err != nil {
-		s.release()
+		release()
 		writeError(w, http.StatusBadRequest, "bad pattern: %v", err)
 		return
 	}
@@ -867,7 +1030,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout(&queryRequest{TimeoutMS: req.TimeoutMS}))
 		ast, runErr := s.cfg.DB.AnalyzeCtx(ctx, pattern)
 		cancel()
-		s.release()
+		release()
 		if runErr != nil {
 			s.writeRunError(w, r, runErr)
 			return
@@ -880,7 +1043,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	s.release()
+	release()
 	resp.ElapsedMS = elapsedMS(r)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -929,7 +1092,8 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "empty batch: provide add_vertices, add_edges or delete_edges")
 		return
 	}
-	if !s.admit(w) {
+	release, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
 	b := graphflow.Batch{AddVertices: req.AddVertices}
@@ -940,7 +1104,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		b.DeleteEdges = append(b.DeleteEdges, graphflow.EdgeOp{Src: e.Src, Dst: e.Dst, Label: e.Label})
 	}
 	res, err := s.cfg.DB.Apply(b)
-	s.release()
+	release()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad batch: %v", err)
 		return
@@ -973,11 +1137,12 @@ type compactResponse struct {
 
 // handleCompact forces a synchronous compaction pass.
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
-	if !s.admit(w) {
+	release, ok := s.admit(w, r)
+	if !ok {
 		return
 	}
 	err := s.cfg.DB.Compact()
-	s.release()
+	release()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "compaction failed: %v", err)
 		return
@@ -1033,6 +1198,12 @@ type statsResponse struct {
 		Rejected  int64 `json:"rejected"`
 		Deadlined int64 `json:"deadlined"`
 		InFlight  int   `json:"in_flight"`
+		// Queued is the current admission-queue depth; BudgetAborts and
+		// Panics count queries stopped by their memory budget (422) and
+		// by recovered engine panics (500).
+		Queued       int   `json:"queued"`
+		BudgetAborts int64 `json:"budget_aborts"`
+		Panics       int64 `json:"panics"`
 	} `json:"requests"`
 }
 
@@ -1082,7 +1253,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Requests.Served = s.served.Load()
 	resp.Requests.Rejected = s.rejected.Load()
 	resp.Requests.Deadlined = s.deadlined.Load()
-	resp.Requests.InFlight = len(s.sem)
+	resp.Requests.InFlight = s.adm.inFlightCount()
+	resp.Requests.Queued = s.adm.queueDepth()
+	resp.Requests.BudgetAborts = s.budgetAborts.Load()
+	resp.Requests.Panics = s.panicked.Load()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -240,16 +240,25 @@ func TestClientCancelReturns499(t *testing.T) {
 	}
 }
 
-// TestAdmissionLimitReturns429 fills the admission semaphore and checks
-// that the next query is shed with 429 instead of queueing.
+// TestAdmissionLimitReturns429 fills the admission controller and
+// checks that the next query is shed with 429 (queueing disabled here
+// so saturation sheds immediately) and carries a Retry-After hint.
 func TestAdmissionLimitReturns429(t *testing.T) {
-	s := newTestServer(t, Config{MaxConcurrent: 1})
-	s.sem <- struct{}{} // occupy the only execution slot
-	defer func() { <-s.sem }()
+	s := newTestServer(t, Config{MaxConcurrent: 1, MaxQueueDepth: -1})
+	if res := s.adm.acquire(context.Background(), priNormal, ""); !res.ok {
+		t.Fatalf("could not occupy the only execution slot: %+v", res)
+	}
+	defer s.adm.release("")
 
 	w := do(t, s, "POST", "/query", queryRequest{Pattern: triangle})
 	if w.Code != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want %d (body: %s)", w.Code, http.StatusTooManyRequests, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("shed response is missing the Retry-After header")
+	}
+	if !strings.Contains(w.Body.String(), shedQueueFull) {
+		t.Errorf("shed body should carry the reason %q: %s", shedQueueFull, w.Body)
 	}
 	// Non-executing endpoints must stay available under load shedding.
 	if w := do(t, s, "GET", "/healthz", nil); w.Code != http.StatusOK {
